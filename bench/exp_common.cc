@@ -1,0 +1,167 @@
+#include "exp_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/trainer.h"
+#include "search/grid_search.h"
+
+namespace automc {
+namespace bench {
+
+core::CompressionTask MakeExp1Task(uint64_t seed) {
+  core::CompressionTask task;
+  task.data = data::MakeCifar10Like(seed);
+  task.model_spec.family = "resnet";
+  task.model_spec.depth = 56;
+  task.model_spec.num_classes = task.data.train.num_classes;
+  task.model_spec.base_width = 4;
+  task.model_spec.in_channels = 3;
+  task.model_spec.image_size = 8;
+  task.pretrain_epochs = 6;
+  task.base_train_epochs = 16;
+  task.batch_size = 32;
+  task.lr = 0.04f;
+  task.search_data_fraction = 0.25;
+  task.seed = seed;
+  return task;
+}
+
+core::CompressionTask MakeExp2Task(uint64_t seed) {
+  core::CompressionTask task;
+  task.data = data::MakeCifar100Like(seed);
+  task.model_spec.family = "vgg";
+  task.model_spec.depth = 16;
+  task.model_spec.num_classes = task.data.train.num_classes;
+  task.model_spec.base_width = 4;
+  task.model_spec.in_channels = 3;
+  task.model_spec.image_size = 8;
+  task.pretrain_epochs = 6;
+  task.base_train_epochs = 60;
+  task.batch_size = 32;
+  task.lr = 0.02f;
+  task.lr_decay = 0.97f;
+  task.search_data_fraction = 0.25;
+  task.seed = seed + 1;
+  return task;
+}
+
+namespace {
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+}  // namespace
+
+int BenchBudget() { return EnvInt("AUTOMC_BENCH_BUDGET", 16); }
+int BenchGridSamples() { return EnvInt("AUTOMC_BENCH_GRID", 3); }
+
+core::AutoMCOptions BenchAutoMCOptions(int budget, double gamma,
+                                       uint64_t seed) {
+  core::AutoMCOptions opts;
+  opts.search.max_strategy_executions = budget;
+  opts.search.max_length = 5;
+  opts.search.gamma = gamma;
+  opts.embedding.train_epochs = 10;
+  opts.embedding.transr.entity_dim = 32;
+  opts.embedding.transr.relation_dim = 32;
+  opts.experience.num_tasks = 2;
+  opts.experience.strategies_per_task = 12;
+  opts.experience.pretrain_epochs = 1;
+  opts.progressive.sample_schemes = 5;
+  opts.progressive.candidates_per_scheme = 128;
+  opts.progressive.max_evals_per_round = 4;
+  opts.seed = seed;
+  return opts;
+}
+
+Result<search::EvalPoint> EvaluateSchemeOnFullData(
+    const search::SearchSpace& space, const std::vector<int>& scheme,
+    nn::Model* base, const core::CompressionTask& task, uint64_t seed) {
+  std::unique_ptr<nn::Model> model = base->Clone();
+  compress::CompressionContext ctx;
+  ctx.train = &task.data.train;
+  ctx.test = &task.data.test;
+  ctx.pretrain_epochs = task.pretrain_epochs;
+  ctx.batch_size = task.batch_size;
+  ctx.lr = task.FinetuneLr();
+  ctx.seed = seed;
+  return core::ExecuteScheme(space, scheme, model.get(), ctx);
+}
+
+Result<ManualOutcome> RunManualMethod(const std::string& method,
+                                      double target_pr, nn::Model* base,
+                                      const core::CompressionTask& task,
+                                      int grid_samples, uint64_t seed) {
+  compress::CompressionContext ctx;
+  ctx.train = &task.data.train;
+  ctx.test = &task.data.test;
+  ctx.pretrain_epochs = task.pretrain_epochs;
+  ctx.batch_size = task.batch_size;
+  ctx.lr = task.FinetuneLr();
+
+  search::GridSearchOptions options;
+  options.max_configs = grid_samples;
+  options.target_pr = target_pr;
+  options.seed = seed;
+  AUTOMC_ASSIGN_OR_RETURN(search::GridSearchResult grid_result,
+                          search::GridSearchMethod(method, base, ctx, options));
+  ManualOutcome best;
+  best.best_spec = grid_result.best_spec;
+  best.point = grid_result.point;
+  return best;
+}
+
+Result<BaselineRun> RunBaselineSearch(search::Searcher* searcher,
+                                      const search::SearchSpace& space,
+                                      nn::Model* base,
+                                      const core::CompressionTask& task,
+                                      const search::SearchConfig& config) {
+  Rng sub_rng(config.seed + 4);
+  data::Dataset search_train =
+      task.data.train.Subsample(task.search_data_fraction, &sub_rng);
+  compress::CompressionContext ctx;
+  ctx.train = &search_train;
+  ctx.test = &task.data.test;
+  // Search-time fine-tuning runs on the small subsample; scale the epoch
+  // base so the number of gradient steps stays comparable to deployment
+  // (the paper fine-tunes for epoch *fractions* of a 200-epoch schedule).
+  ctx.pretrain_epochs = task.pretrain_epochs * 2;
+  ctx.batch_size = task.batch_size;
+  ctx.lr = task.FinetuneLr();
+  ctx.seed = config.seed + 5;
+
+  search::SchemeEvaluator evaluator(&space, base, ctx, {});
+  BaselineRun run;
+  AUTOMC_ASSIGN_OR_RETURN(run.outcome,
+                          searcher->Search(&evaluator, space, config));
+  int best = BestSchemeIndex(run.outcome);
+  if (best >= 0) {
+    run.best_scheme = run.outcome.pareto_schemes[static_cast<size_t>(best)];
+    run.search_point = run.outcome.pareto_points[static_cast<size_t>(best)];
+  }
+  return run;
+}
+
+int BestSchemeIndex(const search::SearchOutcome& outcome) {
+  int best = -1;
+  for (size_t i = 0; i < outcome.pareto_points.size(); ++i) {
+    if (best < 0 ||
+        outcome.pareto_points[i].acc >
+            outcome.pareto_points[static_cast<size_t>(best)].acc) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::string Cell(double value, double rate_percent) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%7.3f / %6.2f", value, rate_percent);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace automc

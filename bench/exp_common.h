@@ -1,0 +1,76 @@
+#ifndef AUTOMC_BENCH_EXP_COMMON_H_
+#define AUTOMC_BENCH_EXP_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/automc.h"
+#include "search/evolutionary.h"
+#include "search/random_search.h"
+#include "search/rl.h"
+
+namespace automc {
+namespace bench {
+
+// Scaled-substrate versions of the paper's two experiments (Section 4.1):
+//   Exp1: D = CIFAR-10(-like),  M = ResNet-56, gamma = 0.3
+//   Exp2: D = CIFAR-100(-like), M = VGG-16,   gamma = 0.3
+// Model widths, image sizes and epoch budgets are scaled per DESIGN.md.
+core::CompressionTask MakeExp1Task(uint64_t seed = 7);
+core::CompressionTask MakeExp2Task(uint64_t seed = 7);
+
+// Env-tunable budget so the harness can be scaled up off the default
+// smoke-level settings: AUTOMC_BENCH_BUDGET (strategy executions per search,
+// default 20), AUTOMC_BENCH_GRID (configs sampled per manual method, 3).
+int BenchBudget();
+int BenchGridSamples();
+
+// Bench-scale AutoMC options (full Table 1 space, small budgets).
+core::AutoMCOptions BenchAutoMCOptions(int budget, double gamma,
+                                       uint64_t seed);
+
+// Applies `scheme` to a fresh clone of `base` using the task's FULL training
+// data (searches run on the subsample; final evaluation uses everything).
+Result<search::EvalPoint> EvaluateSchemeOnFullData(
+    const search::SearchSpace& space, const std::vector<int>& scheme,
+    nn::Model* base, const core::CompressionTask& task, uint64_t seed);
+
+// Grid-searches a manual method at a fixed parameter-decrease target
+// (HP2 := target_pr, other hyperparameters sampled from the Table 1 grid)
+// and returns the best-accuracy result on the task's test set.
+struct ManualOutcome {
+  compress::StrategySpec best_spec;
+  search::EvalPoint point;
+};
+Result<ManualOutcome> RunManualMethod(const std::string& method,
+                                      double target_pr,
+                                      nn::Model* base,
+                                      const core::CompressionTask& task,
+                                      int grid_samples, uint64_t seed);
+
+// Runs one baseline searcher on the task's search subsample and returns the
+// outcome plus the scheme it would deploy (feasible Pareto scheme with the
+// highest accuracy; falls back to best-accuracy overall).
+struct BaselineRun {
+  search::SearchOutcome outcome;
+  std::vector<int> best_scheme;
+  search::EvalPoint search_point;  // as measured during search
+};
+Result<BaselineRun> RunBaselineSearch(search::Searcher* searcher,
+                                      const search::SearchSpace& space,
+                                      nn::Model* base,
+                                      const core::CompressionTask& task,
+                                      const search::SearchConfig& config);
+
+// Picks the deployable scheme from an outcome: highest-accuracy Pareto
+// scheme (they are already filtered to pr >= gamma when any exists).
+int BestSchemeIndex(const search::SearchOutcome& outcome);
+
+// "0.53 / 41.74" style cells used by the paper's tables.
+std::string Cell(double value, double rate_percent);
+
+}  // namespace bench
+}  // namespace automc
+
+#endif  // AUTOMC_BENCH_EXP_COMMON_H_

@@ -1,0 +1,127 @@
+// Reproduces Figure 4: Pareto-optimal results searched by the four AutoML
+// algorithms on Exp1 and Exp2. For each algorithm we print (a) the
+// best-so-far accuracy curve against the number of strategy executions
+// (search progress) and (b) the final Pareto front (accuracy vs parameter
+// reduction). The expected shape: RL strong early then plateauing, Evolution
+// the best baseline, Random trailing, AutoMC in front.
+#include <cstdio>
+#include <memory>
+
+#include "exp_common.h"
+#include "nn/trainer.h"
+#include "search/report.h"
+
+namespace automc {
+namespace bench {
+namespace {
+
+// Also dumps the series as CSV next to the binary for external plotting.
+void WriteCsv(const std::string& exp, const std::string& algo,
+              const search::SearchOutcome& outcome,
+              const search::SearchSpace& space) {
+  std::string base = "fig4_" + exp + "_" + algo;
+  Status st = search::WriteHistoryCsvFile(outcome, base + "_history.csv");
+  if (st.ok()) st = search::WriteParetoCsvFile(outcome, space, base + "_pareto.csv");
+  if (!st.ok()) {
+    std::fprintf(stderr, "csv export failed: %s\n", st.ToString().c_str());
+  }
+}
+
+void PrintOutcome(const std::string& name,
+                  const search::SearchOutcome& outcome) {
+  std::printf("  [%s] best-so-far accuracy curve (executions: best feasible "
+              "/ best any):\n    ",
+              name.c_str());
+  // Print at most ~12 evenly spaced samples of the curve.
+  size_t n = outcome.history.size();
+  size_t stride = n > 12 ? n / 12 : 1;
+  for (size_t i = 0; i < n; i += stride) {
+    const search::HistoryPoint& h = outcome.history[i];
+    std::printf("%d:%.1f/%.1f  ", h.executions,
+                h.best_acc >= 0 ? 100.0 * h.best_acc : -1.0,
+                100.0 * h.best_acc_any);
+  }
+  if (n > 0 && (n - 1) % stride != 0) {
+    const search::HistoryPoint& h = outcome.history.back();
+    std::printf("%d:%.1f/%.1f", h.executions,
+                h.best_acc >= 0 ? 100.0 * h.best_acc : -1.0,
+                100.0 * h.best_acc_any);
+  }
+  std::printf("\n  [%s] final Pareto front (PR%% -> Acc%%):\n    ",
+              name.c_str());
+  for (const auto& p : outcome.pareto_points) {
+    std::printf("(%.1f -> %.1f)  ", 100.0 * p.pr, 100.0 * p.acc);
+  }
+  std::printf("\n");
+}
+
+Status RunExperiment(const std::string& title, const std::string& tag,
+                     core::CompressionTask task) {
+  std::printf("--- %s ---\n", title.c_str());
+  AUTOMC_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> base,
+                          core::PretrainModel(task));
+  std::printf("  baseline accuracy: %.1f%%\n",
+              100.0 * nn::Trainer::Evaluate(base.get(), task.data.test));
+
+  search::SearchSpace space = search::SearchSpace::FullTable1();
+  search::SearchConfig scfg;
+  scfg.max_strategy_executions = BenchBudget();
+  scfg.max_length = 5;
+  scfg.gamma = 0.3;
+  scfg.seed = task.seed + 41;
+
+  {
+    search::RandomSearcher random;
+    AUTOMC_ASSIGN_OR_RETURN(
+        BaselineRun run,
+        RunBaselineSearch(&random, space, base.get(), task, scfg));
+    PrintOutcome("Random", run.outcome);
+    WriteCsv(tag, "random", run.outcome, space);
+  }
+  {
+    search::RlSearcher rl;
+    AUTOMC_ASSIGN_OR_RETURN(
+        BaselineRun run, RunBaselineSearch(&rl, space, base.get(), task, scfg));
+    PrintOutcome("RL", run.outcome);
+    WriteCsv(tag, "rl", run.outcome, space);
+  }
+  {
+    search::EvolutionarySearcher evo;
+    AUTOMC_ASSIGN_OR_RETURN(
+        BaselineRun run,
+        RunBaselineSearch(&evo, space, base.get(), task, scfg));
+    PrintOutcome("Evolution", run.outcome);
+    WriteCsv(tag, "evolution", run.outcome, space);
+  }
+  {
+    core::AutoMC automc(
+        BenchAutoMCOptions(BenchBudget(), scfg.gamma, task.seed + 43));
+    AUTOMC_ASSIGN_OR_RETURN(core::AutoMCResult result, automc.Run(task));
+    PrintOutcome("AutoMC", result.outcome);
+    WriteCsv(tag, "automc", result.outcome, space);
+  }
+  std::printf("\n");
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace automc
+
+int main() {
+  std::printf("=== Figure 4: Pareto fronts & search curves (scaled) ===\n\n");
+  automc::Status st = automc::bench::RunExperiment(
+      "Exp1: ResNet-56 on cifar10-like", "exp1",
+      automc::bench::MakeExp1Task());
+  if (!st.ok()) {
+    std::fprintf(stderr, "Exp1 failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = automc::bench::RunExperiment("Exp2: VGG-16 on cifar100-like", "exp2",
+                                    automc::bench::MakeExp2Task());
+  if (!st.ok()) {
+    std::fprintf(stderr, "Exp2 failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Figure 6: the best compression schemes searched by AutoMC,
+// printed as explicit strategy sequences (method + hyperparameter settings)
+// for each task.
+#include <cstdio>
+
+#include "exp_common.h"
+
+namespace automc {
+namespace bench {
+namespace {
+
+Status RunExperiment(const std::string& title, core::CompressionTask task) {
+  std::printf("--- %s ---\n", title.c_str());
+  core::AutoMC automc(BenchAutoMCOptions(BenchBudget(), 0.3, task.seed + 61));
+  AUTOMC_ASSIGN_OR_RETURN(core::AutoMCResult result, automc.Run(task));
+  std::printf("  base accuracy %.1f%%, Pareto schemes found: %zu\n",
+              100.0 * result.base_accuracy,
+              result.outcome.pareto_schemes.size());
+  for (size_t i = 0; i < result.outcome.pareto_schemes.size(); ++i) {
+    const auto& p = result.outcome.pareto_points[i];
+    std::printf("  [PR %.1f%%, FR %.1f%%, Acc %.1f%%]\n    %s\n",
+                100.0 * p.pr, 100.0 * p.fr, 100.0 * p.acc,
+                result.pareto_descriptions[i].c_str());
+  }
+  std::printf("\n");
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace automc
+
+int main() {
+  std::printf("=== Figure 6: schemes searched by AutoMC (scaled) ===\n\n");
+  automc::Status st = automc::bench::RunExperiment(
+      "Exp1: ResNet-56 on cifar10-like", automc::bench::MakeExp1Task());
+  if (!st.ok()) {
+    std::fprintf(stderr, "Exp1 failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = automc::bench::RunExperiment("Exp2: VGG-16 on cifar100-like",
+                                    automc::bench::MakeExp2Task());
+  if (!st.ok()) {
+    std::fprintf(stderr, "Exp2 failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

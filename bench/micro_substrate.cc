@@ -1,0 +1,151 @@
+// Substrate micro-benchmarks (google-benchmark): the kernels whose
+// throughput bounds search wall-clock — convolution forward/backward,
+// matmul, structured pruning surgery, SVD/HOOI decomposition, TransR
+// epochs, and F_mo prediction.
+#include <benchmark/benchmark.h>
+
+#include "common/matrix.h"
+#include "compress/decompose.h"
+#include "compress/surgery.h"
+#include "kg/transr.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+#include "search/fmo.h"
+#include "search/search_space.h"
+#include "tensor/ops.h"
+
+namespace automc {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn({n, n}, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    tensor::Tensor c = tensor::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  int64_t c = state.range(0);
+  Rng rng(2);
+  nn::Conv2d conv(c, c, 3, 1, 1, false, &rng);
+  tensor::Tensor x = tensor::Tensor::Randn({8, c, 8, 8}, &rng);
+  for (auto _ : state) {
+    tensor::Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  int64_t c = state.range(0);
+  Rng rng(3);
+  nn::Conv2d conv(c, c, 3, 1, 1, false, &rng);
+  tensor::Tensor x = tensor::Tensor::Randn({8, c, 8, 8}, &rng);
+  tensor::Tensor g = tensor::Tensor::Randn({8, c, 8, 8}, &rng);
+  for (auto _ : state) {
+    conv.Forward(x, true);
+    tensor::Tensor dx = conv.Backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16);
+
+void BM_ResNet56ForwardBatch(benchmark::State& state) {
+  Rng rng(4);
+  nn::ModelSpec spec;
+  spec.family = "resnet";
+  spec.depth = 56;
+  spec.base_width = 4;
+  auto model = std::move(nn::BuildModel(spec, &rng)).value();
+  tensor::Tensor x = tensor::Tensor::Randn({16, 3, 8, 8}, &rng);
+  for (auto _ : state) {
+    tensor::Tensor y = model->Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ResNet56ForwardBatch);
+
+void BM_TruncatedSvd(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(5);
+  Matrix a(n, n * 9);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) a.at(i, j) = rng.Normal();
+  }
+  for (auto _ : state) {
+    SvdResult svd = TruncatedSvd(a, n / 2);
+    benchmark::DoNotOptimize(svd.s.data());
+  }
+}
+BENCHMARK(BM_TruncatedSvd)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_HooiDecompose(benchmark::State& state) {
+  Rng rng(6);
+  nn::Conv2d conv(16, 16, 3, 1, 1, false, &rng);
+  for (auto _ : state) {
+    auto lr = compress::HooiDecomposeConv(conv, 8, 8);
+    benchmark::DoNotOptimize(lr.get());
+  }
+}
+BENCHMARK(BM_HooiDecompose);
+
+void BM_GlobalStructuredPrune(benchmark::State& state) {
+  Rng rng(7);
+  nn::ModelSpec spec;
+  spec.family = "vgg";
+  spec.depth = 16;
+  spec.base_width = 4;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng build_rng(7);
+    auto model = std::move(nn::BuildModel(spec, &build_rng)).value();
+    state.ResumeTiming();
+    compress::GlobalPruneOptions opts;
+    opts.target_param_fraction = 0.3;
+    Status st = compress::GlobalStructuredPrune(model.get(), opts,
+                                                compress::FilterL2);
+    benchmark::DoNotOptimize(st.ok());
+  }
+}
+BENCHMARK(BM_GlobalStructuredPrune);
+
+void BM_TransREpoch(benchmark::State& state) {
+  auto strategies = search::SearchSpace::SingleMethod("HOS").strategies();
+  kg::KnowledgeGraph graph = kg::KnowledgeGraph::Build(strategies);
+  kg::TransRConfig cfg;
+  kg::TransR transr(graph.num_entities(), kg::kNumRelations, cfg);
+  Rng rng(8);
+  for (auto _ : state) {
+    double loss = transr.TrainEpoch(graph.triplets(), graph.num_entities(),
+                                    &rng);
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.triplets().size()));
+}
+BENCHMARK(BM_TransREpoch);
+
+void BM_FmoPredict(benchmark::State& state) {
+  Rng rng(9);
+  search::Fmo fmo(32, 7, 10);
+  std::vector<tensor::Tensor> seq;
+  for (int i = 0; i < 3; ++i) seq.push_back(tensor::Tensor::Randn({32}, &rng));
+  tensor::Tensor cand = tensor::Tensor::Randn({32}, &rng);
+  tensor::Tensor task = tensor::Tensor::Randn({7}, &rng);
+  for (auto _ : state) {
+    auto pred = fmo.Predict(seq, cand, task);
+    benchmark::DoNotOptimize(pred.first);
+  }
+}
+BENCHMARK(BM_FmoPredict);
+
+}  // namespace
+}  // namespace automc
+
+BENCHMARK_MAIN();

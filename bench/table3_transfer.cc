@@ -1,0 +1,136 @@
+// Reproduces Table 3 (transfer study): schemes searched by the AutoML
+// algorithms on ResNet-56 / CIFAR-10(-like) and VGG-16 / CIFAR-100(-like)
+// are applied verbatim to ResNet-20/56/164 and VGG-13/16/19; the manual
+// methods run directly on every model at a 40% parameter target. Cells are
+// PR(%) / FR(%) / Acc(%).
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "exp_common.h"
+#include "nn/trainer.h"
+
+namespace automc {
+namespace bench {
+namespace {
+
+std::string Cell3(const search::EvalPoint& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%5.1f / %5.1f / %5.1f", 100.0 * p.pr,
+                100.0 * p.fr, 100.0 * p.acc);
+  return buf;
+}
+
+Status RunFamily(const std::string& family_title,
+                 const core::CompressionTask& search_task,
+                 const std::vector<int>& depths) {
+  std::printf("--- %s (schemes searched on depth %d) ---\n",
+              family_title.c_str(), search_task.model_spec.depth);
+
+  // 1. Search once on the family's reference model.
+  AUTOMC_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> ref_base,
+                          core::PretrainModel(search_task));
+  search::SearchSpace space = search::SearchSpace::FullTable1();
+  search::SearchConfig scfg;
+  scfg.max_strategy_executions = BenchBudget();
+  scfg.max_length = 5;
+  scfg.gamma = 0.3;
+  scfg.seed = search_task.seed + 7;
+
+  std::map<std::string, std::vector<int>> searched_schemes;
+  {
+    search::EvolutionarySearcher evo;
+    AUTOMC_ASSIGN_OR_RETURN(
+        BaselineRun run,
+        RunBaselineSearch(&evo, space, ref_base.get(), search_task, scfg));
+    searched_schemes["Evolution"] = run.best_scheme;
+  }
+  {
+    search::RandomSearcher random;
+    AUTOMC_ASSIGN_OR_RETURN(
+        BaselineRun run,
+        RunBaselineSearch(&random, space, ref_base.get(), search_task, scfg));
+    searched_schemes["Random"] = run.best_scheme;
+  }
+  {
+    search::RlSearcher rl;
+    AUTOMC_ASSIGN_OR_RETURN(
+        BaselineRun run,
+        RunBaselineSearch(&rl, space, ref_base.get(), search_task, scfg));
+    searched_schemes["RL"] = run.best_scheme;
+  }
+  {
+    core::AutoMC automc(
+        BenchAutoMCOptions(BenchBudget(), scfg.gamma, search_task.seed + 11));
+    AUTOMC_ASSIGN_OR_RETURN(core::AutoMCResult result,
+                            automc.Run(search_task));
+    int best = BestSchemeIndex(result.outcome);
+    if (best >= 0) {
+      searched_schemes["AutoMC"] =
+          result.outcome.pareto_schemes[static_cast<size_t>(best)];
+    }
+  }
+
+  // 2. Apply everything to every depth in the family.
+  std::printf("  %-10s", "Algorithm");
+  for (int d : depths) std::printf(" | depth-%-3d %-15s", d, "(PR/FR/Acc)");
+  std::printf("\n");
+
+  std::vector<std::pair<std::string, std::unique_ptr<nn::Model>>> models;
+  std::vector<core::CompressionTask> tasks;
+  for (int d : depths) {
+    core::CompressionTask t = search_task;
+    t.model_spec.depth = d;
+    AUTOMC_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> m,
+                            core::PretrainModel(t));
+    models.emplace_back("depth-" + std::to_string(d), std::move(m));
+    tasks.push_back(std::move(t));
+  }
+
+  for (const char* method : {"LMA", "LeGR", "NS", "SFP", "HOS", "LFB"}) {
+    std::printf("  %-10s", method);
+    for (size_t i = 0; i < models.size(); ++i) {
+      auto manual = RunManualMethod(method, 0.4, models[i].second.get(),
+                                    tasks[i], 1, tasks[i].seed + 77);
+      if (!manual.ok()) return manual.status();
+      std::printf(" | %s", Cell3(manual->point).c_str());
+    }
+    std::printf("\n");
+  }
+  for (const auto& [name, scheme] : searched_schemes) {
+    if (scheme.empty()) continue;
+    std::printf("  %-10s", name.c_str());
+    for (size_t i = 0; i < models.size(); ++i) {
+      AUTOMC_ASSIGN_OR_RETURN(
+          search::EvalPoint p,
+          EvaluateSchemeOnFullData(space, scheme, models[i].second.get(),
+                                   tasks[i], tasks[i].seed + 88));
+      std::printf(" | %s", Cell3(p).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace automc
+
+int main() {
+  std::printf("=== Table 3: transfer study (scaled substrate) ===\n\n");
+  automc::Status st = automc::bench::RunFamily(
+      "ResNets on cifar10-like", automc::bench::MakeExp1Task(),
+      {20, 56, 164});
+  if (!st.ok()) {
+    std::fprintf(stderr, "resnet family failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = automc::bench::RunFamily("VGGs on cifar100-like",
+                                automc::bench::MakeExp2Task(), {13, 16, 19});
+  if (!st.ok()) {
+    std::fprintf(stderr, "vgg family failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,320 @@
+// Command-line driver: run any of the four search strategies on a
+// model/dataset combination and optionally save the best compressed model.
+//
+//   automc_cli [--family resnet|vgg] [--depth N] [--dataset c10|c100]
+//              [--gamma F] [--budget N] [--searcher automc|random|evolution|rl]
+//              [--pretrain N] [--seed N] [--save PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "compress/scheme_parser.h"
+#include "core/automc.h"
+#include "data/cifar.h"
+#include "nn/serialize.h"
+#include "nn/summary.h"
+#include "nn/trainer.h"
+#include "search/evolutionary.h"
+#include "search/random_search.h"
+#include "search/rl.h"
+
+namespace {
+
+struct CliOptions {
+  std::string family = "resnet";
+  int depth = 20;
+  std::string dataset = "c10";
+  double gamma = 0.3;
+  int budget = 12;
+  std::string searcher = "automc";
+  int pretrain = 8;
+  uint64_t seed = 1;
+  std::string save_path;
+  std::string apply_scheme;   // textual scheme: skip search, just apply
+  bool print_summary = false;   // per-layer table after compression
+  std::string cifar10_batches;  // comma-separated real CIFAR-10 .bin paths
+  std::string cifar100_train;   // real CIFAR-100 train.bin
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--family" && (v = next())) {
+      opts->family = v;
+    } else if (arg == "--depth" && (v = next())) {
+      opts->depth = std::atoi(v);
+    } else if (arg == "--dataset" && (v = next())) {
+      opts->dataset = v;
+    } else if (arg == "--gamma" && (v = next())) {
+      opts->gamma = std::atof(v);
+    } else if (arg == "--budget" && (v = next())) {
+      opts->budget = std::atoi(v);
+    } else if (arg == "--searcher" && (v = next())) {
+      opts->searcher = v;
+    } else if (arg == "--pretrain" && (v = next())) {
+      opts->pretrain = std::atoi(v);
+    } else if (arg == "--seed" && (v = next())) {
+      opts->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--save" && (v = next())) {
+      opts->save_path = v;
+    } else if (arg == "--apply" && (v = next())) {
+      opts->apply_scheme = v;
+    } else if (arg == "--summary") {
+      opts->print_summary = true;
+    } else if (arg == "--cifar10" && (v = next())) {
+      opts->cifar10_batches = v;
+    } else if (arg == "--cifar100" && (v = next())) {
+      opts->cifar100_train = v;
+    } else if (arg == "--help") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: automc_cli [--family resnet|vgg] [--depth N] [--dataset "
+      "c10|c100]\n                  [--gamma F] [--budget N] [--searcher "
+      "automc|random|evolution|rl]\n                  [--pretrain N] [--seed "
+      "N] [--save PATH]\n                  [--apply \"SCHEME\"] [--cifar10 "
+      "b1.bin,b2.bin] [--cifar100 train.bin]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace automc;
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    Usage();
+    return 2;
+  }
+
+  core::CompressionTask task;
+  if (!cli.cifar10_batches.empty()) {
+    // Real CIFAR-10 binaries: comma-separated batch files; 90/10 split.
+    std::vector<std::string> paths;
+    std::string rest = cli.cifar10_batches;
+    size_t pos;
+    while ((pos = rest.find(',')) != std::string::npos) {
+      paths.push_back(rest.substr(0, pos));
+      rest = rest.substr(pos + 1);
+    }
+    if (!rest.empty()) paths.push_back(rest);
+    auto ds = data::LoadCifar10(paths);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "CIFAR-10 load failed: %s\n",
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    Rng split_rng(cli.seed);
+    auto [train, test] = ds->Split(0.9, &split_rng);
+    task.data.train = std::move(train);
+    task.data.test = std::move(test);
+    task.model_spec.image_size = 32;
+    task.model_spec.base_width = 8;
+  } else if (!cli.cifar100_train.empty()) {
+    auto ds = data::LoadCifar100(cli.cifar100_train);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "CIFAR-100 load failed: %s\n",
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    Rng split_rng(cli.seed);
+    auto [train, test] = ds->Split(0.9, &split_rng);
+    task.data.train = std::move(train);
+    task.data.test = std::move(test);
+    task.model_spec.image_size = 32;
+    task.model_spec.base_width = 8;
+  } else {
+    task.data = cli.dataset == "c100" ? data::MakeCifar100Like(cli.seed)
+                                      : data::MakeCifar10Like(cli.seed);
+    task.model_spec.base_width = 4;  // real CIFAR branches use width 8
+  }
+  task.model_spec.family = cli.family;
+  task.model_spec.depth = cli.depth;
+  task.model_spec.num_classes = task.data.train.num_classes;
+  task.pretrain_epochs = 4;
+  task.base_train_epochs = cli.pretrain;
+  task.search_data_fraction = 0.25;
+  task.seed = cli.seed;
+
+  std::printf("task: %s-%d on %s, gamma=%.2f, budget=%d, searcher=%s\n",
+              cli.family.c_str(), cli.depth, task.data.train.name.c_str(),
+              cli.gamma, cli.budget, cli.searcher.c_str());
+
+  search::SearchOutcome outcome;
+  std::shared_ptr<nn::Model> base;
+  search::SearchSpace space = search::SearchSpace::FullTable1();
+
+  if (!cli.apply_scheme.empty()) {
+    // No search: parse and apply the given scheme directly.
+    auto parsed = compress::ParseScheme(cli.apply_scheme);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad scheme: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    auto pretrained = core::PretrainModel(task);
+    if (!pretrained.ok()) {
+      std::fprintf(stderr, "pretraining failed: %s\n",
+                   pretrained.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<nn::Model> model = std::move(pretrained).value();
+    compress::CompressionContext ctx;
+    ctx.train = &task.data.train;
+    ctx.test = &task.data.test;
+    ctx.pretrain_epochs = task.pretrain_epochs;
+    ctx.batch_size = task.batch_size;
+    ctx.lr = task.FinetuneLr();
+    ctx.seed = cli.seed + 3;
+    for (const auto& spec : *parsed) {
+      auto compressor = compress::CreateCompressor(spec);
+      if (!compressor.ok()) {
+        std::fprintf(stderr, "%s\n", compressor.status().ToString().c_str());
+        return 1;
+      }
+      compress::CompressionStats stats;
+      Status st = (*compressor)->Compress(model.get(), ctx, &stats);
+      if (!st.ok()) {
+        std::fprintf(stderr, "step %s failed: %s\n", spec.ToString().c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+      std::printf("%s: PR %.1f%%, acc %.1f%% -> %.1f%%\n",
+                  spec.ToString().c_str(), 100.0 * stats.ParamReduction(),
+                  100.0 * stats.acc_before, 100.0 * stats.acc_after);
+    }
+    if (cli.print_summary) {
+      std::printf("%s", nn::Summarize(model.get()).ToString().c_str());
+    }
+    if (!cli.save_path.empty()) {
+      if (Status st = nn::SaveModel(model.get(), cli.save_path); !st.ok()) {
+        std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("saved to %s\n", cli.save_path.c_str());
+    }
+    return 0;
+  }
+
+  if (cli.searcher == "automc") {
+    core::AutoMCOptions opts;
+    opts.search.max_strategy_executions = cli.budget;
+    opts.search.gamma = cli.gamma;
+    opts.embedding.train_epochs = 8;
+    opts.experience.num_tasks = 1;
+    opts.experience.strategies_per_task = 10;
+    opts.seed = cli.seed;
+    core::AutoMC automc(opts);
+    auto result = automc.Run(task);
+    if (!result.ok()) {
+      std::fprintf(stderr, "AutoMC failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    outcome = std::move(result->outcome);
+    base = result->base_model;
+  } else {
+    auto pretrained = core::PretrainModel(task);
+    if (!pretrained.ok()) {
+      std::fprintf(stderr, "pretraining failed: %s\n",
+                   pretrained.status().ToString().c_str());
+      return 1;
+    }
+    base = std::shared_ptr<nn::Model>(std::move(pretrained).value());
+
+    Rng sub_rng(cli.seed + 4);
+    data::Dataset search_train =
+        task.data.train.Subsample(task.search_data_fraction, &sub_rng);
+    compress::CompressionContext ctx;
+    ctx.train = &search_train;
+    ctx.test = &task.data.test;
+    ctx.pretrain_epochs = task.pretrain_epochs;
+    ctx.batch_size = task.batch_size;
+    ctx.lr = task.lr;
+    ctx.seed = cli.seed + 5;
+    search::SchemeEvaluator evaluator(&space, base.get(), ctx, {});
+
+    std::unique_ptr<search::Searcher> searcher;
+    if (cli.searcher == "random") {
+      searcher = std::make_unique<search::RandomSearcher>();
+    } else if (cli.searcher == "evolution") {
+      searcher = std::make_unique<search::EvolutionarySearcher>();
+    } else if (cli.searcher == "rl") {
+      searcher = std::make_unique<search::RlSearcher>();
+    } else {
+      std::fprintf(stderr, "unknown searcher: %s\n", cli.searcher.c_str());
+      Usage();
+      return 2;
+    }
+    search::SearchConfig scfg;
+    scfg.max_strategy_executions = cli.budget;
+    scfg.gamma = cli.gamma;
+    scfg.seed = cli.seed + 6;
+    auto searched = searcher->Search(&evaluator, space, scfg);
+    if (!searched.ok()) {
+      std::fprintf(stderr, "search failed: %s\n",
+                   searched.status().ToString().c_str());
+      return 1;
+    }
+    outcome = std::move(searched).value();
+  }
+
+  std::printf("base: %.1f%% accuracy, %lld params\n",
+              100.0 * nn::Trainer::Evaluate(base.get(), task.data.test),
+              static_cast<long long>(base->ParamCount()));
+  int best = -1;
+  for (size_t i = 0; i < outcome.pareto_points.size(); ++i) {
+    const auto& p = outcome.pareto_points[i];
+    std::printf("pareto[%zu]: PR %.1f%% Acc %.1f%%  %s\n", i, 100.0 * p.pr,
+                100.0 * p.acc,
+                space.SchemeToString(outcome.pareto_schemes[i]).c_str());
+    if (best < 0 || p.acc > outcome.pareto_points[static_cast<size_t>(best)].acc) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) {
+    std::printf("no schemes found\n");
+    return 0;
+  }
+
+  if (!cli.save_path.empty()) {
+    // Re-apply the best scheme on the full data and save the result.
+    std::unique_ptr<nn::Model> model = base->Clone();
+    compress::CompressionContext ctx;
+    ctx.train = &task.data.train;
+    ctx.test = &task.data.test;
+    ctx.pretrain_epochs = task.pretrain_epochs;
+    ctx.batch_size = task.batch_size;
+    ctx.lr = task.lr;
+    ctx.seed = cli.seed + 9;
+    auto point = core::ExecuteScheme(
+        space, outcome.pareto_schemes[static_cast<size_t>(best)], model.get(),
+        ctx);
+    if (!point.ok()) {
+      std::fprintf(stderr, "deploy failed: %s\n",
+                   point.status().ToString().c_str());
+      return 1;
+    }
+    if (Status st = nn::SaveModel(model.get(), cli.save_path); !st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved compressed model (PR %.1f%%, Acc %.1f%%) to %s\n",
+                100.0 * point->pr, 100.0 * point->acc, cli.save_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Using the compression methods directly (no search): train a VGG-13, then
+// apply Network Slimming followed by Soft Filter Pruning — the kind of
+// hand-designed two-step scheme AutoMC automates.
+//
+//   ./build/examples/compress_model
+#include <cstdio>
+
+#include "compress/compressor.h"
+#include "nn/trainer.h"
+
+int main() {
+  using namespace automc;
+
+  // Task + model.
+  data::TaskData task = data::MakeCifar10Like(11);
+  nn::ModelSpec spec;
+  spec.family = "vgg";
+  spec.depth = 13;
+  spec.num_classes = task.train.num_classes;
+  spec.base_width = 4;
+  Rng rng(1);
+  auto built = nn::BuildModel(spec, &rng);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<nn::Model> model = std::move(built).value();
+
+  // Pretrain.
+  nn::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 32;
+  nn::Trainer trainer(tc);
+  if (Status st = trainer.Fit(model.get(), task.train); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("pretrained: %.1f%% accuracy, %lld params\n",
+              100.0 * nn::Trainer::Evaluate(model.get(), task.test),
+              static_cast<long long>(model->ParamCount()));
+
+  compress::CompressionContext ctx;
+  ctx.train = &task.train;
+  ctx.test = &task.test;
+  ctx.pretrain_epochs = 3;
+  ctx.batch_size = 32;
+
+  // Step 1: Network Slimming at 20% parameter reduction.
+  compress::StrategySpec ns{"NS",
+                            {{"HP1", "0.4"}, {"HP2", "0.2"}, {"HP6", "0.9"}}};
+  // Step 2: Soft Filter Pruning for another 15%.
+  compress::StrategySpec sfp{"SFP",
+                             {{"HP2", "0.15"}, {"HP9", "0.4"}, {"HP10", "1"}}};
+
+  for (const auto& spec_step : {ns, sfp}) {
+    auto compressor = compress::CreateCompressor(spec_step);
+    if (!compressor.ok()) {
+      std::fprintf(stderr, "%s\n", compressor.status().ToString().c_str());
+      return 1;
+    }
+    compress::CompressionStats stats;
+    if (Status st = (*compressor)->Compress(model.get(), ctx, &stats);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: params %lld -> %lld (PR %.1f%%), acc %.1f%% -> %.1f%%\n",
+                spec_step.ToString().c_str(),
+                static_cast<long long>(stats.params_before),
+                static_cast<long long>(stats.params_after),
+                100.0 * stats.ParamReduction(), 100.0 * stats.acc_before,
+                100.0 * stats.acc_after);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: let AutoMC find Pareto-optimal compression schemes for a small
+// CNN on a synthetic image-classification task.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/automc.h"
+
+int main() {
+  using namespace automc;
+
+  // 1. Define the compression task: model family + dataset + target.
+  core::CompressionTask task;
+  task.data = data::MakeCifar10Like(/*seed=*/7);
+  task.model_spec.family = "resnet";
+  task.model_spec.depth = 20;
+  task.model_spec.num_classes = task.data.train.num_classes;
+  task.model_spec.base_width = 4;
+  task.pretrain_epochs = 3;
+  task.search_data_fraction = 0.25;
+
+  // 2. Configure AutoMC: search budget, target reduction rate gamma, and
+  //    how much domain knowledge to gather up front.
+  core::AutoMCOptions options;
+  options.search.max_strategy_executions = 12;
+  options.search.gamma = 0.3;
+  options.embedding.train_epochs = 8;
+  options.experience.num_tasks = 1;
+  options.experience.strategies_per_task = 8;
+  options.seed = 42;
+
+  // 3. Run. AutoMC pretrains the model, learns strategy embeddings from the
+  //    knowledge graph + measured experience, and progressively searches.
+  core::AutoMC automc(options);
+  auto result = automc.Run(task);
+  if (!result.ok()) {
+    std::fprintf(stderr, "AutoMC failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Inspect the Pareto-optimal schemes.
+  std::printf("base model: %.1f%% accuracy, %lld params\n",
+              100.0 * result->base_accuracy,
+              static_cast<long long>(result->base_model->ParamCount()));
+  for (size_t i = 0; i < result->outcome.pareto_schemes.size(); ++i) {
+    const auto& p = result->outcome.pareto_points[i];
+    std::printf("scheme %zu: PR %.1f%%, Acc %.1f%%\n  %s\n", i, 100.0 * p.pr,
+                100.0 * p.acc, result->pareto_descriptions[i].c_str());
+  }
+  return 0;
+}

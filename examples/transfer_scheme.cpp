@@ -1,0 +1,78 @@
+// Transfer study in miniature: search a compression scheme on ResNet-20,
+// then apply the same strategy sequence to ResNet-56 (Section 4.4).
+//
+//   ./build/examples/transfer_scheme
+#include <cstdio>
+#include <memory>
+
+#include "core/automc.h"
+#include "nn/trainer.h"
+
+int main() {
+  using namespace automc;
+
+  core::CompressionTask small_task;
+  small_task.data = data::MakeCifar10Like(19);
+  small_task.model_spec.family = "resnet";
+  small_task.model_spec.depth = 20;
+  small_task.model_spec.num_classes = small_task.data.train.num_classes;
+  small_task.model_spec.base_width = 4;
+  small_task.pretrain_epochs = 3;
+  small_task.search_data_fraction = 0.25;
+
+  core::AutoMCOptions options;
+  options.search.max_strategy_executions = 10;
+  options.search.gamma = 0.3;
+  options.embedding.train_epochs = 6;
+  options.experience.num_tasks = 1;
+  options.experience.strategies_per_task = 6;
+  options.seed = 17;
+
+  core::AutoMC automc(options);
+  auto result = automc.Run(small_task);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  // Deploy the highest-accuracy Pareto scheme.
+  size_t best = 0;
+  for (size_t i = 1; i < result->outcome.pareto_points.size(); ++i) {
+    if (result->outcome.pareto_points[i].acc >
+        result->outcome.pareto_points[best].acc) {
+      best = i;
+    }
+  }
+  const std::vector<int>& scheme = result->outcome.pareto_schemes[best];
+  std::printf("scheme found on ResNet-20:\n  %s\n",
+              result->pareto_descriptions[best].c_str());
+
+  // Apply it to a freshly pretrained ResNet-56 on the same data.
+  core::CompressionTask big_task = small_task;
+  big_task.model_spec.depth = 56;
+  auto big_model = core::PretrainModel(big_task);
+  if (!big_model.ok()) {
+    std::fprintf(stderr, "%s\n", big_model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ResNet-56 before: %.1f%% acc, %lld params\n",
+              100.0 * nn::Trainer::Evaluate(big_model->get(),
+                                            big_task.data.test),
+              static_cast<long long>((*big_model)->ParamCount()));
+
+  compress::CompressionContext ctx;
+  ctx.train = &big_task.data.train;
+  ctx.test = &big_task.data.test;
+  ctx.pretrain_epochs = big_task.pretrain_epochs;
+  ctx.batch_size = 32;
+  ctx.seed = 23;
+
+  search::SearchSpace space = automc.MakeSearchSpace();
+  auto point = core::ExecuteScheme(space, scheme, big_model->get(), ctx);
+  if (!point.ok()) {
+    std::fprintf(stderr, "%s\n", point.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ResNet-56 after transfer: %.1f%% acc, PR %.1f%%, FR %.1f%%\n",
+              100.0 * point->acc, 100.0 * point->pr, 100.0 * point->fr);
+  return 0;
+}

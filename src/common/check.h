@@ -1,0 +1,56 @@
+#ifndef AUTOMC_COMMON_CHECK_H_
+#define AUTOMC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace automc {
+namespace internal {
+
+// Accumulates a failure message and aborts the process on destruction.
+// Used only via the AUTOMC_CHECK* macros below for internal invariants;
+// recoverable errors use Status instead.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " check failed: " << condition << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns the streamed CheckFailure expression into void so it can sit on the
+// false branch of a ternary. operator& binds looser than operator<<.
+struct Voidify {
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal
+}  // namespace automc
+
+// Aborts with a message when `cond` is false. Supports streaming:
+//   AUTOMC_CHECK(x > 0) << "x=" << x;
+#define AUTOMC_CHECK(cond)            \
+  (cond) ? static_cast<void>(0)       \
+         : ::automc::internal::Voidify() & \
+               ::automc::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define AUTOMC_CHECK_EQ(a, b) AUTOMC_CHECK((a) == (b))
+#define AUTOMC_CHECK_NE(a, b) AUTOMC_CHECK((a) != (b))
+#define AUTOMC_CHECK_LT(a, b) AUTOMC_CHECK((a) < (b))
+#define AUTOMC_CHECK_LE(a, b) AUTOMC_CHECK((a) <= (b))
+#define AUTOMC_CHECK_GT(a, b) AUTOMC_CHECK((a) > (b))
+#define AUTOMC_CHECK_GE(a, b) AUTOMC_CHECK((a) >= (b))
+
+#endif  // AUTOMC_COMMON_CHECK_H_

@@ -1,0 +1,42 @@
+#ifndef AUTOMC_COMMON_LOGGING_H_
+#define AUTOMC_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace automc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// One log statement; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace automc
+
+#define AUTOMC_LOG(level)                                          \
+  ::automc::internal::LogMessage(::automc::LogLevel::k##level,     \
+                                 __FILE__, __LINE__)
+
+#endif  // AUTOMC_COMMON_LOGGING_H_

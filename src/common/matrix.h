@@ -1,0 +1,67 @@
+#ifndef AUTOMC_COMMON_MATRIX_H_
+#define AUTOMC_COMMON_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace automc {
+
+// Small dense row-major double matrix. This is deliberately a minimal
+// numerical kernel for the decomposition-based compression methods
+// (truncated SVD for LFB filter bases, HOOI mode products for HOS); the
+// training path uses tensor::Tensor instead.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0) {
+    AUTOMC_CHECK_GE(rows, 0);
+    AUTOMC_CHECK_GE(cols, 0);
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  double& at(int64_t r, int64_t c) {
+    AUTOMC_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+        << "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_;
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double at(int64_t r, int64_t c) const {
+    AUTOMC_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+        << "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_;
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  Matrix Transposed() const;
+  // this * other; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+  // Frobenius norm.
+  double FrobeniusNorm() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+// Truncated singular value decomposition A ~= U * diag(s) * V^T with the top
+// `rank` singular triplets (rank is clamped to min(m, n)). Computed with
+// one-sided Jacobi rotations, which is robust for the small matrices that
+// arise from convolution-kernel unfoldings. Singular values are returned in
+// non-increasing order.
+struct SvdResult {
+  Matrix u;                  // m x rank
+  std::vector<double> s;     // rank
+  Matrix v;                  // n x rank
+};
+SvdResult TruncatedSvd(const Matrix& a, int64_t rank);
+
+}  // namespace automc
+
+#endif  // AUTOMC_COMMON_MATRIX_H_

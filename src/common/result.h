@@ -1,0 +1,61 @@
+#ifndef AUTOMC_COMMON_RESULT_H_
+#define AUTOMC_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace automc {
+
+// Holds either a value of type T or an error Status (never both).
+// Modeled on arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    AUTOMC_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AUTOMC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    AUTOMC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    AUTOMC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace automc
+
+// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define AUTOMC_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto AUTOMC_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!AUTOMC_CONCAT_(_res_, __LINE__).ok())          \
+    return AUTOMC_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(AUTOMC_CONCAT_(_res_, __LINE__)).value()
+
+#define AUTOMC_CONCAT_IMPL_(a, b) a##b
+#define AUTOMC_CONCAT_(a, b) AUTOMC_CONCAT_IMPL_(a, b)
+
+#endif  // AUTOMC_COMMON_RESULT_H_

@@ -1,0 +1,64 @@
+#ifndef AUTOMC_COMMON_RNG_H_
+#define AUTOMC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace automc {
+
+// Seeded random source used by every stochastic component. All randomness in
+// the library flows through explicitly constructed Rng instances so that runs
+// are reproducible end to end.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  // Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n) {
+    AUTOMC_CHECK_GT(n, 0);
+    return std::uniform_int_distribution<int64_t>(0, n - 1)(engine_);
+  }
+  // Standard normal sample scaled by `stddev` around `mean`.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(static_cast<int64_t>(i)));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // Deterministically derives an independent child stream. Useful for giving
+  // each submodule its own RNG from one top-level seed.
+  Rng Fork() {
+    uint64_t child_seed = engine_();
+    return Rng(child_seed ^ 0x9e3779b97f4a7c15ULL);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace automc
+
+#endif  // AUTOMC_COMMON_RNG_H_

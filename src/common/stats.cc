@@ -1,0 +1,62 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace automc {
+
+double Mean(const float* data, size_t n) {
+  if (n == 0) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += data[i];
+  return s / static_cast<double>(n);
+}
+
+double Variance(const float* data, size_t n) {
+  if (n == 0) return 0.0;
+  double m = Mean(data, n);
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = data[i] - m;
+    s += d * d;
+  }
+  return s / static_cast<double>(n);
+}
+
+double StdDev(const float* data, size_t n) { return std::sqrt(Variance(data, n)); }
+
+namespace {
+// kth standardized central moment; 0 when the distribution is degenerate.
+double StandardizedMoment(const float* data, size_t n, int k) {
+  if (n == 0) return 0.0;
+  double m = Mean(data, n);
+  double sd = StdDev(data, n);
+  if (sd < 1e-12) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    s += std::pow((data[i] - m) / sd, k);
+  }
+  return s / static_cast<double>(n);
+}
+}  // namespace
+
+double Skewness(const float* data, size_t n) {
+  return StandardizedMoment(data, n, 3);
+}
+
+double Kurtosis(const float* data, size_t n) {
+  return StandardizedMoment(data, n, 4) - 3.0;
+}
+
+double L1Norm(const float* data, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += std::fabs(data[i]);
+  return s;
+}
+
+double L2Norm(const float* data, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += static_cast<double>(data[i]) * data[i];
+  return std::sqrt(s);
+}
+
+}  // namespace automc

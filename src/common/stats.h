@@ -1,0 +1,22 @@
+#ifndef AUTOMC_COMMON_STATS_H_
+#define AUTOMC_COMMON_STATS_H_
+
+#include <cstddef>
+
+namespace automc {
+
+// Descriptive statistics over a float span. Used by the HOS compression
+// method, whose filter-importance criteria are built from higher-order
+// moments (skewness / kurtosis) of weight distributions.
+
+double Mean(const float* data, size_t n);
+double Variance(const float* data, size_t n);        // population variance
+double StdDev(const float* data, size_t n);
+double Skewness(const float* data, size_t n);        // 3rd standardized moment
+double Kurtosis(const float* data, size_t n);        // 4th standardized moment (excess)
+double L1Norm(const float* data, size_t n);
+double L2Norm(const float* data, size_t n);
+
+}  // namespace automc
+
+#endif  // AUTOMC_COMMON_STATS_H_

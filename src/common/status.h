@@ -1,0 +1,69 @@
+#ifndef AUTOMC_COMMON_STATUS_H_
+#define AUTOMC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace automc {
+
+// Error codes used across the library. Follows the RocksDB/Arrow idiom of
+// returning a Status instead of throwing exceptions across API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+// A lightweight success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable representation, e.g. "InvalidArgument: bad shape".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace automc
+
+// Propagates a non-OK status to the caller.
+#define AUTOMC_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::automc::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // AUTOMC_COMMON_STATUS_H_

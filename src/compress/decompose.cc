@@ -1,0 +1,235 @@
+#include "compress/decompose.h"
+
+#include <algorithm>
+
+#include "common/matrix.h"
+
+namespace automc {
+namespace compress {
+
+using nn::Conv2d;
+using nn::LowRankConv;
+using tensor::Tensor;
+
+namespace {
+
+// Builds a Conv2d with explicitly provided weights (and optional bias).
+std::unique_ptr<Conv2d> MakeConvWithWeights(int64_t in_c, int64_t out_c,
+                                            int64_t kernel, int64_t stride,
+                                            int64_t pad, const Tensor& weight,
+                                            const Tensor* bias) {
+  Rng dummy(0);
+  auto conv = std::make_unique<Conv2d>(in_c, out_c, kernel, stride, pad,
+                                       bias != nullptr, &dummy);
+  AUTOMC_CHECK_EQ(conv->weight().value.numel(), weight.numel());
+  conv->weight().value = weight.Reshaped({out_c, in_c, kernel, kernel});
+  if (bias != nullptr) {
+    AUTOMC_CHECK_EQ(conv->bias().value.numel(), bias->numel());
+    conv->bias().value = *bias;
+  }
+  return conv;
+}
+
+// Copies conv weight into a row-major Matrix of shape [rows, cols].
+Matrix WeightAsMatrix(const Conv2d& conv) {
+  int64_t f = conv.out_channels();
+  int64_t ckk = conv.in_channels() * conv.kernel() * conv.kernel();
+  Matrix m(f, ckk);
+  const float* w = conv.weight().value.data();
+  for (int64_t i = 0; i < f * ckk; ++i) m.data()[i] = w[i];
+  return m;
+}
+
+}  // namespace
+
+int64_t SvdParamsAtRank(const Conv2d& conv, int64_t rank) {
+  int64_t ckk = conv.in_channels() * conv.kernel() * conv.kernel();
+  int64_t params = rank * ckk + conv.out_channels() * rank;
+  if (conv.has_bias()) params += conv.out_channels();
+  return params;
+}
+
+int64_t SvdBreakEvenRank(const Conv2d& conv) {
+  int64_t ckk = conv.in_channels() * conv.kernel() * conv.kernel();
+  int64_t orig = conv.out_channels() * ckk;
+  // Largest r with r*ckk + F*r < orig.
+  int64_t r = (orig - 1) / (ckk + conv.out_channels());
+  return std::max<int64_t>(0, r);
+}
+
+std::unique_ptr<LowRankConv> SvdDecomposeConv(const Conv2d& conv,
+                                              int64_t rank) {
+  int64_t f = conv.out_channels();
+  int64_t c = conv.in_channels();
+  int64_t k = conv.kernel();
+  int64_t ckk = c * k * k;
+  rank = std::max<int64_t>(1, std::min(rank, std::min(f, ckk)));
+
+  SvdResult svd = TruncatedSvd(WeightAsMatrix(conv), rank);
+
+  // Stage 1: rank basis filters (S V^T rows), original stride/pad.
+  Tensor w1({rank, c, k, k});
+  for (int64_t r = 0; r < rank; ++r) {
+    double s = svd.s[static_cast<size_t>(r)];
+    for (int64_t j = 0; j < ckk; ++j) {
+      w1[r * ckk + j] = static_cast<float>(s * svd.v.at(j, r));
+    }
+  }
+  // Stage 2: 1x1 mixing conv with U.
+  Tensor w2({f, rank, 1, 1});
+  for (int64_t i = 0; i < f; ++i) {
+    for (int64_t r = 0; r < rank; ++r) {
+      w2[i * rank + r] = static_cast<float>(svd.u.at(i, r));
+    }
+  }
+
+  std::vector<std::unique_ptr<Conv2d>> stages;
+  stages.push_back(MakeConvWithWeights(c, rank, k, conv.stride(), conv.pad(),
+                                       w1, nullptr));
+  const Tensor* bias = conv.has_bias() ? &conv.bias().value : nullptr;
+  stages.push_back(MakeConvWithWeights(rank, f, 1, 1, 0, w2, bias));
+  return std::make_unique<LowRankConv>(std::move(stages));
+}
+
+std::pair<int64_t, int64_t> ClampTuckerRanks(const Conv2d& conv,
+                                             int64_t rank_out,
+                                             int64_t rank_in) {
+  int64_t f = conv.out_channels();
+  int64_t c = conv.in_channels();
+  int64_t k = conv.kernel();
+  rank_out = std::max<int64_t>(1, std::min(rank_out, f));
+  rank_in = std::max<int64_t>(1, std::min(rank_in, c));
+  // The mode SVDs can only supply min(F, r_in*k^2) / min(C, r_out*k^2)
+  // directions; clamp so the factor matrices always have full column count.
+  rank_out = std::min(rank_out, std::max<int64_t>(1, rank_in * k * k));
+  rank_in = std::min(rank_in, std::max<int64_t>(1, rank_out * k * k));
+  rank_out = std::min(rank_out, c * k * k);
+  rank_in = std::min(rank_in, f * k * k);
+  return {rank_out, rank_in};
+}
+
+int64_t TuckerParamsAtRanks(const Conv2d& conv, int64_t rank_out,
+                            int64_t rank_in) {
+  int64_t k = conv.kernel();
+  int64_t params = conv.in_channels() * rank_in + rank_out * rank_in * k * k +
+                   conv.out_channels() * rank_out;
+  if (conv.has_bias()) params += conv.out_channels();
+  return params;
+}
+
+namespace {
+
+// Mode-1 unfolding of W[F,C,k,k]: [F, C*k*k] (already the storage order).
+Matrix Unfold1(const Tensor& w) {
+  int64_t f = w.size(0), rest = w.numel() / w.size(0);
+  Matrix m(f, rest);
+  for (int64_t i = 0; i < w.numel(); ++i) m.data()[i] = w[i];
+  return m;
+}
+
+// Mode-2 unfolding of W[F,C,k,k]: [C, F*k*k].
+Matrix Unfold2(const Tensor& w) {
+  int64_t f = w.size(0), c = w.size(1), kk = w.size(2) * w.size(3);
+  Matrix m(c, f * kk);
+  for (int64_t fi = 0; fi < f; ++fi) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t p = 0; p < kk; ++p) {
+        m.at(ci, fi * kk + p) = w[(fi * c + ci) * kk + p];
+      }
+    }
+  }
+  return m;
+}
+
+// W x1 U^T: contract the F mode with U[F, r] -> [r, C, k, k].
+Tensor ModeProduct1(const Tensor& w, const Matrix& u) {
+  int64_t f = w.size(0), c = w.size(1), kh = w.size(2), kw = w.size(3);
+  int64_t r = u.cols();
+  Tensor out({r, c, kh, kw});
+  int64_t inner = c * kh * kw;
+  for (int64_t ri = 0; ri < r; ++ri) {
+    for (int64_t fi = 0; fi < f; ++fi) {
+      double coef = u.at(fi, ri);
+      if (coef == 0.0) continue;
+      for (int64_t p = 0; p < inner; ++p) {
+        out[ri * inner + p] += static_cast<float>(coef * w[fi * inner + p]);
+      }
+    }
+  }
+  return out;
+}
+
+// W x2 V^T: contract the C mode with V[C, r] -> [F, r, k, k].
+Tensor ModeProduct2(const Tensor& w, const Matrix& v) {
+  int64_t f = w.size(0), c = w.size(1), kh = w.size(2), kw = w.size(3);
+  int64_t r = v.cols();
+  int64_t kk = kh * kw;
+  Tensor out({f, r, kh, kw});
+  for (int64_t fi = 0; fi < f; ++fi) {
+    for (int64_t ri = 0; ri < r; ++ri) {
+      for (int64_t ci = 0; ci < c; ++ci) {
+        double coef = v.at(ci, ri);
+        if (coef == 0.0) continue;
+        for (int64_t p = 0; p < kk; ++p) {
+          out[(fi * r + ri) * kk + p] +=
+              static_cast<float>(coef * w[(fi * c + ci) * kk + p]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<LowRankConv> HooiDecomposeConv(const Conv2d& conv,
+                                               int64_t rank_out,
+                                               int64_t rank_in, int iters) {
+  int64_t f = conv.out_channels();
+  int64_t c = conv.in_channels();
+  int64_t k = conv.kernel();
+  std::tie(rank_out, rank_in) = ClampTuckerRanks(conv, rank_out, rank_in);
+
+  const Tensor& w = conv.weight().value;
+
+  // HOSVD init.
+  Matrix u = TruncatedSvd(Unfold1(w), rank_out).u;  // [F, r_out]
+  Matrix v = TruncatedSvd(Unfold2(w), rank_in).u;   // [C, r_in]
+
+  // HOOI alternating refinement.
+  for (int it = 0; it < iters; ++it) {
+    Tensor y = ModeProduct2(w, v);                   // [F, r_in, k, k]
+    u = TruncatedSvd(Unfold1(y), rank_out).u;        // refresh U
+    Tensor z = ModeProduct1(w, u);                   // [r_out, C, k, k]
+    v = TruncatedSvd(Unfold2(z), rank_in).u;         // refresh V
+  }
+
+  // Core G = W x1 U^T x2 V^T -> [r_out, r_in, k, k].
+  Tensor core = ModeProduct2(ModeProduct1(w, u), v);
+
+  // Stage 1: 1x1 input projection with V^T -> weight [r_in, C, 1, 1].
+  Tensor w_in({rank_in, c, 1, 1});
+  for (int64_t ri = 0; ri < rank_in; ++ri) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      w_in[ri * c + ci] = static_cast<float>(v.at(ci, ri));
+    }
+  }
+  // Stage 3: 1x1 output projection with U -> weight [F, r_out, 1, 1].
+  Tensor w_out({f, rank_out, 1, 1});
+  for (int64_t fi = 0; fi < f; ++fi) {
+    for (int64_t ri = 0; ri < rank_out; ++ri) {
+      w_out[fi * rank_out + ri] = static_cast<float>(u.at(fi, ri));
+    }
+  }
+
+  std::vector<std::unique_ptr<Conv2d>> stages;
+  stages.push_back(MakeConvWithWeights(c, rank_in, 1, 1, 0, w_in, nullptr));
+  stages.push_back(MakeConvWithWeights(rank_in, rank_out, k, conv.stride(),
+                                       conv.pad(), core, nullptr));
+  const Tensor* bias = conv.has_bias() ? &conv.bias().value : nullptr;
+  stages.push_back(MakeConvWithWeights(rank_out, f, 1, 1, 0, w_out, bias));
+  return std::make_unique<LowRankConv>(std::move(stages));
+}
+
+}  // namespace compress
+}  // namespace automc

@@ -1,0 +1,51 @@
+#ifndef AUTOMC_COMPRESS_DECOMPOSE_H_
+#define AUTOMC_COMPRESS_DECOMPOSE_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/lowrank.h"
+
+namespace automc {
+namespace compress {
+
+// Low-rank replacements for convolutions. Both constructions produce a
+// LowRankConv with identical in/out channels, stride and padding, whose
+// composed weights approximate the original kernel.
+
+// --- SVD filter-basis split (used by LFB) ----------------------------------
+// W[F, C*k*k] ~= U[F, r] * (S V^T)[r, C*k*k]; realized as a k x k conv with r
+// "basis" filters followed by a 1x1 mixing conv.
+std::unique_ptr<nn::LowRankConv> SvdDecomposeConv(const nn::Conv2d& conv,
+                                                  int64_t rank);
+
+// Parameter count of the split at the given rank (bias included if present).
+int64_t SvdParamsAtRank(const nn::Conv2d& conv, int64_t rank);
+
+// Largest rank at which the split has fewer parameters than the original.
+int64_t SvdBreakEvenRank(const nn::Conv2d& conv);
+
+// --- Tucker-2 via HOOI (used by HOS) ---------------------------------------
+// W ~= G x1 U x2 V with U[F, r_out], V[C, r_in], core G[r_out, r_in, k, k];
+// realized as 1x1 (C -> r_in), k x k (r_in -> r_out, original stride/pad),
+// 1x1 (r_out -> F). `iters` HOOI alternating refinement sweeps.
+std::unique_ptr<nn::LowRankConv> HooiDecomposeConv(const nn::Conv2d& conv,
+                                                   int64_t rank_out,
+                                                   int64_t rank_in,
+                                                   int iters = 3);
+
+int64_t TuckerParamsAtRanks(const nn::Conv2d& conv, int64_t rank_out,
+                            int64_t rank_in);
+
+// The (rank_out, rank_in) pair actually used by HooiDecomposeConv after
+// feasibility clamping (the mode SVDs can only supply min(F, r_in*k^2) and
+// min(C, r_out*k^2) directions). Planners must use this so predicted and
+// realized parameter counts agree.
+std::pair<int64_t, int64_t> ClampTuckerRanks(const nn::Conv2d& conv,
+                                             int64_t rank_out,
+                                             int64_t rank_in);
+
+}  // namespace compress
+}  // namespace automc
+
+#endif  // AUTOMC_COMPRESS_DECOMPOSE_H_

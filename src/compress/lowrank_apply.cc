@@ -1,0 +1,119 @@
+#include "compress/lowrank_apply.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "compress/decompose.h"
+#include "compress/surgery.h"
+
+namespace automc {
+namespace compress {
+
+namespace {
+
+struct SitePlan {
+  ConvSite site;
+  int64_t orig_params = 0;
+  // Chosen ranks at a given scale (rank_in unused for SVD).
+  int64_t rank_out = 0;
+  int64_t rank_in = 0;
+  int64_t new_params = 0;
+  bool worthwhile = false;  // new_params < orig_params
+};
+
+// Computes the plan for one site at rank scale rho in (0, 1].
+void PlanSite(DecompKind kind, double rho, SitePlan* plan) {
+  const nn::Conv2d& conv = *plan->site.conv;
+  if (kind == DecompKind::kSvd) {
+    int64_t breakeven = SvdBreakEvenRank(conv);
+    int64_t rank = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(rho * breakeven)));
+    plan->rank_out = rank;
+    plan->new_params = SvdParamsAtRank(conv, rank);
+  } else {
+    int64_t r_out = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(rho * conv.out_channels())));
+    int64_t r_in = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(rho * conv.in_channels())));
+    std::tie(r_out, r_in) = ClampTuckerRanks(conv, r_out, r_in);
+    plan->rank_out = r_out;
+    plan->rank_in = r_in;
+    plan->new_params = TuckerParamsAtRanks(conv, r_out, r_in);
+  }
+  plan->worthwhile = plan->new_params < plan->orig_params;
+}
+
+int64_t TotalAfter(std::vector<SitePlan>* plans, DecompKind kind, double rho,
+                   int64_t params_total) {
+  int64_t saved = 0;
+  for (SitePlan& p : *plans) {
+    PlanSite(kind, rho, &p);
+    if (p.worthwhile) saved += p.orig_params - p.new_params;
+  }
+  return params_total - saved;
+}
+
+}  // namespace
+
+Status ApplyLowRankGlobal(nn::Model* model, double target_param_fraction,
+                          DecompKind kind) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  if (target_param_fraction <= 0.0 || target_param_fraction >= 1.0) {
+    return Status::InvalidArgument("target_param_fraction must be in (0,1)");
+  }
+
+  std::vector<SitePlan> plans;
+  for (const ConvSite& site : CollectConvSites(model)) {
+    // Decomposing 1x1 convs is numerically legal but saves next to nothing
+    // at substrate scale; restrict to spatial kernels.
+    if (site.conv->kernel() < 2) continue;
+    SitePlan p;
+    p.site = site;
+    p.orig_params = site.conv->ParamCount();
+    plans.push_back(p);
+  }
+  if (plans.empty()) {
+    return Status::FailedPrecondition("no decomposable convolutions");
+  }
+
+  int64_t params_total = model->ParamCount();
+  int64_t params_target = static_cast<int64_t>(std::llround(
+      static_cast<double>(params_total) * (1.0 - target_param_fraction)));
+
+  // Smaller rho => smaller ranks => fewer params. Binary search the largest
+  // rho that still meets the target (keep maximum capacity).
+  double lo = 0.0, hi = 1.0;
+  if (TotalAfter(&plans, kind, 1e-9, params_total) > params_target) {
+    AUTOMC_LOG(Warning) << "low-rank target " << target_param_fraction
+                        << " unreachable; applying minimum ranks";
+    lo = hi = 1e-9;
+  } else {
+    for (int it = 0; it < 30; ++it) {
+      double mid = 0.5 * (lo + hi);
+      if (TotalAfter(&plans, kind, mid, params_total) <= params_target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  // Final plan at the chosen scale.
+  TotalAfter(&plans, kind, lo, params_total);
+
+  for (const SitePlan& p : plans) {
+    if (!p.worthwhile) continue;
+    std::unique_ptr<nn::Layer> replacement;
+    if (kind == DecompKind::kSvd) {
+      replacement = SvdDecomposeConv(*p.site.conv, p.rank_out);
+    } else {
+      replacement = HooiDecomposeConv(*p.site.conv, p.rank_out, p.rank_in);
+    }
+    ReplaceConvAtSite(p.site, std::move(replacement));
+  }
+  return Status::OK();
+}
+
+}  // namespace compress
+}  // namespace automc

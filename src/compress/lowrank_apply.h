@@ -1,0 +1,26 @@
+#ifndef AUTOMC_COMPRESS_LOWRANK_APPLY_H_
+#define AUTOMC_COMPRESS_LOWRANK_APPLY_H_
+
+#include "common/status.h"
+#include "nn/model.h"
+
+namespace automc {
+namespace compress {
+
+enum class DecompKind {
+  kSvd,   // filter-basis split (LFB)
+  kHooi,  // Tucker-2 via HOOI (HOS)
+};
+
+// Replaces convolutions across the model with low-rank composites, choosing
+// per-layer ranks via a single global rank-scale found by binary search so
+// the model's parameter count drops by `target_param_fraction`. Sites where
+// no rank saves parameters (e.g. 1x1 convs) are left untouched. Stops at the
+// closest achievable reduction when the target is out of reach.
+Status ApplyLowRankGlobal(nn::Model* model, double target_param_fraction,
+                          DecompKind kind);
+
+}  // namespace compress
+}  // namespace automc
+
+#endif  // AUTOMC_COMPRESS_LOWRANK_APPLY_H_

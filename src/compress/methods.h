@@ -1,0 +1,168 @@
+#ifndef AUTOMC_COMPRESS_METHODS_H_
+#define AUTOMC_COMPRESS_METHODS_H_
+
+#include <string>
+
+#include "compress/compressor.h"
+
+namespace automc {
+namespace compress {
+
+// The six open-source compression methods of the paper's Table 1, each bound
+// to a concrete hyperparameter assignment. Hyperparameter names in comments
+// reference the table (HP1 = fine-tune epoch fraction, HP2 = parameter
+// decrease ratio, etc.).
+
+// C1 — LMA (Xu et al.): knowledge distillation into a structurally shrunk
+// student whose activations are replaced with learnable multi-segment
+// piecewise-linear functions.
+struct LmaConfig {
+  double finetune_frac = 0.3;   // HP1
+  double decrease_ratio = 0.2;  // HP2
+  int segments = 4;             // HP3 (segment count of the LMA function)
+  double temperature = 3.0;     // HP4
+  double alpha = 0.5;           // HP5: CE weight; (1-alpha) weights the KD term
+};
+
+class LmaCompressor : public Compressor {
+ public:
+  explicit LmaCompressor(LmaConfig config) : config_(config) {}
+  std::string MethodName() const override { return "LMA"; }
+  Status Compress(nn::Model* model, const CompressionContext& ctx,
+                  CompressionStats* stats) override;
+
+ private:
+  LmaConfig config_;
+};
+
+// C2 — LeGR (Chin et al.): an evolutionary algorithm learns per-layer affine
+// transforms of filter norms, producing a global filter ranking that is then
+// pruned to the target ratio and fine-tuned.
+struct LegrConfig {
+  double finetune_frac = 0.3;     // HP1
+  double decrease_ratio = 0.2;    // HP2
+  double max_prune_ratio = 0.9;   // HP6 (per-layer cap)
+  double evolution_frac = 0.5;    // HP7 (EA generations as epoch fraction)
+  std::string criterion = "l2_weight";  // HP8
+};
+
+class LegrCompressor : public Compressor {
+ public:
+  explicit LegrCompressor(LegrConfig config) : config_(config) {}
+  std::string MethodName() const override { return "LeGR"; }
+  Status Compress(nn::Model* model, const CompressionContext& ctx,
+                  CompressionStats* stats) override;
+
+ private:
+  LegrConfig config_;
+};
+
+// C3 — NS / Network Slimming (Liu et al.): L1-sparsity training on BatchNorm
+// scaling factors, then global channel pruning by gamma magnitude.
+struct NsConfig {
+  double finetune_frac = 0.3;    // HP1
+  double decrease_ratio = 0.2;   // HP2
+  double max_prune_ratio = 0.9;  // HP6
+};
+
+class NsCompressor : public Compressor {
+ public:
+  explicit NsCompressor(NsConfig config) : config_(config) {}
+  std::string MethodName() const override { return "NS"; }
+  Status Compress(nn::Model* model, const CompressionContext& ctx,
+                  CompressionStats* stats) override;
+
+ private:
+  NsConfig config_;
+};
+
+// C4 — SFP / Soft Filter Pruning (He et al.): during training, the lowest
+// norm filters are softly zeroed every few epochs but keep receiving
+// gradients; at the end the selection is pruned for real.
+struct SfpConfig {
+  double decrease_ratio = 0.2;  // HP2
+  double backprop_frac = 0.3;   // HP9 (training epochs)
+  int update_frequency = 1;     // HP10 (epochs between re-selections)
+};
+
+class SfpCompressor : public Compressor {
+ public:
+  explicit SfpCompressor(SfpConfig config) : config_(config) {}
+  std::string MethodName() const override { return "SFP"; }
+  Status Compress(nn::Model* model, const CompressionContext& ctx,
+                  CompressionStats* stats) override;
+
+ private:
+  SfpConfig config_;
+};
+
+// C5 — HOS (Chatzikonstantinou et al.): filter pruning scored by
+// higher-order weight statistics plus HOOI Tucker-2 kernel decomposition,
+// optimized with an auxiliary logit-reconstruction MSE loss.
+struct HosConfig {
+  double finetune_frac = 0.3;        // HP1
+  double decrease_ratio = 0.2;       // HP2
+  std::string global_criterion = "P1";   // HP11 (cross-layer normalization)
+  std::string stat_criterion = "l1norm"; // HP12 (l1norm | k34 | skew_kur)
+  double optim_frac = 0.4;           // HP13 (optimization epochs)
+  double mse_factor = 3.0;           // HP14
+};
+
+class HosCompressor : public Compressor {
+ public:
+  explicit HosCompressor(HosConfig config) : config_(config) {}
+  std::string MethodName() const override { return "HOS"; }
+  Status Compress(nn::Model* model, const CompressionContext& ctx,
+                  CompressionStats* stats) override;
+
+ private:
+  HosConfig config_;
+};
+
+// C6 — LFB (Li et al.): filters expressed over a learned shared basis
+// (realized as a truncated-SVD split), trained with an auxiliary loss.
+struct LfbConfig {
+  double finetune_frac = 0.3;   // HP1
+  double decrease_ratio = 0.2;  // HP2
+  double aux_factor = 1.0;      // HP15
+  std::string aux_loss = "CE";  // HP16 (NLL | CE | MSE)
+};
+
+class LfbCompressor : public Compressor {
+ public:
+  explicit LfbCompressor(LfbConfig config) : config_(config) {}
+  std::string MethodName() const override { return "LFB"; }
+  Status Compress(nn::Model* model, const CompressionContext& ctx,
+                  CompressionStats* stats) override;
+
+ private:
+  LfbConfig config_;
+};
+
+// QT — quantization (extension). The paper lists quantization as the fourth
+// method category and names enriching the search space as future work; this
+// method implements it: uniform symmetric fake-quantization of all weights
+// to `bits` with quantization-aware fine-tuning. Its parameter reduction is
+// accounted through Model::EffectiveParamCount (params x bits / 32), so it
+// trades off against pruning in the same PR currency. Included in the
+// search space via SearchSpace::Table1WithExtensions().
+struct QuantConfig {
+  double finetune_frac = 0.3;  // HP1
+  int bits = 8;                // HP17: weight precision
+};
+
+class QuantCompressor : public Compressor {
+ public:
+  explicit QuantCompressor(QuantConfig config) : config_(config) {}
+  std::string MethodName() const override { return "QT"; }
+  Status Compress(nn::Model* model, const CompressionContext& ctx,
+                  CompressionStats* stats) override;
+
+ private:
+  QuantConfig config_;
+};
+
+}  // namespace compress
+}  // namespace automc
+
+#endif  // AUTOMC_COMPRESS_METHODS_H_

@@ -1,0 +1,100 @@
+#include "compress/scheme_parser.h"
+
+#include <cctype>
+
+namespace automc {
+namespace compress {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\n\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\n\r");
+  return s.substr(b, e - b + 1);
+}
+
+// Splits on a delimiter string, trimming each piece.
+std::vector<std::string> Split(const std::string& s,
+                               const std::string& delim) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    size_t next = s.find(delim, pos);
+    if (next == std::string::npos) {
+      out.push_back(Trim(s.substr(pos)));
+      break;
+    }
+    out.push_back(Trim(s.substr(pos, next - pos)));
+    pos = next + delim.size();
+  }
+  return out;
+}
+
+bool IsIdentifier(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '.' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<StrategySpec> ParseStrategy(const std::string& text) {
+  std::string s = Trim(text);
+  size_t open = s.find('(');
+  if (open == std::string::npos || s.back() != ')') {
+    return Status::InvalidArgument("strategy must look like Method(...): " + s);
+  }
+  StrategySpec spec;
+  spec.method = Trim(s.substr(0, open));
+  if (!IsIdentifier(spec.method)) {
+    return Status::InvalidArgument("bad method name: '" + spec.method + "'");
+  }
+  std::string body = s.substr(open + 1, s.size() - open - 2);
+  if (Trim(body).empty()) return spec;  // no hyperparameters
+  for (const std::string& item : Split(body, ",")) {
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected HP=value, got '" + item + "'");
+    }
+    std::string key = Trim(item.substr(0, eq));
+    std::string value = Trim(item.substr(eq + 1));
+    if (!IsIdentifier(key) || !IsIdentifier(value)) {
+      return Status::InvalidArgument("bad hyperparameter token: '" + item +
+                                     "'");
+    }
+    if (spec.hp.count(key) != 0) {
+      return Status::InvalidArgument("duplicate hyperparameter " + key);
+    }
+    spec.hp[key] = value;
+  }
+  return spec;
+}
+
+Result<std::vector<StrategySpec>> ParseScheme(const std::string& text) {
+  std::string s = Trim(text);
+  if (s.empty()) return Status::InvalidArgument("empty scheme");
+  std::vector<StrategySpec> out;
+  for (const std::string& part : Split(s, "->")) {
+    AUTOMC_ASSIGN_OR_RETURN(StrategySpec spec, ParseStrategy(part));
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::string SchemeToString(const std::vector<StrategySpec>& scheme) {
+  std::string out;
+  for (size_t i = 0; i < scheme.size(); ++i) {
+    if (i) out += " -> ";
+    out += scheme[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace compress
+}  // namespace automc

@@ -1,0 +1,32 @@
+#ifndef AUTOMC_COMPRESS_SCHEME_PARSER_H_
+#define AUTOMC_COMPRESS_SCHEME_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "compress/compressor.h"
+
+namespace automc {
+namespace compress {
+
+// Parses the textual scheme syntax produced by StrategySpec::ToString /
+// SearchSpace::SchemeToString back into strategy specs, e.g.
+//
+//   "NS(HP1=0.3,HP2=0.2,HP6=0.9) -> SFP(HP10=1,HP2=0.12,HP9=0.4)"
+//
+// Whitespace around tokens is ignored. Hyperparameter values are kept as
+// raw strings (validation happens in CreateCompressor). This lets users
+// save a searched scheme as text and re-apply it via the CLI.
+Result<std::vector<StrategySpec>> ParseScheme(const std::string& text);
+
+// Single strategy, e.g. "NS(HP1=0.3,HP2=0.2,HP6=0.9)".
+Result<StrategySpec> ParseStrategy(const std::string& text);
+
+// Inverse of ParseScheme.
+std::string SchemeToString(const std::vector<StrategySpec>& scheme);
+
+}  // namespace compress
+}  // namespace automc
+
+#endif  // AUTOMC_COMPRESS_SCHEME_PARSER_H_

@@ -1,0 +1,316 @@
+#include "compress/surgery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "nn/lowrank.h"
+#include "nn/visit.h"
+
+namespace automc {
+namespace compress {
+
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::Layer;
+using nn::Linear;
+using nn::LMAActivation;
+using nn::MaxPool2d;
+using nn::ReLU;
+using nn::ResidualBlock;
+using nn::Sequential;
+
+namespace {
+
+// The conv whose OUTPUT filters represent a layer's output channels: the
+// layer itself for a plain Conv2d, the final 1x1 mixing stage for a
+// LowRankConv composite (so decomposed layers stay prunable).
+Conv2d* ProducerConv(Layer* layer) {
+  if (auto* conv = dynamic_cast<Conv2d*>(layer)) return conv;
+  if (auto* lr = dynamic_cast<nn::LowRankConv*>(layer)) {
+    return lr->stage(lr->num_stages() - 1);
+  }
+  return nullptr;
+}
+
+// The conv whose INPUT channels consume a producer's output: the layer
+// itself, or the first stage of a LowRankConv composite.
+Conv2d* ConsumerConv(Layer* layer) {
+  if (auto* conv = dynamic_cast<Conv2d*>(layer)) return conv;
+  if (auto* lr = dynamic_cast<nn::LowRankConv*>(layer)) return lr->stage(0);
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<PrunableUnit> CollectPrunableUnits(nn::Model* model) {
+  std::vector<PrunableUnit> units;
+
+  // Residual-block internals.
+  nn::VisitLayers(model->net(), [&units](Layer* l) {
+    auto* block = dynamic_cast<ResidualBlock*>(l);
+    if (block == nullptr) return;
+    Conv2d* c1 = ProducerConv(block->conv1());
+    Conv2d* c2_in = ConsumerConv(block->conv2());
+    if (c1 != nullptr && c2_in != nullptr) {
+      units.push_back(PrunableUnit{c1, block->bn1(), c2_in, nullptr, 1});
+    }
+    if (block->kind() == ResidualBlock::Kind::kBottleneck) {
+      Conv2d* c2 = ProducerConv(block->conv2());
+      Conv2d* c3_in = ConsumerConv(block->conv3());
+      if (c2 != nullptr && c3_in != nullptr) {
+        units.push_back(PrunableUnit{c2, block->bn2(), c3_in, nullptr, 1});
+      }
+    }
+  });
+
+  // Top-level sequential chains (VGG-style stacks).
+  Sequential* root = model->net();
+  Conv2d* pending = nullptr;
+  BatchNorm2d* pending_bn = nullptr;
+  bool saw_gap = false;
+  for (int64_t i = 0; i < root->NumChildren(); ++i) {
+    Layer* child = root->Child(i);
+    if (dynamic_cast<Conv2d*>(child) != nullptr ||
+        dynamic_cast<nn::LowRankConv*>(child) != nullptr) {
+      if (pending != nullptr) {
+        units.push_back(
+            PrunableUnit{pending, pending_bn, ConsumerConv(child), nullptr, 1});
+      }
+      pending = ProducerConv(child);
+      pending_bn = nullptr;
+      saw_gap = false;
+      continue;
+    }
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(child)) {
+      if (pending != nullptr) pending_bn = bn;
+      continue;
+    }
+    if (dynamic_cast<GlobalAvgPool*>(child) != nullptr) {
+      saw_gap = true;
+      continue;
+    }
+    if (dynamic_cast<ReLU*>(child) != nullptr ||
+        dynamic_cast<LMAActivation*>(child) != nullptr ||
+        dynamic_cast<MaxPool2d*>(child) != nullptr ||
+        dynamic_cast<Flatten*>(child) != nullptr) {
+      continue;  // channel-preserving pass-throughs
+    }
+    if (auto* lin = dynamic_cast<Linear*>(child)) {
+      // Only prune into the classifier when a GlobalAvgPool collapsed the
+      // spatial dims (so one input feature per channel).
+      if (pending != nullptr && saw_gap) {
+        units.push_back(PrunableUnit{pending, pending_bn, nullptr, lin, 1});
+      }
+      pending = nullptr;
+      continue;
+    }
+    // Residual blocks, low-rank composites etc. terminate the chain: their
+    // input-channel count is not adjustable from here.
+    pending = nullptr;
+    pending_bn = nullptr;
+  }
+  return units;
+}
+
+Status PruneUnitFilters(const PrunableUnit& unit,
+                        const std::vector<int64_t>& keep) {
+  if (unit.conv == nullptr) return Status::InvalidArgument("unit without conv");
+  if (keep.empty()) return Status::InvalidArgument("keep list empty");
+  if (unit.next_conv == nullptr && unit.next_linear == nullptr) {
+    return Status::InvalidArgument("unit without consumer");
+  }
+  for (int64_t f : keep) {
+    if (f < 0 || f >= unit.conv->out_channels()) {
+      return Status::OutOfRange("filter index out of range");
+    }
+  }
+  unit.conv->KeepOutputFilters(keep);
+  if (unit.bn != nullptr) unit.bn->KeepChannels(keep);
+  if (unit.next_conv != nullptr) {
+    unit.next_conv->KeepInputChannels(keep);
+  } else {
+    unit.next_linear->KeepInputFeatures(keep, unit.linear_group);
+  }
+  return Status::OK();
+}
+
+std::vector<ConvSite> CollectConvSites(nn::Model* model) {
+  std::vector<ConvSite> sites;
+  Sequential* root = model->net();
+  for (int64_t i = 0; i < root->NumChildren(); ++i) {
+    if (auto* conv = dynamic_cast<Conv2d*>(root->Child(i))) {
+      ConvSite s;
+      s.parent = root;
+      s.child_index = i;
+      s.conv = conv;
+      sites.push_back(s);
+      continue;
+    }
+    if (auto* block = dynamic_cast<ResidualBlock*>(root->Child(i))) {
+      auto add_slot = [&sites, block](Layer* l, int slot) {
+        auto* conv = dynamic_cast<Conv2d*>(l);
+        if (conv == nullptr) return;
+        ConvSite s;
+        s.block = block;
+        s.slot = slot;
+        s.conv = conv;
+        sites.push_back(s);
+      };
+      add_slot(block->conv1(), 1);
+      add_slot(block->conv2(), 2);
+      add_slot(block->conv3(), 3);
+    }
+  }
+  return sites;
+}
+
+void ReplaceConvAtSite(const ConvSite& site,
+                       std::unique_ptr<nn::Layer> replacement) {
+  if (site.parent != nullptr) {
+    site.parent->ReplaceChild(site.child_index, std::move(replacement));
+    return;
+  }
+  AUTOMC_CHECK(site.block != nullptr);
+  switch (site.slot) {
+    case 1:
+      site.block->set_conv1(std::move(replacement));
+      break;
+    case 2:
+      site.block->set_conv2(std::move(replacement));
+      break;
+    case 3:
+      site.block->set_conv3(std::move(replacement));
+      break;
+    default:
+      AUTOMC_CHECK(false) << "bad conv slot " << site.slot;
+  }
+}
+
+Status GlobalStructuredPrune(nn::Model* model, const GlobalPruneOptions& opts,
+                             const ImportanceFn& importance) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  if (opts.target_param_fraction <= 0.0 || opts.target_param_fraction >= 1.0) {
+    return Status::InvalidArgument("target_param_fraction must be in (0,1)");
+  }
+  std::vector<PrunableUnit> units = CollectPrunableUnits(model);
+  if (units.empty()) {
+    return Status::FailedPrecondition("model has no prunable units");
+  }
+
+  int64_t params_start = model->ParamCount();
+  int64_t params_target = static_cast<int64_t>(
+      std::llround(static_cast<double>(params_start) *
+                   (1.0 - opts.target_param_fraction)));
+
+  // Per-unit floor derived from the layer cap (HP6) and the absolute floor.
+  std::vector<int64_t> floor(units.size());
+  for (size_t u = 0; u < units.size(); ++u) {
+    int64_t orig = units[u].conv->out_channels();
+    int64_t cap_floor = static_cast<int64_t>(
+        std::ceil(static_cast<double>(orig) *
+                  (1.0 - opts.max_prune_ratio_per_layer)));
+    floor[u] = std::max<int64_t>(opts.min_filters, cap_floor);
+  }
+
+  while (model->ParamCount() > params_target) {
+    // Find the globally least important removable filter.
+    double best_score = std::numeric_limits<double>::infinity();
+    size_t best_unit = 0;
+    int64_t best_filter = -1;
+    for (size_t u = 0; u < units.size(); ++u) {
+      if (units[u].conv->out_channels() <= floor[u]) continue;
+      for (int64_t f = 0; f < units[u].conv->out_channels(); ++f) {
+        double s = importance(units[u], f);
+        if (s < best_score) {
+          best_score = s;
+          best_unit = u;
+          best_filter = f;
+        }
+      }
+    }
+    if (best_filter < 0) {
+      // Expected when a strategy runs on an already-compressed model: the
+      // remaining capacity is below the requested reduction.
+      AUTOMC_LOG(Debug) << "global prune stopped early: caps reached at "
+                          << model->ParamCount() << " params (target "
+                          << params_target << ")";
+      break;
+    }
+    std::vector<int64_t> keep;
+    for (int64_t f = 0; f < units[best_unit].conv->out_channels(); ++f) {
+      if (f != best_filter) keep.push_back(f);
+    }
+    AUTOMC_RETURN_IF_ERROR(PruneUnitFilters(units[best_unit], keep));
+  }
+  return Status::OK();
+}
+
+Status UniformStructuredPrune(nn::Model* model, double filter_fraction,
+                              const ImportanceFn& importance,
+                              int64_t min_filters) {
+  if (filter_fraction < 0.0 || filter_fraction >= 1.0) {
+    return Status::InvalidArgument("filter_fraction must be in [0,1)");
+  }
+  if (filter_fraction == 0.0) return Status::OK();
+  std::vector<PrunableUnit> units = CollectPrunableUnits(model);
+  for (const PrunableUnit& unit : units) {
+    int64_t n = unit.conv->out_channels();
+    int64_t keep_n = std::max(
+        min_filters,
+        n - static_cast<int64_t>(std::floor(filter_fraction * n)));
+    if (keep_n >= n) continue;
+    // Rank filters by importance, keep the strongest keep_n in index order.
+    std::vector<std::pair<double, int64_t>> scored;
+    scored.reserve(static_cast<size_t>(n));
+    for (int64_t f = 0; f < n; ++f) scored.push_back({importance(unit, f), f});
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<int64_t> keep;
+    for (int64_t i = 0; i < keep_n; ++i) keep.push_back(scored[static_cast<size_t>(i)].second);
+    std::sort(keep.begin(), keep.end());
+    AUTOMC_RETURN_IF_ERROR(PruneUnitFilters(unit, keep));
+  }
+  return Status::OK();
+}
+
+void ReplaceAllActivations(nn::Model* model, const nn::Layer& prototype) {
+  Sequential* root = model->net();
+  for (int64_t i = 0; i < root->NumChildren(); ++i) {
+    if (dynamic_cast<ReLU*>(root->Child(i)) != nullptr ||
+        dynamic_cast<LMAActivation*>(root->Child(i)) != nullptr) {
+      root->ReplaceChild(i, prototype.Clone());
+    }
+  }
+  nn::VisitLayers(root, [&prototype](Layer* l) {
+    if (auto* block = dynamic_cast<ResidualBlock*>(l)) {
+      block->ReplaceActivations(prototype);
+    }
+  });
+}
+
+double FilterL1(const PrunableUnit& unit, int64_t filter) {
+  const Conv2d* conv = unit.conv;
+  int64_t fsize = conv->in_channels() * conv->kernel() * conv->kernel();
+  const float* w = conv->weight().value.data() + filter * fsize;
+  return L1Norm(w, static_cast<size_t>(fsize));
+}
+
+double FilterL2(const PrunableUnit& unit, int64_t filter) {
+  const Conv2d* conv = unit.conv;
+  int64_t fsize = conv->in_channels() * conv->kernel() * conv->kernel();
+  const float* w = conv->weight().value.data() + filter * fsize;
+  return L2Norm(w, static_cast<size_t>(fsize));
+}
+
+double FilterBnGamma(const PrunableUnit& unit, int64_t filter) {
+  if (unit.bn == nullptr) return FilterL2(unit, filter);
+  return std::fabs(unit.bn->gamma().value[filter]);
+}
+
+}  // namespace compress
+}  // namespace automc

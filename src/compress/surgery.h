@@ -1,0 +1,102 @@
+#ifndef AUTOMC_COMPRESS_SURGERY_H_
+#define AUTOMC_COMPRESS_SURGERY_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/layers.h"
+#include "nn/model.h"
+#include "nn/residual.h"
+
+namespace automc {
+namespace compress {
+
+// One structurally prunable producer: a convolution whose output filters can
+// be removed together with the matching BatchNorm channels and the input
+// channels of exactly one downstream consumer. The model families constrain
+// what is prunable: residual-block-internal convs (block I/O stays fixed so
+// skip connections remain valid) and VGG convs feeding the next conv or the
+// classifier head.
+struct PrunableUnit {
+  nn::Conv2d* conv = nullptr;
+  nn::BatchNorm2d* bn = nullptr;
+  nn::Conv2d* next_conv = nullptr;      // exactly one of next_conv /
+  nn::Linear* next_linear = nullptr;    // next_linear is set
+  // Features per channel seen by next_linear (spatial positions after the
+  // flatten; 1 when a GlobalAvgPool precedes it).
+  int64_t linear_group = 1;
+};
+
+// Walks the model and returns its prunable units (pointers remain valid
+// until layers are replaced; re-collect after any low-rank surgery).
+std::vector<PrunableUnit> CollectPrunableUnits(nn::Model* model);
+
+// Keeps only the listed output filters of the unit's conv, updating the BN
+// and the consumer. `keep` must be non-empty, sorted, in range.
+Status PruneUnitFilters(const PrunableUnit& unit,
+                        const std::vector<int64_t>& keep);
+
+// A site where a Conv2d can be swapped for a decomposed replacement.
+struct ConvSite {
+  // Either a child of a Sequential...
+  nn::Sequential* parent = nullptr;
+  int64_t child_index = -1;
+  // ...or one of a residual block's three conv slots (1-based `slot`).
+  nn::ResidualBlock* block = nullptr;
+  int slot = 0;
+
+  nn::Conv2d* conv = nullptr;
+};
+
+// All Conv2d layers that may be replaced by LowRankConv composites.
+// Downsample (skip-path) convs are excluded: they are 1x1 and tiny.
+std::vector<ConvSite> CollectConvSites(nn::Model* model);
+
+// Swaps the conv at `site` for `replacement` (same in/out geometry).
+void ReplaceConvAtSite(const ConvSite& site,
+                       std::unique_ptr<nn::Layer> replacement);
+
+// Filter importance: given the unit and a filter index, smaller = pruned
+// first.
+using ImportanceFn =
+    std::function<double(const PrunableUnit& unit, int64_t filter)>;
+
+// Options for greedy global structured pruning.
+struct GlobalPruneOptions {
+  // Fraction of the model's current parameters to remove (HP2).
+  double target_param_fraction = 0.3;
+  // No unit may lose more than this fraction of its filters (HP6).
+  double max_prune_ratio_per_layer = 0.9;
+  // Absolute floor of filters left in any unit.
+  int64_t min_filters = 2;
+};
+
+// Repeatedly removes the globally least-important filter (subject to the
+// per-layer cap) until the model's parameter count has dropped by
+// target_param_fraction or no filter is removable. Parameter counts are
+// re-measured after every removal, so the target is met exactly up to one
+// filter's granularity.
+Status GlobalStructuredPrune(nn::Model* model, const GlobalPruneOptions& opts,
+                             const ImportanceFn& importance);
+
+// Removes the same fraction of filters from every prunable unit, keeping the
+// most important ones (SFP-style layer-uniform pruning). Fractions are
+// rounded down so at least min_filters survive per unit.
+Status UniformStructuredPrune(nn::Model* model, double filter_fraction,
+                              const ImportanceFn& importance,
+                              int64_t min_filters = 2);
+
+// Replaces every activation in the model (top-level ReLUs and all
+// residual-block activations) with clones of `prototype`. Used by LMA.
+void ReplaceAllActivations(nn::Model* model, const nn::Layer& prototype);
+
+// Built-in importance criteria.
+double FilterL1(const PrunableUnit& unit, int64_t filter);
+double FilterL2(const PrunableUnit& unit, int64_t filter);
+double FilterBnGamma(const PrunableUnit& unit, int64_t filter);
+
+}  // namespace compress
+}  // namespace automc
+
+#endif  // AUTOMC_COMPRESS_SURGERY_H_

@@ -1,0 +1,157 @@
+#include "compress/taylor.h"
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "nn/loss.h"
+
+namespace automc {
+namespace compress {
+
+namespace {
+
+// Accumulates cross-entropy gradients over a few random batches.
+Status AccumulateGradients(nn::Model* model, const data::Dataset& data,
+                           int batches, int batch_size, Rng* rng) {
+  if (data.Size() == 0) return Status::InvalidArgument("empty dataset");
+  model->ZeroGrad();
+  for (int b = 0; b < batches; ++b) {
+    std::vector<int64_t> idx;
+    for (int i = 0; i < batch_size; ++i) {
+      idx.push_back(rng->UniformInt(data.Size()));
+    }
+    tensor::Tensor images = data.GatherImages(idx);
+    std::vector<int> labels = data.GatherLabels(idx);
+    tensor::Tensor logits = model->Forward(images, /*training=*/true);
+    nn::LossResult loss = nn::CrossEntropy(logits, labels);
+    model->Backward(loss.grad);
+  }
+  return Status::OK();
+}
+
+// |sum grad*w| per filter of every prunable unit, keyed by conv pointer.
+std::map<const nn::Conv2d*, std::vector<double>> ScoreFilters(
+    nn::Model* model) {
+  std::map<const nn::Conv2d*, std::vector<double>> scores;
+  for (const PrunableUnit& unit : CollectPrunableUnits(model)) {
+    const nn::Conv2d* conv = unit.conv;
+    int64_t fsize = conv->in_channels() * conv->kernel() * conv->kernel();
+    std::vector<double> per_filter(
+        static_cast<size_t>(conv->out_channels()), 0.0);
+    const float* w = conv->weight().value.data();
+    const float* g = conv->weight().grad.data();
+    for (int64_t f = 0; f < conv->out_channels(); ++f) {
+      double s = 0.0;
+      for (int64_t i = 0; i < fsize; ++i) {
+        s += static_cast<double>(g[f * fsize + i]) * w[f * fsize + i];
+      }
+      per_filter[static_cast<size_t>(f)] = std::fabs(s);
+    }
+    scores[conv] = std::move(per_filter);
+  }
+  return scores;
+}
+
+}  // namespace
+
+Result<ImportanceFn> MakeTaylorImportance(nn::Model* model,
+                                          const data::Dataset& data,
+                                          int batches, int batch_size,
+                                          uint64_t seed) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  if (batches <= 0 || batch_size <= 0) {
+    return Status::InvalidArgument("batches/batch_size must be positive");
+  }
+  Rng rng(seed);
+  AUTOMC_RETURN_IF_ERROR(
+      AccumulateGradients(model, data, batches, batch_size, &rng));
+  auto scores = std::make_shared<
+      std::map<const nn::Conv2d*, std::vector<double>>>(ScoreFilters(model));
+  model->ZeroGrad();
+  return ImportanceFn([scores](const PrunableUnit& unit, int64_t filter) {
+    auto it = scores->find(unit.conv);
+    if (it == scores->end() ||
+        static_cast<size_t>(filter) >= it->second.size()) {
+      // Structure changed since scoring; fall back to a norm criterion.
+      return FilterL2(unit, filter);
+    }
+    return it->second[static_cast<size_t>(filter)];
+  });
+}
+
+Status TaylorStructuredPrune(nn::Model* model, const data::Dataset& data,
+                             const GlobalPruneOptions& opts,
+                             int rescore_every, int batches, int batch_size,
+                             uint64_t seed) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  if (rescore_every <= 0) {
+    return Status::InvalidArgument("rescore_every must be positive");
+  }
+  if (opts.target_param_fraction <= 0.0 ||
+      opts.target_param_fraction >= 1.0) {
+    return Status::InvalidArgument("target_param_fraction must be in (0,1)");
+  }
+  int64_t params_start = model->ParamCount();
+  int64_t params_target = static_cast<int64_t>(
+      std::llround(static_cast<double>(params_start) *
+                   (1.0 - opts.target_param_fraction)));
+
+  // Per-conv floors from the cap, frozen at entry.
+  std::map<const nn::Conv2d*, int64_t> floors;
+  for (const PrunableUnit& unit : CollectPrunableUnits(model)) {
+    int64_t orig = unit.conv->out_channels();
+    floors[unit.conv] = std::max<int64_t>(
+        opts.min_filters,
+        static_cast<int64_t>(std::ceil(
+            static_cast<double>(orig) *
+            (1.0 - opts.max_prune_ratio_per_layer))));
+  }
+
+  Rng rng(seed + 7);
+  while (model->ParamCount() > params_target) {
+    AUTOMC_ASSIGN_OR_RETURN(
+        ImportanceFn importance,
+        MakeTaylorImportance(model, data, batches, batch_size,
+                             rng.engine()()));
+    bool removed_any = false;
+    for (int step = 0; step < rescore_every &&
+                       model->ParamCount() > params_target;
+         ++step) {
+      std::vector<PrunableUnit> units = CollectPrunableUnits(model);
+      double best_score = 1e300;
+      int best_unit = -1;
+      int64_t best_filter = -1;
+      for (size_t u = 0; u < units.size(); ++u) {
+        auto floor_it = floors.find(units[u].conv);
+        int64_t floor =
+            floor_it != floors.end() ? floor_it->second : opts.min_filters;
+        if (units[u].conv->out_channels() <= floor) continue;
+        for (int64_t f = 0; f < units[u].conv->out_channels(); ++f) {
+          double s = importance(units[u], f);
+          if (s < best_score) {
+            best_score = s;
+            best_unit = static_cast<int>(u);
+            best_filter = f;
+          }
+        }
+      }
+      if (best_filter < 0) break;
+      std::vector<int64_t> keep;
+      for (int64_t f = 0;
+           f < units[static_cast<size_t>(best_unit)].conv->out_channels();
+           ++f) {
+        if (f != best_filter) keep.push_back(f);
+      }
+      AUTOMC_RETURN_IF_ERROR(
+          PruneUnitFilters(units[static_cast<size_t>(best_unit)], keep));
+      removed_any = true;
+    }
+    if (!removed_any) break;  // caps reached everywhere
+  }
+  return Status::OK();
+}
+
+}  // namespace compress
+}  // namespace automc

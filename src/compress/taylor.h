@@ -1,0 +1,39 @@
+#ifndef AUTOMC_COMPRESS_TAYLOR_H_
+#define AUTOMC_COMPRESS_TAYLOR_H_
+
+#include "compress/surgery.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace automc {
+namespace compress {
+
+// First-order Taylor-expansion filter importance (Molchanov et al. 2017):
+// the loss change from removing a filter is approximated by
+// |sum_w grad(w) * w| over the filter's weights. Data-driven, unlike the
+// weight-norm criteria of Table 1 — provided as an extension to the pruning
+// stack.
+
+// Scores every prunable filter from `batches` cross-entropy
+// forward/backward passes on `data`. The snapshot is keyed by conv pointer
+// and filter index, so it is only valid until the next structural surgery.
+Result<ImportanceFn> MakeTaylorImportance(nn::Model* model,
+                                          const data::Dataset& data,
+                                          int batches = 2, int batch_size = 32,
+                                          uint64_t seed = 1);
+
+// Iterative Taylor pruning: alternately re-scores filters on fresh
+// gradients and removes the globally least important one until the model's
+// parameter count drops by opts.target_param_fraction (gradients are
+// re-estimated every `rescore_every` removals). Self-consistent under
+// re-indexing, unlike using the one-shot snapshot with
+// GlobalStructuredPrune.
+Status TaylorStructuredPrune(nn::Model* model, const data::Dataset& data,
+                             const GlobalPruneOptions& opts,
+                             int rescore_every = 4, int batches = 1,
+                             int batch_size = 32, uint64_t seed = 1);
+
+}  // namespace compress
+}  // namespace automc
+
+#endif  // AUTOMC_COMPRESS_TAYLOR_H_

@@ -1,0 +1,69 @@
+#include "data/augment.h"
+
+#include <algorithm>
+
+namespace automc {
+namespace data {
+
+using tensor::Tensor;
+
+void FlipHorizontal(Tensor* images, int64_t image_index) {
+  AUTOMC_CHECK_EQ(images->dim(), 4);
+  int64_t c = images->size(1), h = images->size(2), w = images->size(3);
+  float* base = images->data() + image_index * c * h * w;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t i = 0; i < h; ++i) {
+      float* row = base + (ch * h + i) * w;
+      for (int64_t j = 0; j < w / 2; ++j) {
+        std::swap(row[j], row[w - 1 - j]);
+      }
+    }
+  }
+}
+
+void Shift(Tensor* images, int64_t image_index, int di, int dj) {
+  AUTOMC_CHECK_EQ(images->dim(), 4);
+  int64_t c = images->size(1), h = images->size(2), w = images->size(3);
+  float* base = images->data() + image_index * c * h * w;
+  std::vector<float> copy(base, base + c * h * w);
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t i = 0; i < h; ++i) {
+      for (int64_t j = 0; j < w; ++j) {
+        int64_t si = i - di, sj = j - dj;
+        float v = 0.0f;
+        if (si >= 0 && si < h && sj >= 0 && sj < w) {
+          v = copy[static_cast<size_t>((ch * h + si) * w + sj)];
+        }
+        base[(ch * h + i) * w + j] = v;
+      }
+    }
+  }
+}
+
+Tensor Augment(const Tensor& images, const AugmentConfig& config, Rng* rng) {
+  AUTOMC_CHECK(rng != nullptr);
+  AUTOMC_CHECK_EQ(images.dim(), 4);
+  Tensor out = images;
+  int64_t n = out.size(0);
+  for (int64_t i = 0; i < n; ++i) {
+    if (config.horizontal_flip && rng->Bernoulli(0.5)) {
+      FlipHorizontal(&out, i);
+    }
+    if (config.pad_crop > 0) {
+      int di = static_cast<int>(rng->UniformInt(2 * config.pad_crop + 1)) -
+               config.pad_crop;
+      int dj = static_cast<int>(rng->UniformInt(2 * config.pad_crop + 1)) -
+               config.pad_crop;
+      if (di != 0 || dj != 0) Shift(&out, i, di, dj);
+    }
+  }
+  if (config.noise_stddev > 0.0f) {
+    for (int64_t i = 0; i < out.numel(); ++i) {
+      out[i] += static_cast<float>(rng->Normal(0.0, config.noise_stddev));
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace automc

@@ -1,0 +1,30 @@
+#ifndef AUTOMC_DATA_AUGMENT_H_
+#define AUTOMC_DATA_AUGMENT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace automc {
+namespace data {
+
+// Standard CIFAR-style training augmentations, applied per batch. All
+// operate on NCHW float tensors and are deterministic given the Rng.
+struct AugmentConfig {
+  bool horizontal_flip = true;   // p = 0.5 per image
+  int pad_crop = 1;              // random shift within ±pad_crop pixels
+  float noise_stddev = 0.0f;     // additive Gaussian pixel noise
+};
+
+// Returns an augmented copy of `images` ([N,C,H,W]).
+tensor::Tensor Augment(const tensor::Tensor& images,
+                       const AugmentConfig& config, Rng* rng);
+
+// In-place variants (exposed for tests).
+void FlipHorizontal(tensor::Tensor* images, int64_t image_index);
+// Shifts one image by (di, dj) with zero padding at the borders.
+void Shift(tensor::Tensor* images, int64_t image_index, int di, int dj);
+
+}  // namespace data
+}  // namespace automc
+
+#endif  // AUTOMC_DATA_AUGMENT_H_

@@ -1,0 +1,37 @@
+#ifndef AUTOMC_DATA_CIFAR_H_
+#define AUTOMC_DATA_CIFAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace automc {
+namespace data {
+
+// Loaders for the original CIFAR binary formats, so the library runs on the
+// real datasets when they are available (the benches default to the
+// synthetic stand-ins; see DESIGN.md).
+//
+// CIFAR-10 record: 1 label byte + 3072 pixel bytes (3 x 32 x 32, RGB planar).
+// CIFAR-100 record: 1 coarse label byte + 1 fine label byte + 3072 pixels.
+// Pixels are normalized to zero mean / unit-ish range ((v/255 - 0.5) * 2).
+
+// Loads one or more CIFAR-10 batch files (e.g. data_batch_1.bin).
+Result<Dataset> LoadCifar10(const std::vector<std::string>& batch_paths,
+                            const std::string& name = "cifar10");
+
+// Loads a CIFAR-100 file (train.bin / test.bin) using fine labels.
+Result<Dataset> LoadCifar100(const std::string& path,
+                             const std::string& name = "cifar100");
+
+// Shared record geometry (exposed for tests).
+inline constexpr int kCifarImageBytes = 3 * 32 * 32;
+inline constexpr int kCifar10RecordBytes = 1 + kCifarImageBytes;
+inline constexpr int kCifar100RecordBytes = 2 + kCifarImageBytes;
+
+}  // namespace data
+}  // namespace automc
+
+#endif  // AUTOMC_DATA_CIFAR_H_

@@ -1,0 +1,201 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace automc {
+namespace data {
+
+using tensor::Tensor;
+
+Tensor Dataset::GatherImages(const std::vector<int64_t>& indices) const {
+  int64_t c = Channels(), h = Height(), w = Width();
+  int64_t stride = c * h * w;
+  Tensor out({static_cast<int64_t>(indices.size()), c, h, w});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int64_t idx = indices[i];
+    AUTOMC_CHECK(idx >= 0 && idx < Size());
+    const float* src = images.data() + idx * stride;
+    std::copy(src, src + stride, out.data() + static_cast<int64_t>(i) * stride);
+  }
+  return out;
+}
+
+std::vector<int> Dataset::GatherLabels(const std::vector<int64_t>& indices) const {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (int64_t idx : indices) out.push_back(labels[static_cast<size_t>(idx)]);
+  return out;
+}
+
+Dataset Dataset::Subsample(double fraction, Rng* rng) const {
+  AUTOMC_CHECK(fraction > 0.0 && fraction <= 1.0);
+  std::vector<int64_t> idx(static_cast<size_t>(Size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng->Shuffle(&idx);
+  int64_t keep = std::max<int64_t>(1, static_cast<int64_t>(
+                                          std::llround(fraction * Size())));
+  idx.resize(static_cast<size_t>(keep));
+  std::sort(idx.begin(), idx.end());
+  Dataset out;
+  out.name = name + "-sub";
+  out.images = GatherImages(idx);
+  out.labels = GatherLabels(idx);
+  out.num_classes = num_classes;
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double fraction, Rng* rng) const {
+  AUTOMC_CHECK(fraction > 0.0 && fraction < 1.0);
+  std::vector<int64_t> idx(static_cast<size_t>(Size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng->Shuffle(&idx);
+  int64_t head = std::max<int64_t>(1, static_cast<int64_t>(
+                                          std::llround(fraction * Size())));
+  head = std::min(head, Size() - 1);
+  std::vector<int64_t> a(idx.begin(), idx.begin() + head);
+  std::vector<int64_t> b(idx.begin() + head, idx.end());
+  Dataset da, db;
+  da.name = name + "-a";
+  da.images = GatherImages(a);
+  da.labels = GatherLabels(a);
+  da.num_classes = num_classes;
+  db.name = name + "-b";
+  db.images = GatherImages(b);
+  db.labels = GatherLabels(b);
+  db.num_classes = num_classes;
+  return {std::move(da), std::move(db)};
+}
+
+namespace {
+
+// Smooth random prototype: low-frequency pattern so nearby pixels correlate,
+// making convolutional structure genuinely useful.
+Tensor MakePrototype(int channels, int size, Rng* rng) {
+  Tensor proto({channels, size, size});
+  for (int c = 0; c < channels; ++c) {
+    // Sum of a few random 2-D cosine waves.
+    const int kWaves = 3;
+    for (int wv = 0; wv < kWaves; ++wv) {
+      double fx = rng->Uniform(0.5, 2.0);
+      double fy = rng->Uniform(0.5, 2.0);
+      double phase = rng->Uniform(0.0, 6.28318);
+      double amp = rng->Uniform(0.4, 1.0);
+      for (int i = 0; i < size; ++i) {
+        for (int j = 0; j < size; ++j) {
+          double v = amp * std::cos(fx * i + fy * j + phase);
+          proto[(c * size + i) * size + j] += static_cast<float>(v);
+        }
+      }
+    }
+  }
+  return proto;
+}
+
+Dataset MakeSplit(const SyntheticTaskConfig& cfg,
+                  const std::vector<Tensor>& prototypes, int per_class,
+                  const std::string& suffix, Rng* rng) {
+  int64_t n = static_cast<int64_t>(cfg.num_classes) * per_class;
+  Dataset ds;
+  ds.name = cfg.name + suffix;
+  ds.num_classes = cfg.num_classes;
+  ds.images = Tensor({n, cfg.channels, cfg.image_size, cfg.image_size});
+  ds.labels.resize(static_cast<size_t>(n));
+  int64_t stride =
+      static_cast<int64_t>(cfg.channels) * cfg.image_size * cfg.image_size;
+  int64_t row = 0;
+  for (int cls = 0; cls < cfg.num_classes; ++cls) {
+    for (int s = 0; s < per_class; ++s, ++row) {
+      int proto_idx = cls * cfg.prototypes_per_class +
+                      static_cast<int>(rng->UniformInt(cfg.prototypes_per_class));
+      const Tensor& proto = prototypes[static_cast<size_t>(proto_idx)];
+      // Random cyclic shift keeps the task translation-sensitive but easy.
+      int di = static_cast<int>(rng->UniformInt(2));
+      int dj = static_cast<int>(rng->UniformInt(2));
+      float* dst = ds.images.data() + row * stride;
+      for (int c = 0; c < cfg.channels; ++c) {
+        for (int i = 0; i < cfg.image_size; ++i) {
+          for (int j = 0; j < cfg.image_size; ++j) {
+            int si = (i + di) % cfg.image_size;
+            int sj = (j + dj) % cfg.image_size;
+            float v = proto[(c * cfg.image_size + si) * cfg.image_size + sj];
+            v += static_cast<float>(rng->Normal(0.0, cfg.noise));
+            dst[(c * cfg.image_size + i) * cfg.image_size + j] = v;
+          }
+        }
+      }
+      ds.labels[static_cast<size_t>(row)] = cls;
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+TaskData MakeSyntheticTask(const SyntheticTaskConfig& config) {
+  AUTOMC_CHECK_GT(config.num_classes, 1);
+  AUTOMC_CHECK_GT(config.train_per_class, 0);
+  AUTOMC_CHECK_GT(config.test_per_class, 0);
+  Rng rng(config.seed);
+  std::vector<Tensor> prototypes;
+  prototypes.reserve(static_cast<size_t>(config.num_classes) *
+                     config.prototypes_per_class);
+  for (int cls = 0; cls < config.num_classes; ++cls) {
+    for (int p = 0; p < config.prototypes_per_class; ++p) {
+      prototypes.push_back(
+          MakePrototype(config.channels, config.image_size, &rng));
+    }
+  }
+  TaskData out;
+  Rng train_rng = rng.Fork();
+  Rng test_rng = rng.Fork();
+  out.train = MakeSplit(config, prototypes, config.train_per_class, "-train",
+                        &train_rng);
+  out.test =
+      MakeSplit(config, prototypes, config.test_per_class, "-test", &test_rng);
+  return out;
+}
+
+TaskData MakeCifar10Like(uint64_t seed) {
+  SyntheticTaskConfig cfg;
+  cfg.name = "cifar10-like";
+  cfg.num_classes = 10;
+  cfg.train_per_class = 64;
+  cfg.test_per_class = 20;
+  cfg.noise = 0.35f;
+  cfg.seed = seed;
+  return MakeSyntheticTask(cfg);
+}
+
+TaskData MakeCifar100Like(uint64_t seed) {
+  SyntheticTaskConfig cfg;
+  // 20 classes stand in for CIFAR-100's 100 (more classes, more confusable):
+  // higher intra-class variance and noise than the C10 stand-in.
+  cfg.name = "cifar100-like";
+  cfg.num_classes = 20;
+  cfg.train_per_class = 48;
+  cfg.test_per_class = 10;
+  cfg.prototypes_per_class = 3;
+  cfg.noise = 0.4f;
+  cfg.seed = seed + 1;
+  return MakeSyntheticTask(cfg);
+}
+
+std::vector<float> TaskFeatureVector(const Dataset& train, int64_t model_params,
+                                     int64_t model_flops,
+                                     double model_accuracy) {
+  auto log1p = [](double v) { return static_cast<float>(std::log1p(v)); };
+  return {
+      log1p(train.num_classes),
+      log1p(static_cast<double>(train.Height())),
+      log1p(static_cast<double>(train.Channels())),
+      log1p(static_cast<double>(train.Size())),
+      log1p(static_cast<double>(model_params)),
+      log1p(static_cast<double>(model_flops)),
+      static_cast<float>(model_accuracy),
+  };
+}
+
+}  // namespace data
+}  // namespace automc

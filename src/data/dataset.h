@@ -1,0 +1,82 @@
+#ifndef AUTOMC_DATA_DATASET_H_
+#define AUTOMC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace automc {
+namespace data {
+
+// In-memory labeled image dataset (images [N,C,H,W], labels in
+// [0, num_classes)). Small enough at the scaled substrate sizes to keep
+// fully materialized.
+struct Dataset {
+  std::string name;
+  tensor::Tensor images;    // [N, C, H, W]
+  std::vector<int> labels;  // size N
+  int num_classes = 0;
+
+  int64_t Size() const { return images.empty() ? 0 : images.size(0); }
+  int64_t Channels() const { return images.size(1); }
+  int64_t Height() const { return images.size(2); }
+  int64_t Width() const { return images.size(3); }
+
+  // Gathers the given rows into a new batch tensor + label vector.
+  tensor::Tensor GatherImages(const std::vector<int64_t>& indices) const;
+  std::vector<int> GatherLabels(const std::vector<int64_t>& indices) const;
+
+  // Random subsample without replacement (fraction in (0, 1]); mirrors the
+  // paper's "sample 10% data from D to execute AutoML algorithms".
+  Dataset Subsample(double fraction, Rng* rng) const;
+
+  // Deterministic head/tail split: first `fraction` of a shuffled copy is
+  // the first returned dataset.
+  std::pair<Dataset, Dataset> Split(double fraction, Rng* rng) const;
+};
+
+// Configuration for the synthetic CIFAR-stand-in generator. Images are drawn
+// as `prototypes_per_class` smooth class prototypes plus per-sample Gaussian
+// noise and random shifts, producing a learnable but non-trivial task (see
+// DESIGN.md, substitutions table).
+struct SyntheticTaskConfig {
+  std::string name = "synthetic";
+  int num_classes = 10;
+  int channels = 3;
+  int image_size = 8;
+  int train_per_class = 64;
+  int test_per_class = 16;
+  int prototypes_per_class = 2;
+  float noise = 0.35f;
+  uint64_t seed = 7;
+};
+
+// Train and test splits for one synthetic task.
+struct TaskData {
+  Dataset train;
+  Dataset test;
+};
+
+TaskData MakeSyntheticTask(const SyntheticTaskConfig& config);
+
+// Stand-ins for the paper's datasets at substrate scale.
+TaskData MakeCifar10Like(uint64_t seed = 7);
+TaskData MakeCifar100Like(uint64_t seed = 7);
+
+// The 7-part compression-task feature vector of Section 3.3.1:
+// (category number, image size, image channels, data amount,
+//  model params, model FLOPs, model accuracy). Values are log/unit scaled
+// so they are comparable across tasks.
+std::vector<float> TaskFeatureVector(const Dataset& train, int64_t model_params,
+                                     int64_t model_flops, double model_accuracy);
+
+// Number of entries in TaskFeatureVector.
+inline constexpr int kTaskFeatureDim = 7;
+
+}  // namespace data
+}  // namespace automc
+
+#endif  // AUTOMC_DATA_DATASET_H_

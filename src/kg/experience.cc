@@ -1,0 +1,91 @@
+#include "kg/experience.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "nn/trainer.h"
+
+namespace automc {
+namespace kg {
+
+Result<std::vector<ExperienceRecord>> GenerateExperience(
+    const std::vector<compress::StrategySpec>& strategies,
+    const ExperienceGenConfig& config) {
+  if (strategies.empty()) {
+    return Status::InvalidArgument("no strategies to measure");
+  }
+  Rng rng(config.seed);
+  std::vector<ExperienceRecord> records;
+
+  for (int t = 0; t < config.num_tasks; ++t) {
+    // Vary the task battery: class count, data amount, noise, model family.
+    data::SyntheticTaskConfig dcfg;
+    dcfg.name = "exp-task-" + std::to_string(t);
+    dcfg.num_classes = 3 + 2 * t;
+    dcfg.train_per_class = 16 + 8 * (t % 2);
+    dcfg.test_per_class = 6;
+    dcfg.noise = 0.25f + 0.1f * static_cast<float>(t % 3);
+    dcfg.seed = config.seed * 131 + static_cast<uint64_t>(t);
+    data::TaskData task = data::MakeSyntheticTask(dcfg);
+
+    nn::ModelSpec spec;
+    spec.family = (t % 2 == 0) ? "resnet" : "vgg";
+    spec.depth = (t % 2 == 0) ? 20 : 13;
+    spec.num_classes = dcfg.num_classes;
+    spec.base_width = 4;
+    spec.in_channels = dcfg.channels;
+    spec.image_size = dcfg.image_size;
+    Rng model_rng = rng.Fork();
+    AUTOMC_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> base,
+                            nn::BuildModel(spec, &model_rng));
+
+    nn::TrainConfig tc;
+    tc.epochs = config.pretrain_epochs;
+    tc.batch_size = config.batch_size;
+    tc.seed = config.seed + static_cast<uint64_t>(t);
+    nn::Trainer trainer(tc);
+    AUTOMC_RETURN_IF_ERROR(trainer.Fit(base.get(), task.train));
+
+    double base_acc = nn::Trainer::Evaluate(base.get(), task.test);
+    std::vector<float> task_features = data::TaskFeatureVector(
+        task.train, base->ParamCount(), base->FlopsPerSample(), base_acc);
+
+    compress::CompressionContext ctx;
+    ctx.train = &task.train;
+    ctx.test = &task.test;
+    ctx.pretrain_epochs = config.pretrain_epochs;
+    ctx.batch_size = config.batch_size;
+    ctx.seed = config.seed * 17 + static_cast<uint64_t>(t);
+
+    for (int s = 0; s < config.strategies_per_task; ++s) {
+      size_t idx = static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(strategies.size())));
+      auto compressor = compress::CreateCompressor(strategies[idx]);
+      if (!compressor.ok()) return compressor.status();
+      std::unique_ptr<nn::Model> probe = base->Clone();
+      compress::CompressionStats stats;
+      Status st = (*compressor)->Compress(probe.get(), ctx, &stats);
+      if (!st.ok()) {
+        // Record failures as zero-benefit experience rather than aborting
+        // the whole battery.
+        AUTOMC_LOG(Warning) << "experience run failed for "
+                            << strategies[idx].ToString() << ": "
+                            << st.ToString();
+        continue;
+      }
+      ExperienceRecord rec;
+      rec.strategy_index = idx;
+      rec.task_features = task_features;
+      rec.ar = static_cast<float>(stats.AccIncrease());
+      rec.pr = static_cast<float>(stats.ParamReduction());
+      records.push_back(std::move(rec));
+    }
+  }
+  if (records.empty()) {
+    return Status::Internal("experience generation produced no records");
+  }
+  return records;
+}
+
+}  // namespace kg
+}  // namespace automc

@@ -1,0 +1,42 @@
+#ifndef AUTOMC_KG_EXPERIENCE_H_
+#define AUTOMC_KG_EXPERIENCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "compress/compressor.h"
+#include "data/dataset.h"
+
+namespace automc {
+namespace kg {
+
+// One piece of experimental experience: how strategy `strategy_index`
+// performed on a task with feature vector `task_features`
+// (the tuple (C_i P_{i,j}, Task_k, AR, PR) of Section 3.3.1).
+struct ExperienceRecord {
+  size_t strategy_index = 0;
+  std::vector<float> task_features;
+  float ar = 0.0f;  // accuracy increase rate
+  float pr = 0.0f;  // parameter reduction rate
+};
+
+// Configuration of the experience generator. The paper mines these records
+// from published papers; lacking that corpus, we *measure* them by actually
+// running sampled strategies on a battery of small synthetic tasks (see
+// DESIGN.md substitutions).
+struct ExperienceGenConfig {
+  int num_tasks = 2;              // micro-tasks in the battery
+  int strategies_per_task = 24;   // sampled strategies evaluated on each
+  int pretrain_epochs = 2;
+  int batch_size = 16;
+  uint64_t seed = 5;
+};
+
+Result<std::vector<ExperienceRecord>> GenerateExperience(
+    const std::vector<compress::StrategySpec>& strategies,
+    const ExperienceGenConfig& config);
+
+}  // namespace kg
+}  // namespace automc
+
+#endif  // AUTOMC_KG_EXPERIENCE_H_

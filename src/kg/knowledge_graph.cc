@@ -1,0 +1,75 @@
+#include "kg/knowledge_graph.h"
+
+#include <set>
+#include <tuple>
+
+namespace automc {
+namespace kg {
+
+const std::vector<std::string>& TechniquesOfMethod(const std::string& method) {
+  // Transcribed from Table 1: TE1 LMA distillation, TE2 EA filter pruning,
+  // TE3 fine-tune, TE4 BN-scaling channel pruning, TE5 backprop filter
+  // pruning, TE6 HOS filter pruning, TE7 HOOI low-rank kernel approximation,
+  // TE9 filter-basis low-rank approximation.
+  static const std::unordered_map<std::string, std::vector<std::string>> kMap =
+      {
+          {"LMA", {"TE1"}},
+          {"LeGR", {"TE2", "TE3"}},
+          {"NS", {"TE4", "TE3"}},
+          {"SFP", {"TE5"}},
+          {"HOS", {"TE6", "TE7", "TE3"}},
+          {"LFB", {"TE9"}},
+          // Extension method: TE10 = weight quantization.
+          {"QT", {"TE10", "TE3"}},
+      };
+  static const std::vector<std::string> kEmpty;
+  auto it = kMap.find(method);
+  return it == kMap.end() ? kEmpty : it->second;
+}
+
+int64_t KnowledgeGraph::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  int64_t id = static_cast<int64_t>(names_.size());
+  names_.push_back(name);
+  index_[name] = id;
+  return id;
+}
+
+int64_t KnowledgeGraph::FindEntity(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+KnowledgeGraph KnowledgeGraph::Build(
+    const std::vector<compress::StrategySpec>& strategies) {
+  KnowledgeGraph g;
+  // Dedup for the method/hp-level relations shared by many strategies.
+  std::set<std::tuple<int64_t, int64_t, int64_t>> seen;
+  auto add = [&g, &seen](int64_t h, int64_t r, int64_t t) {
+    if (seen.insert({h, r, t}).second) g.triplets_.push_back({h, r, t});
+  };
+
+  g.strategy_entities_.reserve(strategies.size());
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    const compress::StrategySpec& s = strategies[i];
+    int64_t se = g.Intern("S:" + s.method + "#" + std::to_string(i));
+    g.strategy_entities_.push_back(se);
+    int64_t me = g.Intern("M:" + s.method);
+    add(se, kStrategyMethod, me);
+    for (const std::string& te : TechniquesOfMethod(s.method)) {
+      add(me, kMethodTechnique, g.Intern("T:" + te));
+    }
+    for (const auto& [hp, value] : s.hp) {
+      int64_t he = g.Intern("H:" + hp);
+      int64_t ve = g.Intern("V:" + hp + "=" + value);
+      add(se, kStrategySetting, ve);
+      add(me, kMethodHp, he);
+      add(he, kHpSetting, ve);
+    }
+  }
+  return g;
+}
+
+}  // namespace kg
+}  // namespace automc

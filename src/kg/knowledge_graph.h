@@ -1,0 +1,68 @@
+#ifndef AUTOMC_KG_KNOWLEDGE_GRAPH_H_
+#define AUTOMC_KG_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/compressor.h"
+
+namespace automc {
+namespace kg {
+
+// Relation types of Section 3.3.1.
+enum Relation : int64_t {
+  kStrategyMethod = 0,   // R1: strategy -> its compression method
+  kStrategySetting = 1,  // R2: strategy -> each of its hyperparameter settings
+  kMethodHp = 2,         // R3: method -> its hyperparameters
+  kMethodTechnique = 3,  // R4: method -> its compression techniques
+  kHpSetting = 4,        // R5: hyperparameter -> its possible settings
+};
+inline constexpr int64_t kNumRelations = 5;
+
+struct Triplet {
+  int64_t head;
+  int64_t relation;
+  int64_t tail;
+};
+
+// The domain knowledge graph over compression strategies: five entity types
+// (strategy, method, hyperparameter, setting, technique) connected by the
+// five relations above. Built declaratively from the strategy grid, plus the
+// method->technique table transcribed from the paper's Table 1.
+class KnowledgeGraph {
+ public:
+  static KnowledgeGraph Build(
+      const std::vector<compress::StrategySpec>& strategies);
+
+  int64_t num_entities() const { return static_cast<int64_t>(names_.size()); }
+  const std::vector<Triplet>& triplets() const { return triplets_; }
+
+  // Entity id of the i-th strategy in the grid passed to Build.
+  int64_t StrategyEntity(size_t strategy_index) const {
+    return strategy_entities_[strategy_index];
+  }
+  const std::string& EntityName(int64_t id) const {
+    return names_[static_cast<size_t>(id)];
+  }
+  // Looks up an entity by its qualified name ("M:LeGR", "H:HP2",
+  // "V:HP2=0.2", "T:TE3"); -1 if absent.
+  int64_t FindEntity(const std::string& name) const;
+
+ private:
+  int64_t Intern(const std::string& name);
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int64_t> index_;
+  std::vector<Triplet> triplets_;
+  std::vector<int64_t> strategy_entities_;
+};
+
+// Technique labels (TE1..TE9 of Table 1) used by each method.
+const std::vector<std::string>& TechniquesOfMethod(const std::string& method);
+
+}  // namespace kg
+}  // namespace automc
+
+#endif  // AUTOMC_KG_KNOWLEDGE_GRAPH_H_

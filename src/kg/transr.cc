@@ -1,0 +1,205 @@
+#include "kg/transr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace automc {
+namespace kg {
+
+using tensor::Tensor;
+
+TransR::TransR(int64_t num_entities, int64_t num_relations,
+               TransRConfig config)
+    : config_(config), num_entities_(num_entities),
+      num_relations_(num_relations) {
+  AUTOMC_CHECK_GT(num_entities, 0);
+  AUTOMC_CHECK_GT(num_relations, 0);
+  Rng rng(config.seed);
+  float escale = 1.0f / std::sqrt(static_cast<float>(config.entity_dim));
+  float rscale = 1.0f / std::sqrt(static_cast<float>(config.relation_dim));
+  entities_ = Tensor::Randn({num_entities, config.entity_dim}, &rng, escale);
+  relations_ =
+      Tensor::Randn({num_relations, config.relation_dim}, &rng, rscale);
+  // Projections start near identity-ish random maps.
+  proj_ = Tensor::Randn(
+      {num_relations, config.relation_dim * config.entity_dim}, &rng, escale);
+  for (int64_t r = 0; r < num_relations; ++r) {
+    for (int64_t i = 0; i < std::min(config.relation_dim, config.entity_dim);
+         ++i) {
+      proj_[r * config.relation_dim * config.entity_dim +
+            i * config.entity_dim + i] += 1.0f;
+    }
+  }
+}
+
+namespace {
+
+// u = W (projected difference + relation): computed per triplet.
+void Project(const float* w, const float* e, int64_t k, int64_t d,
+             float* out) {
+  for (int64_t i = 0; i < k; ++i) {
+    double s = 0.0;
+    for (int64_t j = 0; j < d; ++j) s += static_cast<double>(w[i * d + j]) * e[j];
+    out[i] = static_cast<float>(s);
+  }
+}
+
+}  // namespace
+
+double TransR::Score(const Triplet& t) const {
+  int64_t d = config_.entity_dim, k = config_.relation_dim;
+  const float* w = proj_.data() + t.relation * k * d;
+  const float* eh = entities_.data() + t.head * d;
+  const float* et = entities_.data() + t.tail * d;
+  const float* er = relations_.data() + t.relation * k;
+  std::vector<float> ph(static_cast<size_t>(k)), pt(static_cast<size_t>(k));
+  Project(w, eh, k, d, ph.data());
+  Project(w, et, k, d, pt.data());
+  double s = 0.0;
+  for (int64_t i = 0; i < k; ++i) {
+    double u = ph[static_cast<size_t>(i)] + er[i] - pt[static_cast<size_t>(i)];
+    s += u * u;
+  }
+  return s;
+}
+
+void TransR::RenormalizeEntity(int64_t id) {
+  int64_t d = config_.entity_dim;
+  float* e = entities_.data() + id * d;
+  double n = 0.0;
+  for (int64_t i = 0; i < d; ++i) n += static_cast<double>(e[i]) * e[i];
+  n = std::sqrt(n);
+  if (n > 1.0) {
+    float inv = static_cast<float>(1.0 / n);
+    for (int64_t i = 0; i < d; ++i) e[i] *= inv;
+  }
+}
+
+void TransR::UpdatePair(const Triplet& pos, const Triplet& neg) {
+  double d_pos = Score(pos);
+  double d_neg = Score(neg);
+  double loss = config_.margin + d_pos - d_neg;
+  if (loss <= 0.0) return;  // hinge inactive
+
+  int64_t d = config_.entity_dim, k = config_.relation_dim;
+  float lr = config_.lr;
+
+  // Gradient of score d(h,r,t) wrt its pieces:
+  //   u = W e_h + e_r - W e_t  (in R^k)
+  //   dd/de_h = 2 W^T u ; dd/de_t = -2 W^T u ; dd/de_r = 2u ;
+  //   dd/dW = 2 u (e_h - e_t)^T.
+  auto apply = [&](const Triplet& t, float sign) {
+    float* w = proj_.data() + t.relation * k * d;
+    float* eh = entities_.data() + t.head * d;
+    float* et = entities_.data() + t.tail * d;
+    float* er = relations_.data() + t.relation * k;
+    std::vector<float> u(static_cast<size_t>(k));
+    {
+      std::vector<float> ph(static_cast<size_t>(k)), pt(static_cast<size_t>(k));
+      Project(w, eh, k, d, ph.data());
+      Project(w, et, k, d, pt.data());
+      for (int64_t i = 0; i < k; ++i) {
+        u[static_cast<size_t>(i)] =
+            ph[static_cast<size_t>(i)] + er[i] - pt[static_cast<size_t>(i)];
+      }
+    }
+    // W^T u
+    std::vector<float> wtu(static_cast<size_t>(d), 0.0f);
+    for (int64_t i = 0; i < k; ++i) {
+      float ui = u[static_cast<size_t>(i)];
+      for (int64_t j = 0; j < d; ++j) wtu[static_cast<size_t>(j)] += w[i * d + j] * ui;
+    }
+    float step = 2.0f * lr * sign;
+    for (int64_t j = 0; j < d; ++j) {
+      float diff = eh[j] - et[j];
+      eh[j] -= step * wtu[static_cast<size_t>(j)];
+      et[j] += step * wtu[static_cast<size_t>(j)];
+      // dW rows: u_i * diff_j
+      for (int64_t i = 0; i < k; ++i) {
+        w[i * d + j] -= step * u[static_cast<size_t>(i)] * diff;
+      }
+    }
+    for (int64_t i = 0; i < k; ++i) er[i] -= step * u[static_cast<size_t>(i)];
+  };
+
+  apply(pos, +1.0f);  // decrease positive energy
+  apply(neg, -1.0f);  // increase negative energy
+  RenormalizeEntity(pos.head);
+  RenormalizeEntity(pos.tail);
+  RenormalizeEntity(neg.head);
+  RenormalizeEntity(neg.tail);
+}
+
+double TransR::TrainEpoch(const std::vector<Triplet>& triplets,
+                          int64_t num_entities, Rng* rng) {
+  AUTOMC_CHECK(!triplets.empty());
+  std::vector<size_t> order(triplets.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  double total = 0.0;
+  for (size_t idx : order) {
+    const Triplet& pos = triplets[idx];
+    Triplet neg = pos;
+    // Corrupt head or tail with a uniform entity.
+    if (rng->Bernoulli(0.5)) {
+      neg.head = rng->UniformInt(num_entities);
+    } else {
+      neg.tail = rng->UniformInt(num_entities);
+    }
+    double loss =
+        std::max(0.0, config_.margin + Score(pos) - Score(neg));
+    total += loss;
+    UpdatePair(pos, neg);
+  }
+  return total / static_cast<double>(triplets.size());
+}
+
+TransR::RankingMetrics TransR::EvaluateRanking(
+    const std::vector<Triplet>& triplets, int64_t num_entities,
+    int max_triplets) const {
+  RankingMetrics m;
+  int limit = std::min<int>(max_triplets, static_cast<int>(triplets.size()));
+  for (int i = 0; i < limit; ++i) {
+    const Triplet& t = triplets[static_cast<size_t>(i)];
+    double true_score = Score(t);
+    // Rank = 1 + number of corruptions scoring strictly better.
+    int64_t rank = 1;
+    for (int64_t e = 0; e < num_entities; ++e) {
+      if (e == t.tail) continue;
+      Triplet corrupted = t;
+      corrupted.tail = e;
+      if (Score(corrupted) < true_score) ++rank;
+    }
+    m.mrr += 1.0 / static_cast<double>(rank);
+    if (rank <= 1) m.hits_at_1 += 1.0;
+    if (rank <= 10) m.hits_at_10 += 1.0;
+    ++m.evaluated;
+  }
+  if (m.evaluated > 0) {
+    m.mrr /= m.evaluated;
+    m.hits_at_1 /= m.evaluated;
+    m.hits_at_10 /= m.evaluated;
+  }
+  return m;
+}
+
+Tensor TransR::EntityEmbedding(int64_t id) const {
+  AUTOMC_CHECK(id >= 0 && id < num_entities_);
+  int64_t d = config_.entity_dim;
+  Tensor out({d});
+  const float* e = entities_.data() + id * d;
+  std::copy(e, e + d, out.data());
+  return out;
+}
+
+void TransR::SetEntityEmbedding(int64_t id, const Tensor& e) {
+  AUTOMC_CHECK(id >= 0 && id < num_entities_);
+  int64_t d = config_.entity_dim;
+  AUTOMC_CHECK_EQ(e.numel(), d);
+  std::copy(e.data(), e.data() + d, entities_.data() + id * d);
+}
+
+}  // namespace kg
+}  // namespace automc

@@ -1,0 +1,68 @@
+#ifndef AUTOMC_NN_LAYER_H_
+#define AUTOMC_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace automc {
+namespace nn {
+
+// A trainable parameter: value plus accumulated gradient of the same shape.
+struct Param {
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  explicit Param(tensor::Tensor v)
+      : value(std::move(v)), grad(tensor::Tensor::Zeros(value.shape())) {}
+  Param() = default;
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+// Base class for all network layers. Layers own their parameters and cache
+// whatever they need during Forward to run Backward; a Backward call must be
+// preceded by a Forward call with training semantics on the same instance.
+//
+// This explicit layer-graph design (rather than tape autograd) is deliberate:
+// structured compression performs surgery on concrete layer objects
+// (removing channels, swapping a Conv2d for a low-rank composite), which
+// requires stable, inspectable layer identities. See DESIGN.md.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Computes the layer output. `training` selects batch-vs-running
+  // statistics in BatchNorm and enables gradient caches.
+  virtual tensor::Tensor Forward(const tensor::Tensor& x, bool training) = 0;
+
+  // Propagates `grad_out` (dLoss/dOutput) to dLoss/dInput, accumulating
+  // parameter gradients into Param::grad.
+  virtual tensor::Tensor Backward(const tensor::Tensor& grad_out) = 0;
+
+  // Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> Params() { return {}; }
+
+  // Deep copy, including parameter values (not gradients or caches).
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+
+  // Short type name for debugging/scheme printing, e.g. "Conv2d".
+  virtual std::string Name() const = 0;
+
+  // Multiply-accumulate count of the most recent Forward (0 before any
+  // forward or for layers with no arithmetic). Used for the FLOPs metric.
+  virtual int64_t FlopsLastForward() const { return 0; }
+
+  int64_t ParamCount() {
+    int64_t n = 0;
+    for (Param* p : Params()) n += p->value.numel();
+    return n;
+  }
+};
+
+}  // namespace nn
+}  // namespace automc
+
+#endif  // AUTOMC_NN_LAYER_H_

@@ -1,0 +1,54 @@
+#include "nn/lowrank.h"
+
+namespace automc {
+namespace nn {
+
+using tensor::Tensor;
+
+LowRankConv::LowRankConv(std::vector<std::unique_ptr<Conv2d>> stages)
+    : stages_(std::move(stages)) {
+  AUTOMC_CHECK(!stages_.empty());
+  for (size_t i = 1; i < stages_.size(); ++i) {
+    AUTOMC_CHECK_EQ(stages_[i]->in_channels(), stages_[i - 1]->out_channels());
+  }
+}
+
+Tensor LowRankConv::Forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& s : stages_) h = s->Forward(h, training);
+  return h;
+}
+
+Tensor LowRankConv::Backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> LowRankConv::Params() {
+  std::vector<Param*> out;
+  for (auto& s : stages_) {
+    for (Param* p : s->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::unique_ptr<Layer> LowRankConv::Clone() const {
+  std::vector<std::unique_ptr<Conv2d>> stages;
+  stages.reserve(stages_.size());
+  for (const auto& s : stages_) {
+    stages.emplace_back(static_cast<Conv2d*>(s->Clone().release()));
+  }
+  return std::make_unique<LowRankConv>(std::move(stages));
+}
+
+int64_t LowRankConv::FlopsLastForward() const {
+  int64_t total = 0;
+  for (const auto& s : stages_) total += s->FlopsLastForward();
+  return total;
+}
+
+}  // namespace nn
+}  // namespace automc

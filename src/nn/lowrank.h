@@ -1,0 +1,43 @@
+#ifndef AUTOMC_NN_LOWRANK_H_
+#define AUTOMC_NN_LOWRANK_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace automc {
+namespace nn {
+
+// A convolution decomposed into a pipeline of smaller convolutions
+// (e.g. the SVD split Cin->r (kxk) then r->Cout (1x1) used by LFB, or the
+// Tucker-2 split 1x1 / kxk / 1x1 produced by HOOI in HOS).
+//
+// It behaves exactly like the conv it replaced (same in/out channels,
+// stride, padding) but with fewer parameters; compression surgery swaps it
+// into the position of the original Conv2d. It is treated as opaque by
+// further pruning passes.
+class LowRankConv : public Layer {
+ public:
+  explicit LowRankConv(std::vector<std::unique_ptr<Conv2d>> stages);
+
+  tensor::Tensor Forward(const tensor::Tensor& x, bool training) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_out) override;
+  std::vector<Param*> Params() override;
+  std::unique_ptr<Layer> Clone() const override;
+  std::string Name() const override { return "LowRankConv"; }
+  int64_t FlopsLastForward() const override;
+
+  int64_t num_stages() const { return static_cast<int64_t>(stages_.size()); }
+  Conv2d* stage(int64_t i) { return stages_[static_cast<size_t>(i)].get(); }
+  int64_t in_channels() const { return stages_.front()->in_channels(); }
+  int64_t out_channels() const { return stages_.back()->out_channels(); }
+
+ private:
+  std::vector<std::unique_ptr<Conv2d>> stages_;
+};
+
+}  // namespace nn
+}  // namespace automc
+
+#endif  // AUTOMC_NN_LOWRANK_H_

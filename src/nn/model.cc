@@ -1,0 +1,107 @@
+#include "nn/model.h"
+
+namespace automc {
+namespace nn {
+
+int64_t Model::FlopsPerSample() {
+  tensor::Tensor x({1, spec_.in_channels, spec_.image_size, spec_.image_size});
+  net_->Forward(x, /*training=*/false);
+  return net_->FlopsLastForward();
+}
+
+Result<std::unique_ptr<Model>> BuildResNet(const ModelSpec& spec, Rng* rng) {
+  bool bottleneck;
+  int blocks_per_stage;
+  if ((spec.depth - 2) % 9 == 0 && spec.depth >= 164) {
+    bottleneck = true;
+    blocks_per_stage = (spec.depth - 2) / 9;
+  } else if ((spec.depth - 2) % 6 == 0) {
+    bottleneck = false;
+    blocks_per_stage = (spec.depth - 2) / 6;
+  } else {
+    return Status::InvalidArgument("unsupported resnet depth " +
+                                   std::to_string(spec.depth));
+  }
+  int64_t w = spec.base_width;
+
+  auto net = std::make_unique<Sequential>();
+  net->Add(std::make_unique<Conv2d>(spec.in_channels, w, 3, 1, 1, false, rng));
+  net->Add(std::make_unique<BatchNorm2d>(w));
+  net->Add(std::make_unique<ReLU>());
+
+  auto kind = bottleneck ? ResidualBlock::Kind::kBottleneck
+                         : ResidualBlock::Kind::kBasic;
+  int64_t expansion = bottleneck ? ResidualBlock::kBottleneckExpansion : 1;
+  int64_t in_c = w;
+  for (int stage = 0; stage < 3; ++stage) {
+    int64_t planes = w << stage;
+    for (int b = 0; b < blocks_per_stage; ++b) {
+      int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      net->Add(std::make_unique<ResidualBlock>(kind, in_c, planes, stride, rng));
+      in_c = planes * expansion;
+    }
+  }
+  net->Add(std::make_unique<GlobalAvgPool>());
+  net->Add(std::make_unique<Flatten>());
+  net->Add(std::make_unique<Linear>(in_c, spec.num_classes, rng));
+
+  ModelSpec s = spec;
+  s.family = "resnet";
+  return std::make_unique<Model>(std::move(s), std::move(net));
+}
+
+Result<std::unique_ptr<Model>> BuildVgg(const ModelSpec& spec, Rng* rng) {
+  // Width codes relative to the canonical 64-wide first stage; -1 = maxpool.
+  std::vector<int> cfg;
+  switch (spec.depth) {
+    case 13:
+      cfg = {1, 1, -1, 2, 2, -1, 4, 4, -1, 8, 8, -1, 8, 8, -1};
+      break;
+    case 16:
+      cfg = {1, 1, -1, 2, 2, -1, 4, 4, 4, -1, 8, 8, 8, -1, 8, 8, 8, -1};
+      break;
+    case 19:
+      cfg = {1, 1, -1, 2, 2, -1, 4, 4, 4, 4, -1,
+             8, 8, 8, 8, -1, 8, 8, 8, 8, -1};
+      break;
+    default:
+      return Status::InvalidArgument("unsupported vgg depth " +
+                                     std::to_string(spec.depth));
+  }
+
+  auto net = std::make_unique<Sequential>();
+  int64_t in_c = spec.in_channels;
+  int64_t spatial = spec.image_size;
+  for (int code : cfg) {
+    if (code < 0) {
+      // Pool only while the spatial size allows it; the scaled substrate's
+      // 8x8 inputs support fewer pools than CIFAR's 32x32.
+      if (spatial >= 2) {
+        net->Add(std::make_unique<MaxPool2d>(2, 2));
+        spatial /= 2;
+      }
+      continue;
+    }
+    int64_t out_c = static_cast<int64_t>(code) * spec.base_width;
+    net->Add(std::make_unique<Conv2d>(in_c, out_c, 3, 1, 1, false, rng));
+    net->Add(std::make_unique<BatchNorm2d>(out_c));
+    net->Add(std::make_unique<ReLU>());
+    in_c = out_c;
+  }
+  net->Add(std::make_unique<GlobalAvgPool>());
+  net->Add(std::make_unique<Flatten>());
+  net->Add(std::make_unique<Linear>(in_c, spec.num_classes, rng));
+
+  ModelSpec s = spec;
+  s.family = "vgg";
+  return std::make_unique<Model>(std::move(s), std::move(net));
+}
+
+Result<std::unique_ptr<Model>> BuildModel(const ModelSpec& spec, Rng* rng) {
+  if (spec.family == "resnet") return BuildResNet(spec, rng);
+  if (spec.family == "vgg") return BuildVgg(spec, rng);
+  return Status::InvalidArgument("unknown model family: " + spec.family);
+}
+
+}  // namespace nn
+}  // namespace automc

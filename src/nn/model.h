@@ -1,0 +1,104 @@
+#ifndef AUTOMC_NN_MODEL_H_
+#define AUTOMC_NN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/layers.h"
+#include "nn/residual.h"
+
+namespace automc {
+namespace nn {
+
+// Static description of a network instance: family/depth identify the
+// architecture, the rest fixes the input domain. base_width scales every
+// stage width (the scaled substrate uses 8 where the paper uses 16/64; see
+// DESIGN.md).
+struct ModelSpec {
+  std::string family;   // "resnet" | "vgg" | "custom"
+  int depth = 0;        // 20/56/164 or 13/16/19
+  int num_classes = 10;
+  int base_width = 8;
+  int in_channels = 3;
+  int image_size = 8;   // square input
+};
+
+// A trainable network: a Sequential root plus its spec. Owns every layer;
+// deep-copyable via Clone so the search can snapshot compressed models.
+class Model {
+ public:
+  Model(ModelSpec spec, std::unique_ptr<Sequential> net)
+      : spec_(std::move(spec)), net_(std::move(net)) {}
+
+  const ModelSpec& spec() const { return spec_; }
+  Sequential* net() { return net_.get(); }
+
+  tensor::Tensor Forward(const tensor::Tensor& x, bool training) {
+    return net_->Forward(x, training);
+  }
+  tensor::Tensor Backward(const tensor::Tensor& grad_logits) {
+    return net_->Backward(grad_logits);
+  }
+
+  std::vector<Param*> Params() { return net_->Params(); }
+  void ZeroGrad() {
+    for (Param* p : Params()) p->ZeroGrad();
+  }
+
+  int64_t ParamCount() {
+    int64_t n = 0;
+    for (Param* p : Params()) n += p->value.numel();
+    return n;
+  }
+
+  // Bits used to store each weight (32 until a quantization strategy runs).
+  int weight_bits() const { return weight_bits_; }
+  void set_weight_bits(int bits) {
+    AUTOMC_CHECK(bits >= 1 && bits <= 32);
+    weight_bits_ = bits;
+  }
+
+  // Parameter count scaled by storage precision: the quantity the PR
+  // objective measures, so quantization trades off against pruning in the
+  // same currency (float32-equivalent parameters).
+  int64_t EffectiveParamCount() {
+    return (ParamCount() * weight_bits_ + 31) / 32;
+  }
+
+  // Multiply-accumulate count for a single input sample, measured by running
+  // an inference-mode forward pass on a zero image.
+  int64_t FlopsPerSample();
+
+  std::unique_ptr<Model> Clone() const {
+    auto net_copy = std::unique_ptr<Sequential>(
+        static_cast<Sequential*>(net_->Clone().release()));
+    auto copy = std::make_unique<Model>(spec_, std::move(net_copy));
+    copy->weight_bits_ = weight_bits_;
+    return copy;
+  }
+
+ private:
+  ModelSpec spec_;
+  std::unique_ptr<Sequential> net_;
+  int weight_bits_ = 32;
+};
+
+// CIFAR-style ResNet. Supported depths: 6n+2 with basic blocks (20, 56, ...)
+// and 9n+2 with bottleneck blocks when `bottleneck` (164, ...). Three stages
+// with widths base_width, 2*base_width, 4*base_width and strides 1, 2, 2.
+Result<std::unique_ptr<Model>> BuildResNet(const ModelSpec& spec, Rng* rng);
+
+// VGG-13/16/19 conv stacks (widths scaled by base_width/64), BN after every
+// conv, pooling applied only while the spatial size permits, global average
+// pool + single linear classifier.
+Result<std::unique_ptr<Model>> BuildVgg(const ModelSpec& spec, Rng* rng);
+
+// Dispatches on spec.family.
+Result<std::unique_ptr<Model>> BuildModel(const ModelSpec& spec, Rng* rng);
+
+}  // namespace nn
+}  // namespace automc
+
+#endif  // AUTOMC_NN_MODEL_H_

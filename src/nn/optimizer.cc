@@ -1,0 +1,53 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace automc {
+namespace nn {
+
+void Sgd::Step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    auto it = velocity_.find(p);
+    if (it == velocity_.end() || it->second.numel() != p->value.numel()) {
+      it = velocity_.insert_or_assign(p, tensor::Tensor::Zeros(p->value.shape()))
+               .first;
+    }
+    tensor::Tensor& vel = it->second;
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      float g = p->grad[i] + weight_decay_ * p->value[i];
+      // Elementwise clip keeps a single exploding batch from destroying the
+      // run (compressed models can produce large transient gradients).
+      g = std::clamp(g, -5.0f, 5.0f);
+      vel[i] = momentum_ * vel[i] + g;
+      p->value[i] -= lr_ * vel[i];
+    }
+  }
+}
+
+void Adam::Step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    auto it = state_.find(p);
+    if (it == state_.end() || it->second.m.numel() != p->value.numel()) {
+      State s;
+      s.m = tensor::Tensor::Zeros(p->value.shape());
+      s.v = tensor::Tensor::Zeros(p->value.shape());
+      it = state_.insert_or_assign(p, std::move(s)).first;
+    }
+    State& s = it->second;
+    s.t += 1;
+    float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(s.t));
+    float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(s.t));
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      float g = p->grad[i];
+      s.m[i] = beta1_ * s.m[i] + (1.0f - beta1_) * g;
+      s.v[i] = beta2_ * s.v[i] + (1.0f - beta2_) * g * g;
+      float mhat = s.m[i] / bc1;
+      float vhat = s.v[i] / bc2;
+      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace automc

@@ -1,0 +1,52 @@
+#ifndef AUTOMC_NN_OPTIMIZER_H_
+#define AUTOMC_NN_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace automc {
+namespace nn {
+
+// Stochastic gradient descent with classical momentum and decoupled L2
+// weight decay. State (velocity) is keyed by Param address; create a fresh
+// optimizer after any surgery that rebuilds parameters.
+class Sgd {
+ public:
+  Sgd(float lr, float momentum = 0.9f, float weight_decay = 0.0f)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void Step(const std::vector<Param*>& params);
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::unordered_map<Param*, tensor::Tensor> velocity_;
+};
+
+// Adam optimizer; used for the embedding networks (TransR, NN_exp, F_mo)
+// following the paper's implementation details (lr = 0.001).
+class Adam {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void Step(const std::vector<Param*>& params);
+
+ private:
+  struct State {
+    tensor::Tensor m;
+    tensor::Tensor v;
+    int64_t t = 0;
+  };
+  float lr_, beta1_, beta2_, eps_;
+  std::unordered_map<Param*, State> state_;
+};
+
+}  // namespace nn
+}  // namespace automc
+
+#endif  // AUTOMC_NN_OPTIMIZER_H_

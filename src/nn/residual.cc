@@ -1,0 +1,149 @@
+#include "nn/residual.h"
+
+namespace automc {
+namespace nn {
+
+using tensor::Tensor;
+
+ResidualBlock::ResidualBlock(Kind kind, int64_t in_c, int64_t planes,
+                             int64_t stride, Rng* rng)
+    : kind_(kind), in_c_(in_c), stride_(stride) {
+  if (kind == Kind::kBasic) {
+    out_c_ = planes;
+    conv1_ = std::make_unique<Conv2d>(in_c, planes, 3, stride, 1, false, rng);
+    bn1_ = std::make_unique<BatchNorm2d>(planes);
+    act1_ = std::make_unique<ReLU>();
+    conv2_ = std::make_unique<Conv2d>(planes, planes, 3, 1, 1, false, rng);
+    bn2_ = std::make_unique<BatchNorm2d>(planes);
+    act_out_ = std::make_unique<ReLU>();
+  } else {
+    out_c_ = planes * kBottleneckExpansion;
+    conv1_ = std::make_unique<Conv2d>(in_c, planes, 1, 1, 0, false, rng);
+    bn1_ = std::make_unique<BatchNorm2d>(planes);
+    act1_ = std::make_unique<ReLU>();
+    conv2_ = std::make_unique<Conv2d>(planes, planes, 3, stride, 1, false, rng);
+    bn2_ = std::make_unique<BatchNorm2d>(planes);
+    act2_ = std::make_unique<ReLU>();
+    conv3_ = std::make_unique<Conv2d>(planes, out_c_, 1, 1, 0, false, rng);
+    bn3_ = std::make_unique<BatchNorm2d>(out_c_);
+    act_out_ = std::make_unique<ReLU>();
+  }
+  if (stride != 1 || in_c != out_c_) {
+    downsample_conv_ =
+        std::make_unique<Conv2d>(in_c, out_c_, 1, stride, 0, false, rng);
+    downsample_bn_ = std::make_unique<BatchNorm2d>(out_c_);
+  }
+}
+
+Tensor ResidualBlock::Forward(const Tensor& x, bool training) {
+  Tensor h = conv1_->Forward(x, training);
+  h = bn1_->Forward(h, training);
+  h = act1_->Forward(h, training);
+  h = conv2_->Forward(h, training);
+  h = bn2_->Forward(h, training);
+  if (kind_ == Kind::kBottleneck) {
+    h = act2_->Forward(h, training);
+    h = conv3_->Forward(h, training);
+    h = bn3_->Forward(h, training);
+  }
+  Tensor sc = x;
+  if (downsample_conv_) {
+    sc = downsample_conv_->Forward(x, training);
+    sc = downsample_bn_->Forward(sc, training);
+  }
+  h.AddInPlace(sc);
+  return act_out_->Forward(h, training);
+}
+
+Tensor ResidualBlock::Backward(const Tensor& grad_out) {
+  Tensor g = act_out_->Backward(grad_out);  // gradient at (main + shortcut)
+
+  Tensor g_main = g;
+  if (kind_ == Kind::kBottleneck) {
+    g_main = bn3_->Backward(g_main);
+    g_main = conv3_->Backward(g_main);
+    g_main = act2_->Backward(g_main);
+  }
+  g_main = bn2_->Backward(g_main);
+  g_main = conv2_->Backward(g_main);
+  g_main = act1_->Backward(g_main);
+  g_main = bn1_->Backward(g_main);
+  g_main = conv1_->Backward(g_main);
+
+  if (downsample_conv_) {
+    Tensor g_sc = downsample_bn_->Backward(g);
+    g_sc = downsample_conv_->Backward(g_sc);
+    g_main.AddInPlace(g_sc);
+  } else {
+    g_main.AddInPlace(g);
+  }
+  return g_main;
+}
+
+std::vector<Param*> ResidualBlock::Params() {
+  std::vector<Param*> out;
+  auto append = [&out](Layer* l) {
+    if (l == nullptr) return;
+    for (Param* p : l->Params()) out.push_back(p);
+  };
+  append(conv1_.get());
+  append(bn1_.get());
+  append(act1_.get());
+  append(conv2_.get());
+  append(bn2_.get());
+  append(act2_.get());
+  append(conv3_.get());
+  append(bn3_.get());
+  append(act_out_.get());
+  append(downsample_conv_.get());
+  append(downsample_bn_.get());
+  return out;
+}
+
+std::unique_ptr<Layer> ResidualBlock::Clone() const {
+  auto copy =
+      std::unique_ptr<ResidualBlock>(new ResidualBlock(kind_, in_c_, out_c_, stride_));
+  auto clone_bn = [](const std::unique_ptr<BatchNorm2d>& bn) {
+    std::unique_ptr<BatchNorm2d> out;
+    if (bn) {
+      out.reset(static_cast<BatchNorm2d*>(bn->Clone().release()));
+    }
+    return out;
+  };
+  copy->conv1_ = conv1_ ? conv1_->Clone() : nullptr;
+  copy->bn1_ = clone_bn(bn1_);
+  copy->act1_ = act1_ ? act1_->Clone() : nullptr;
+  copy->conv2_ = conv2_ ? conv2_->Clone() : nullptr;
+  copy->bn2_ = clone_bn(bn2_);
+  copy->act2_ = act2_ ? act2_->Clone() : nullptr;
+  copy->conv3_ = conv3_ ? conv3_->Clone() : nullptr;
+  copy->bn3_ = clone_bn(bn3_);
+  copy->act_out_ = act_out_ ? act_out_->Clone() : nullptr;
+  if (downsample_conv_) {
+    copy->downsample_conv_.reset(
+        static_cast<Conv2d*>(downsample_conv_->Clone().release()));
+    copy->downsample_bn_ = clone_bn(downsample_bn_);
+  }
+  return copy;
+}
+
+int64_t ResidualBlock::FlopsLastForward() const {
+  int64_t total = 0;
+  auto add = [&total](const Layer* l) {
+    if (l) total += l->FlopsLastForward();
+  };
+  add(conv1_.get());
+  add(conv2_.get());
+  add(conv3_.get());
+  add(downsample_conv_.get());
+  return total;
+}
+
+void ResidualBlock::ReplaceActivations(const Layer& prototype) {
+  act1_ = prototype.Clone();
+  if (act2_) act2_ = prototype.Clone();
+  act_out_ = prototype.Clone();
+}
+
+}  // namespace nn
+}  // namespace automc

@@ -1,0 +1,112 @@
+#ifndef AUTOMC_NN_RESIDUAL_H_
+#define AUTOMC_NN_RESIDUAL_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace automc {
+namespace nn {
+
+// CIFAR-style residual block. kBasic is the two-3x3-conv block of
+// ResNet-20/56; kBottleneck is the 1x1 / 3x3 / 1x1 block (expansion 4) of
+// ResNet-164. The skip path is identity, or 1x1 conv + BN when the spatial
+// stride or channel count changes.
+//
+// Conv members are held as Layer pointers because low-rank compression may
+// replace a Conv2d with a decomposed composite; activation members are Layer
+// pointers because LMA distillation swaps ReLU for LMAActivation.
+class ResidualBlock : public Layer {
+ public:
+  enum class Kind { kBasic, kBottleneck };
+  static constexpr int64_t kBottleneckExpansion = 4;
+
+  // For kBasic: in_c -> planes (3x3, stride) -> planes (3x3).
+  // For kBottleneck: in_c -> planes (1x1) -> planes (3x3, stride)
+  //                  -> planes*4 (1x1).
+  ResidualBlock(Kind kind, int64_t in_c, int64_t planes, int64_t stride,
+                Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x, bool training) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_out) override;
+  std::vector<Param*> Params() override;
+  std::unique_ptr<Layer> Clone() const override;
+  std::string Name() const override {
+    return kind_ == Kind::kBasic ? "BasicBlock" : "BottleneckBlock";
+  }
+  int64_t FlopsLastForward() const override;
+
+  Kind kind() const { return kind_; }
+  int64_t in_channels() const { return in_c_; }
+  int64_t out_channels() const { return out_c_; }
+  int64_t stride() const { return stride_; }
+  bool has_downsample() const { return downsample_conv_ != nullptr; }
+
+  // --- surgery access -----------------------------------------------------
+  Layer* conv1() { return conv1_.get(); }
+  Layer* conv2() { return conv2_.get(); }
+  Layer* conv3() { return conv3_.get(); }  // null for kBasic
+  BatchNorm2d* bn1() { return bn1_.get(); }
+  BatchNorm2d* bn2() { return bn2_.get(); }
+  BatchNorm2d* bn3() { return bn3_.get(); }  // null for kBasic
+  Conv2d* downsample_conv() { return downsample_conv_.get(); }
+  BatchNorm2d* downsample_bn() { return downsample_bn_.get(); }
+
+  void set_conv1(std::unique_ptr<Layer> l) { conv1_ = std::move(l); }
+  void set_conv2(std::unique_ptr<Layer> l) { conv2_ = std::move(l); }
+  void set_conv3(std::unique_ptr<Layer> l) { conv3_ = std::move(l); }
+
+  // Replaces every activation in the block with clones of `prototype`.
+  void ReplaceActivations(const Layer& prototype);
+
+  // --- serialization support ------------------------------------------------
+  // An empty shell whose members are installed piecewise by the
+  // deserializer (nn/serialize.cc).
+  static std::unique_ptr<ResidualBlock> MakeShell(Kind kind, int64_t in_c,
+                                                  int64_t out_c,
+                                                  int64_t stride) {
+    return std::unique_ptr<ResidualBlock>(
+        new ResidualBlock(kind, in_c, out_c, stride));
+  }
+  Layer* act1() { return act1_.get(); }
+  Layer* act2() { return act2_.get(); }
+  Layer* act_out() { return act_out_.get(); }
+  void set_bn1(std::unique_ptr<BatchNorm2d> l) { bn1_ = std::move(l); }
+  void set_bn2(std::unique_ptr<BatchNorm2d> l) { bn2_ = std::move(l); }
+  void set_bn3(std::unique_ptr<BatchNorm2d> l) { bn3_ = std::move(l); }
+  void set_act1(std::unique_ptr<Layer> l) { act1_ = std::move(l); }
+  void set_act2(std::unique_ptr<Layer> l) { act2_ = std::move(l); }
+  void set_act_out(std::unique_ptr<Layer> l) { act_out_ = std::move(l); }
+  void set_downsample(std::unique_ptr<Conv2d> conv,
+                      std::unique_ptr<BatchNorm2d> bn) {
+    downsample_conv_ = std::move(conv);
+    downsample_bn_ = std::move(bn);
+  }
+
+ private:
+  // Builds an empty shell for Clone().
+  ResidualBlock(Kind kind, int64_t in_c, int64_t out_c, int64_t stride)
+      : kind_(kind), in_c_(in_c), out_c_(out_c), stride_(stride) {}
+
+  Kind kind_;
+  int64_t in_c_;
+  int64_t out_c_;
+  int64_t stride_;
+
+  std::unique_ptr<Layer> conv1_;
+  std::unique_ptr<BatchNorm2d> bn1_;
+  std::unique_ptr<Layer> act1_;
+  std::unique_ptr<Layer> conv2_;
+  std::unique_ptr<BatchNorm2d> bn2_;
+  std::unique_ptr<Layer> act2_;
+  std::unique_ptr<Layer> conv3_;           // bottleneck only
+  std::unique_ptr<BatchNorm2d> bn3_;       // bottleneck only
+  std::unique_ptr<Layer> act_out_;
+  std::unique_ptr<Conv2d> downsample_conv_;
+  std::unique_ptr<BatchNorm2d> downsample_bn_;
+};
+
+}  // namespace nn
+}  // namespace automc
+
+#endif  // AUTOMC_NN_RESIDUAL_H_

@@ -1,0 +1,84 @@
+#ifndef AUTOMC_NN_SEQNET_H_
+#define AUTOMC_NN_SEQNET_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace automc {
+namespace nn {
+
+// Building blocks for the small sequence models in AutoMC's search stack:
+// the multi-objective step evaluator F_mo encodes the strategy sequence with
+// a GRU, and the RL baseline's controller is a GRU policy. These operate on
+// single 1-D vectors (sequences are short and processed one at a time) with
+// caller-held caches, so one instance can run many forward passes before a
+// backward pass.
+
+// Gated recurrent unit cell over 1-D vectors.
+class GruCell {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t hidden_dim() const { return hidden_dim_; }
+  std::vector<Param*> Params();
+
+  // Per-step values needed by BackwardStep.
+  struct Cache {
+    tensor::Tensor x, h_prev, z, r, n;
+  };
+
+  // h_t = (1-z)*n + z*h_prev. Fills `cache` when non-null.
+  tensor::Tensor Step(const tensor::Tensor& x, const tensor::Tensor& h_prev,
+                      Cache* cache);
+
+  // Given dL/dh_t, accumulates parameter gradients and returns
+  // {dL/dx_t, dL/dh_{t-1}}.
+  std::pair<tensor::Tensor, tensor::Tensor> BackwardStep(
+      const Cache& cache, const tensor::Tensor& dh);
+
+  tensor::Tensor InitialState() const {
+    return tensor::Tensor::Zeros({hidden_dim_});
+  }
+
+ private:
+  int64_t input_dim_, hidden_dim_;
+  // Gate weights: W* act on x, U* act on h, b* are biases.
+  Param wz_, uz_, bz_;
+  Param wr_, ur_, br_;
+  Param wn_, un_, bn_;
+};
+
+// Fully connected stack with ReLU between layers (none after the last), on
+// 1-D vectors, with caller-held caches.
+class VecMlp {
+ public:
+  // dims = {input, hidden..., output}; at least {in, out}.
+  VecMlp(std::vector<int64_t> dims, Rng* rng);
+
+  int64_t input_dim() const { return dims_.front(); }
+  int64_t output_dim() const { return dims_.back(); }
+  std::vector<Param*> Params();
+
+  struct Cache {
+    // Input to each linear layer (post-activation of the previous one).
+    std::vector<tensor::Tensor> inputs;
+    // Pre-activation outputs of each layer.
+    std::vector<tensor::Tensor> pre;
+  };
+
+  tensor::Tensor Forward(const tensor::Tensor& x, Cache* cache);
+  // Accumulates parameter gradients; returns dL/dx.
+  tensor::Tensor Backward(const Cache& cache, const tensor::Tensor& dy);
+
+ private:
+  std::vector<int64_t> dims_;
+  std::vector<Param> weights_;  // [out, in] each
+  std::vector<Param> biases_;   // [out] each
+};
+
+}  // namespace nn
+}  // namespace automc
+
+#endif  // AUTOMC_NN_SEQNET_H_

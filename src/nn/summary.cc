@@ -1,0 +1,101 @@
+#include "nn/summary.h"
+
+#include <sstream>
+
+#include "nn/layers.h"
+#include "nn/lowrank.h"
+#include "nn/residual.h"
+
+namespace automc {
+namespace nn {
+
+namespace {
+
+std::string WeightShape(Layer* layer) {
+  auto params = layer->Params();
+  if (params.empty()) return "-";
+  return params.front()->value.ShapeString();
+}
+
+// Appends leaf rows for `layer`, recursing into containers.
+void Collect(Layer* layer, const std::string& path,
+             std::vector<LayerSummary>* rows) {
+  if (layer == nullptr) return;
+  if (auto* seq = dynamic_cast<Sequential*>(layer)) {
+    for (int64_t i = 0; i < seq->NumChildren(); ++i) {
+      Collect(seq->Child(i), path + "." + std::to_string(i), rows);
+    }
+    return;
+  }
+  if (auto* block = dynamic_cast<ResidualBlock*>(layer)) {
+    Collect(block->conv1(), path + ".conv1", rows);
+    Collect(block->bn1(), path + ".bn1", rows);
+    Collect(block->conv2(), path + ".conv2", rows);
+    Collect(block->bn2(), path + ".bn2", rows);
+    Collect(block->conv3(), path + ".conv3", rows);
+    Collect(block->bn3(), path + ".bn3", rows);
+    Collect(block->downsample_conv(), path + ".downsample", rows);
+    Collect(block->downsample_bn(), path + ".downsample_bn", rows);
+    // Activations may carry parameters (LMA).
+    Collect(block->act1(), path + ".act1", rows);
+    Collect(block->act2(), path + ".act2", rows);
+    Collect(block->act_out(), path + ".act_out", rows);
+    return;
+  }
+  if (auto* lr = dynamic_cast<LowRankConv*>(layer)) {
+    for (int64_t i = 0; i < lr->num_stages(); ++i) {
+      Collect(lr->stage(i), path + ".stage" + std::to_string(i), rows);
+    }
+    return;
+  }
+  LayerSummary row;
+  row.path = path;
+  row.type = layer->Name();
+  row.shape = WeightShape(layer);
+  row.params = layer->ParamCount();
+  row.flops = layer->FlopsLastForward();
+  rows->push_back(std::move(row));
+}
+
+}  // namespace
+
+ModelSummary Summarize(Model* model) {
+  AUTOMC_CHECK(model != nullptr);
+  // Profiling forward pass so FlopsLastForward is populated.
+  tensor::Tensor x({1, model->spec().in_channels, model->spec().image_size,
+                    model->spec().image_size});
+  model->Forward(x, /*training=*/false);
+
+  ModelSummary summary;
+  Collect(model->net(), "net", &summary.layers);
+  for (const LayerSummary& row : summary.layers) {
+    summary.total_params += row.params;
+    summary.total_flops += row.flops;
+  }
+  summary.weight_bits = model->weight_bits();
+  return summary;
+}
+
+std::string ModelSummary::ToString() const {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-28s %-12s %-16s %10s %12s\n", "layer",
+                "type", "weights", "params", "flops");
+  os << buf;
+  for (const LayerSummary& row : layers) {
+    std::snprintf(buf, sizeof(buf), "%-28s %-12s %-16s %10lld %12lld\n",
+                  row.path.c_str(), row.type.c_str(), row.shape.c_str(),
+                  static_cast<long long>(row.params),
+                  static_cast<long long>(row.flops));
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "total: %lld params (%d-bit weights), %lld flops/sample\n",
+                static_cast<long long>(total_params), weight_bits,
+                static_cast<long long>(total_flops));
+  os << buf;
+  return os.str();
+}
+
+}  // namespace nn
+}  // namespace automc

@@ -1,0 +1,39 @@
+#ifndef AUTOMC_NN_SUMMARY_H_
+#define AUTOMC_NN_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace automc {
+namespace nn {
+
+// One row of a model summary: a leaf layer with its contribution to the
+// model's size and compute.
+struct LayerSummary {
+  std::string path;   // e.g. "net.3.conv1" (index path through containers)
+  std::string type;   // layer Name()
+  std::string shape;  // weight shape, "-" for stateless layers
+  int64_t params = 0;
+  int64_t flops = 0;  // MACs of the profiling forward pass
+};
+
+struct ModelSummary {
+  std::vector<LayerSummary> layers;
+  int64_t total_params = 0;
+  int64_t total_flops = 0;
+  int weight_bits = 32;
+
+  // Formatted table (fixed-width columns) for logs and CLI output.
+  std::string ToString() const;
+};
+
+// Profiles `model` with one inference-mode forward pass on a zero image of
+// its spec size and collects the per-layer breakdown.
+ModelSummary Summarize(Model* model);
+
+}  // namespace nn
+}  // namespace automc
+
+#endif  // AUTOMC_NN_SUMMARY_H_

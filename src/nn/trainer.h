@@ -1,0 +1,66 @@
+#ifndef AUTOMC_NN_TRAINER_H_
+#define AUTOMC_NN_TRAINER_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+
+namespace automc {
+namespace nn {
+
+// Hyperparameters of one training run.
+struct TrainConfig {
+  int epochs = 1;
+  int batch_size = 32;
+  float lr = 0.05f;
+  // Per-epoch multiplicative learning-rate decay (1 = constant).
+  float lr_decay = 1.0f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  // L1 subgradient strength applied to every BatchNorm gamma each step
+  // (Network Slimming's sparsity regularizer; 0 disables).
+  float bn_gamma_l1 = 0.0f;
+  // Per-batch training augmentation (flips/shifts/noise).
+  bool augment = false;
+  data::AugmentConfig augment_config;
+  uint64_t seed = 1;
+};
+
+// Computes the training loss and its logits-gradient for one mini-batch.
+// `images` is provided so closures can run auxiliary models (e.g. a
+// distillation teacher) on the same batch.
+using LossFn = std::function<LossResult(
+    const tensor::Tensor& logits, const std::vector<int>& labels,
+    const tensor::Tensor& images)>;
+
+// Called after each epoch; used by SFP to re-zero soft-pruned filters and by
+// diagnostics. `epoch` counts from 0.
+using EpochHook = std::function<void(int epoch, Model* model)>;
+
+// Minibatch training driver.
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : config_(config) {}
+
+  // Runs config.epochs of SGD over `train`. A null loss_fn defaults to
+  // softmax cross-entropy. Returns the final epoch's mean training loss
+  // through *final_loss when non-null.
+  Status Fit(Model* model, const data::Dataset& train, LossFn loss_fn = nullptr,
+             EpochHook epoch_hook = nullptr, float* final_loss = nullptr);
+
+  // Top-1 accuracy of `model` on `ds` in inference mode.
+  static double Evaluate(Model* model, const data::Dataset& ds,
+                         int batch_size = 64);
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace nn
+}  // namespace automc
+
+#endif  // AUTOMC_NN_TRAINER_H_

@@ -1,0 +1,37 @@
+#include "nn/visit.h"
+
+#include "nn/layers.h"
+#include "nn/lowrank.h"
+#include "nn/residual.h"
+
+namespace automc {
+namespace nn {
+
+void VisitLayers(Layer* root, const std::function<void(Layer*)>& fn) {
+  if (root == nullptr) return;
+  fn(root);
+  if (auto* seq = dynamic_cast<Sequential*>(root)) {
+    for (int64_t i = 0; i < seq->NumChildren(); ++i) {
+      VisitLayers(seq->Child(i), fn);
+    }
+    return;
+  }
+  if (auto* block = dynamic_cast<ResidualBlock*>(root)) {
+    VisitLayers(block->conv1(), fn);
+    if (block->bn1()) fn(block->bn1());
+    VisitLayers(block->conv2(), fn);
+    if (block->bn2()) fn(block->bn2());
+    VisitLayers(block->conv3(), fn);
+    if (block->bn3()) fn(block->bn3());
+    if (block->downsample_conv()) fn(block->downsample_conv());
+    if (block->downsample_bn()) fn(block->downsample_bn());
+    return;
+  }
+  if (auto* lr = dynamic_cast<LowRankConv*>(root)) {
+    for (int64_t i = 0; i < lr->num_stages(); ++i) fn(lr->stage(i));
+    return;
+  }
+}
+
+}  // namespace nn
+}  // namespace automc

@@ -1,0 +1,20 @@
+#ifndef AUTOMC_NN_VISIT_H_
+#define AUTOMC_NN_VISIT_H_
+
+#include <functional>
+
+#include "nn/layer.h"
+
+namespace automc {
+namespace nn {
+
+// Depth-first traversal over every layer reachable from `root`, including
+// container layers themselves (Sequential, ResidualBlock, LowRankConv).
+// Used by NS sparsity regularization (find all BatchNorm2d), the compression
+// introspectors, and diagnostics.
+void VisitLayers(Layer* root, const std::function<void(Layer*)>& fn);
+
+}  // namespace nn
+}  // namespace automc
+
+#endif  // AUTOMC_NN_VISIT_H_

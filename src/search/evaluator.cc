@@ -1,0 +1,142 @@
+#include "search/evaluator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/trainer.h"
+
+namespace automc {
+namespace search {
+
+SchemeEvaluator::SchemeEvaluator(const SearchSpace* space,
+                                 nn::Model* base_model,
+                                 const compress::CompressionContext& ctx,
+                                 Options options)
+    : space_(space), base_model_(base_model), ctx_(ctx), options_(options) {
+  AUTOMC_CHECK(space_ != nullptr);
+  AUTOMC_CHECK(base_model_ != nullptr);
+  base_point_ = MeasureModel(base_model_);
+  CacheEntry root;
+  root.model = base_model_->Clone();
+  root.point = base_point_;
+  cache_.emplace("", std::move(root));
+}
+
+std::string SchemeEvaluator::Key(const std::vector<int>& scheme,
+                                 size_t length) {
+  std::string key;
+  for (size_t i = 0; i < length; ++i) {
+    if (i) key += ",";
+    key += std::to_string(scheme[i]);
+  }
+  return key;
+}
+
+EvalPoint SchemeEvaluator::MeasureModel(nn::Model* model) {
+  EvalPoint p;
+  p.acc = nn::Trainer::Evaluate(model, *ctx_.test);
+  p.params = model->EffectiveParamCount();
+  p.flops = model->FlopsPerSample();
+  if (base_point_.params > 0) {
+    p.ar = base_point_.acc > 0 ? p.acc / base_point_.acc - 1.0 : 0.0;
+    p.pr = 1.0 - static_cast<double>(p.params) / base_point_.params;
+    p.fr = 1.0 - static_cast<double>(p.flops) / base_point_.flops;
+  }
+  return p;
+}
+
+void SchemeEvaluator::MaybeEvict() {
+  while (static_cast<int>(cache_.size()) > options_.max_cached_models + 1) {
+    auto victim = cache_.end();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->first.empty()) continue;  // never evict the root
+      if (victim == cache_.end() || it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == cache_.end()) break;
+    cache_.erase(victim);
+  }
+}
+
+void SchemeEvaluator::Insert(const std::string& key,
+                             std::unique_ptr<nn::Model> model,
+                             const EvalPoint& point) {
+  CacheEntry entry;
+  entry.model = std::move(model);
+  entry.point = point;
+  entry.last_used = ++clock_;
+  cache_[key] = std::move(entry);
+  MaybeEvict();
+}
+
+Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
+                                            EvalPoint* parent_out) {
+  for (int idx : scheme) {
+    if (idx < 0 || static_cast<size_t>(idx) >= space_->size()) {
+      return Status::OutOfRange("strategy index out of range: " +
+                                std::to_string(idx));
+    }
+  }
+
+  // Deepest cached prefix.
+  size_t start = 0;
+  for (size_t len = scheme.size(); len > 0; --len) {
+    auto it = cache_.find(Key(scheme, len));
+    if (it != cache_.end()) {
+      start = len;
+      break;
+    }
+  }
+  auto base_it = cache_.find(Key(scheme, start));
+  AUTOMC_CHECK(base_it != cache_.end());
+  base_it->second.last_used = ++clock_;
+  if (start == scheme.size()) {
+    ++cache_hits_;
+    if (parent_out != nullptr) {
+      if (scheme.empty()) {
+        *parent_out = base_point_;
+      } else {
+        auto pit = cache_.find(Key(scheme, scheme.size() - 1));
+        *parent_out =
+            pit != cache_.end() ? pit->second.point : base_point_;
+      }
+    }
+    return base_it->second.point;
+  }
+
+  std::unique_ptr<nn::Model> model = base_it->second.model->Clone();
+  EvalPoint point = base_it->second.point;
+  EvalPoint parent = point;
+  for (size_t i = start; i < scheme.size(); ++i) {
+    const compress::StrategySpec& spec =
+        space_->strategy(static_cast<size_t>(scheme[static_cast<size_t>(i)]));
+    AUTOMC_ASSIGN_OR_RETURN(std::unique_ptr<compress::Compressor> compressor,
+                            compress::CreateCompressor(spec));
+    compress::CompressionContext ctx = ctx_;
+    // Per-node deterministic seed: same scheme prefix -> same result.
+    ctx.seed = ctx_.seed * 1315423911u +
+               static_cast<uint64_t>(scheme[static_cast<size_t>(i)]) * 2654435761u +
+               static_cast<uint64_t>(i);
+    Status st = compressor->Compress(model.get(), ctx, nullptr);
+    if (st.code() == StatusCode::kFailedPrecondition) {
+      // The strategy is inapplicable to this model state (e.g. pruning after
+      // every conv was decomposed and re-decomposition hit its floor). The
+      // scheme is still well-defined: the step is a no-op, which the search
+      // naturally deprioritizes because it brings no improvement.
+      AUTOMC_LOG(Debug) << "strategy " << spec.ToString()
+                        << " inapplicable: " << st.ToString();
+    } else if (!st.ok()) {
+      return st;
+    }
+    ++strategy_executions_;
+    parent = point;
+    point = MeasureModel(model.get());
+    Insert(Key(scheme, i + 1), model->Clone(), point);
+  }
+  if (parent_out != nullptr) *parent_out = parent;
+  return point;
+}
+
+}  // namespace search
+}  // namespace automc

@@ -1,0 +1,84 @@
+#ifndef AUTOMC_SEARCH_EVALUATOR_H_
+#define AUTOMC_SEARCH_EVALUATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "compress/compressor.h"
+#include "nn/model.h"
+#include "search/search_space.h"
+
+namespace automc {
+namespace search {
+
+// Measurements of one scheme node, relative to the uncompressed base model.
+struct EvalPoint {
+  double acc = 0.0;
+  int64_t params = 0;
+  int64_t flops = 0;
+  double ar = 0.0;  // accuracy increase rate vs base
+  double pr = 0.0;  // parameter reduction rate vs base
+  double fr = 0.0;  // FLOPs reduction rate vs base
+};
+
+// Evaluates compression schemes (strategy index sequences) against one task.
+//
+// The scheme space is a tree, and the evaluator memoizes the compressed
+// model at every node it has visited: evaluating "seq -> s" after "seq"
+// costs exactly one strategy execution. This prefix cache is the mechanical
+// counterpart of AutoMC's progressive search and is what makes Algorithm 2
+// cheap per round.
+class SchemeEvaluator {
+ public:
+  struct Options {
+    // Cached model snapshots beyond the root (LRU-evicted).
+    int max_cached_models = 128;
+  };
+
+  // `base_model` must be pretrained; it is cloned, never mutated. `ctx`
+  // carries the (possibly subsampled) training data used by strategies.
+  SchemeEvaluator(const SearchSpace* space, nn::Model* base_model,
+                  const compress::CompressionContext& ctx, Options options);
+
+  // Evaluates the scheme, reusing the deepest cached prefix. When
+  // `parent_out` is non-null it receives the point of the scheme's immediate
+  // prefix (used to derive AR_step / PR_step for F_mo training).
+  Result<EvalPoint> Evaluate(const std::vector<int>& scheme,
+                             EvalPoint* parent_out = nullptr);
+
+  const EvalPoint& base_point() const { return base_point_; }
+  // Number of real compressor executions so far (the search budget unit).
+  int64_t strategy_executions() const { return strategy_executions_; }
+  int64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct CacheEntry {
+    std::unique_ptr<nn::Model> model;
+    EvalPoint point;
+    int64_t last_used = 0;
+  };
+
+  static std::string Key(const std::vector<int>& scheme, size_t length);
+  EvalPoint MeasureModel(nn::Model* model);
+  void Insert(const std::string& key, std::unique_ptr<nn::Model> model,
+              const EvalPoint& point);
+  void MaybeEvict();
+
+  const SearchSpace* space_;
+  nn::Model* base_model_;
+  compress::CompressionContext ctx_;
+  Options options_;
+  EvalPoint base_point_;
+  std::map<std::string, CacheEntry> cache_;
+  int64_t strategy_executions_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t clock_ = 0;
+};
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_EVALUATOR_H_

@@ -1,0 +1,130 @@
+#include "search/evolutionary.h"
+
+#include <algorithm>
+
+#include "search/pareto.h"
+
+namespace automc {
+namespace search {
+
+namespace {
+
+struct Individual {
+  std::vector<int> scheme;
+  EvalPoint point;
+};
+
+// Feasibility-aware bi-objective comparison: feasible (pr >= gamma) beats
+// infeasible; between two feasible, Pareto domination on (acc, -params);
+// between two infeasible, smaller constraint violation wins.
+int Compare(const Individual& a, const Individual& b, double gamma) {
+  bool fa = a.point.pr >= gamma, fb = b.point.pr >= gamma;
+  if (fa != fb) return fa ? 1 : -1;
+  if (!fa) {
+    double va = gamma - a.point.pr, vb = gamma - b.point.pr;
+    if (va < vb) return 1;
+    if (va > vb) return -1;
+    return 0;
+  }
+  std::pair<double, double> pa{a.point.acc, -static_cast<double>(a.point.params)};
+  std::pair<double, double> pb{b.point.acc, -static_cast<double>(b.point.params)};
+  if (Dominates(pa, pb)) return 1;
+  if (Dominates(pb, pa)) return -1;
+  return 0;
+}
+
+}  // namespace
+
+Result<SearchOutcome> EvolutionarySearcher::Search(SchemeEvaluator* evaluator,
+                                                   const SearchSpace& space,
+                                                   const SearchConfig& config) {
+  if (space.size() == 0) return Status::InvalidArgument("empty search space");
+  Rng rng(config.seed + 1000);
+  Archive archive(config.gamma);
+  auto budget_left = [&]() {
+    return evaluator->strategy_executions() < config.max_strategy_executions;
+  };
+  auto random_strategy = [&]() {
+    return static_cast<int>(rng.UniformInt(static_cast<int64_t>(space.size())));
+  };
+
+  // Initial population of short random schemes.
+  std::vector<Individual> population;
+  for (int p = 0; p < options_.population && budget_left(); ++p) {
+    Individual ind;
+    int64_t len = 1 + rng.UniformInt(std::min(3, config.max_length));
+    for (int64_t i = 0; i < len; ++i) ind.scheme.push_back(random_strategy());
+    AUTOMC_ASSIGN_OR_RETURN(ind.point, evaluator->Evaluate(ind.scheme));
+    archive.Record(ind.scheme, ind.point,
+                   static_cast<int>(evaluator->strategy_executions()));
+    population.push_back(std::move(ind));
+  }
+  if (population.empty()) {
+    return archive.Finalize(static_cast<int>(evaluator->strategy_executions()));
+  }
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual& a =
+        population[static_cast<size_t>(rng.UniformInt(population.size()))];
+    const Individual& b =
+        population[static_cast<size_t>(rng.UniformInt(population.size()))];
+    return Compare(a, b, config.gamma) >= 0 ? a : b;
+  };
+
+  while (budget_left()) {
+    // Offspring via crossover + mutation.
+    std::vector<int> child = tournament().scheme;
+    if (rng.Bernoulli(options_.crossover_prob)) {
+      const std::vector<int>& other = tournament().scheme;
+      size_t cut_a = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(child.size()) + 1));
+      size_t cut_b = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(other.size()) + 1));
+      std::vector<int> merged(child.begin(),
+                              child.begin() + static_cast<int64_t>(cut_a));
+      merged.insert(merged.end(), other.begin() + static_cast<int64_t>(cut_b),
+                    other.end());
+      if (!merged.empty()) child = std::move(merged);
+    }
+    if (rng.Bernoulli(options_.mutate_prob) || child.empty()) {
+      int64_t op = rng.UniformInt(3);
+      if (op == 0 && static_cast<int>(child.size()) < config.max_length) {
+        child.push_back(random_strategy());
+      } else if (op == 1 && child.size() > 1) {
+        child.erase(child.begin() +
+                    rng.UniformInt(static_cast<int64_t>(child.size())));
+      } else if (!child.empty()) {
+        child[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(child.size())))] =
+            random_strategy();
+      } else {
+        child.push_back(random_strategy());
+      }
+    }
+    if (static_cast<int>(child.size()) > config.max_length) {
+      child.resize(static_cast<size_t>(config.max_length));
+    }
+
+    Individual offspring;
+    offspring.scheme = std::move(child);
+    AUTOMC_ASSIGN_OR_RETURN(offspring.point,
+                            evaluator->Evaluate(offspring.scheme));
+    archive.Record(offspring.scheme, offspring.point,
+                   static_cast<int>(evaluator->strategy_executions()));
+
+    // Steady-state replacement of the worst member.
+    size_t worst = 0;
+    for (size_t i = 1; i < population.size(); ++i) {
+      if (Compare(population[i], population[worst], config.gamma) < 0) {
+        worst = i;
+      }
+    }
+    if (Compare(offspring, population[worst], config.gamma) > 0) {
+      population[worst] = std::move(offspring);
+    }
+  }
+  return archive.Finalize(static_cast<int>(evaluator->strategy_executions()));
+}
+
+}  // namespace search
+}  // namespace automc

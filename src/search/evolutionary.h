@@ -1,0 +1,36 @@
+#ifndef AUTOMC_SEARCH_EVOLUTIONARY_H_
+#define AUTOMC_SEARCH_EVOLUTIONARY_H_
+
+#include "search/searcher.h"
+
+namespace automc {
+namespace search {
+
+// Multi-objective evolutionary search over schemes: a steady-state EA with
+// Pareto-domination-based selection, one-point crossover on strategy
+// sequences and add/drop/replace mutation. This is the "Evolution" baseline
+// of Section 4.3.
+class EvolutionarySearcher : public Searcher {
+ public:
+  struct Options {
+    int population = 8;
+    double crossover_prob = 0.5;
+    double mutate_prob = 0.9;
+  };
+
+  EvolutionarySearcher() : options_(Options{}) {}
+  explicit EvolutionarySearcher(Options options) : options_(options) {}
+
+  std::string Name() const override { return "Evolution"; }
+  Result<SearchOutcome> Search(SchemeEvaluator* evaluator,
+                               const SearchSpace& space,
+                               const SearchConfig& config) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_EVOLUTIONARY_H_

@@ -1,0 +1,86 @@
+#include "search/fmo.h"
+
+namespace automc {
+namespace search {
+
+using tensor::Tensor;
+
+Fmo::Fmo(int64_t embedding_dim, int64_t task_dim, uint64_t seed, float lr)
+    : embedding_dim_(embedding_dim),
+      task_dim_(task_dim),
+      hidden_dim_(32),
+      optimizer_(lr) {
+  Rng rng(seed);
+  gru_ = std::make_unique<nn::GruCell>(embedding_dim, hidden_dim_, &rng);
+  head_ = std::make_unique<nn::VecMlp>(
+      std::vector<int64_t>{hidden_dim_ + embedding_dim_ + task_dim_, 64, 32, 2},
+      &rng);
+}
+
+std::vector<nn::Param*> Fmo::Params() {
+  std::vector<nn::Param*> params = gru_->Params();
+  for (nn::Param* p : head_->Params()) params.push_back(p);
+  return params;
+}
+
+Tensor Fmo::Forward(const std::vector<Tensor>& sequence,
+                    const Tensor& candidate, const Tensor& task,
+                    ForwardCache* cache) {
+  AUTOMC_CHECK_EQ(candidate.numel(), embedding_dim_);
+  AUTOMC_CHECK_EQ(task.numel(), task_dim_);
+  Tensor h = gru_->InitialState();
+  if (cache != nullptr) cache->gru.resize(sequence.size());
+  for (size_t t = 0; t < sequence.size(); ++t) {
+    AUTOMC_CHECK_EQ(sequence[t].numel(), embedding_dim_);
+    h = gru_->Step(sequence[t], h,
+                   cache != nullptr ? &cache->gru[t] : nullptr);
+  }
+  Tensor input({hidden_dim_ + embedding_dim_ + task_dim_});
+  for (int64_t i = 0; i < hidden_dim_; ++i) input[i] = h[i];
+  for (int64_t i = 0; i < embedding_dim_; ++i) {
+    input[hidden_dim_ + i] = candidate[i];
+  }
+  for (int64_t i = 0; i < task_dim_; ++i) {
+    input[hidden_dim_ + embedding_dim_ + i] = task[i];
+  }
+  if (cache != nullptr) cache->input = input;
+  return head_->Forward(input, cache != nullptr ? &cache->mlp : nullptr);
+}
+
+std::pair<double, double> Fmo::Predict(const std::vector<Tensor>& sequence,
+                                       const Tensor& candidate,
+                                       const Tensor& task) {
+  Tensor out = Forward(sequence, candidate, task, nullptr);
+  return {out[0], out[1]};
+}
+
+double Fmo::TrainBatch(const std::vector<FmoExample>& batch) {
+  if (batch.empty()) return 0.0;
+  for (nn::Param* p : Params()) p->ZeroGrad();
+
+  double total = 0.0;
+  for (const FmoExample& ex : batch) {
+    ForwardCache cache;
+    Tensor pred = Forward(ex.sequence, ex.candidate, ex.task, &cache);
+    Tensor dy({2});
+    float e_ar = pred[0] - ex.ar_step;
+    float e_pr = pred[1] - ex.pr_step;
+    total += 0.5 * (e_ar * e_ar + e_pr * e_pr);
+    dy[0] = e_ar / static_cast<float>(batch.size());
+    dy[1] = e_pr / static_cast<float>(batch.size());
+
+    Tensor dinput = head_->Backward(cache.mlp, dy);
+    // Split: gradient into the GRU's final hidden state (candidate and task
+    // gradients are discarded — embeddings are not trained through F_mo).
+    Tensor dh({hidden_dim_});
+    for (int64_t i = 0; i < hidden_dim_; ++i) dh[i] = dinput[i];
+    for (size_t t = ex.sequence.size(); t-- > 0;) {
+      dh = gru_->BackwardStep(cache.gru[t], dh).second;
+    }
+  }
+  optimizer_.Step(Params());
+  return total / static_cast<double>(batch.size());
+}
+
+}  // namespace search
+}  // namespace automc

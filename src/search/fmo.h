@@ -1,0 +1,68 @@
+#ifndef AUTOMC_SEARCH_FMO_H_
+#define AUTOMC_SEARCH_FMO_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/seqnet.h"
+#include "tensor/tensor.h"
+
+namespace automc {
+namespace search {
+
+// One observed step transition used to train F_mo (Equation 5):
+// appending strategy `candidate` to the scheme whose strategies have
+// embeddings `sequence` changed accuracy by ar_step and parameters by
+// pr_step on the task with features `task`.
+struct FmoExample {
+  std::vector<tensor::Tensor> sequence;  // embeddings of the prefix scheme
+  tensor::Tensor candidate;              // embedding of the appended strategy
+  tensor::Tensor task;                   // task feature vector
+  float ar_step = 0.0f;
+  float pr_step = 0.0f;
+};
+
+// The multi-objective step evaluator F_mo of Figure 3: a GRU encodes the
+// prefix strategy sequence; its final state is concatenated with the
+// candidate strategy embedding and the task features and regressed to
+// (AR_step, PR_step) by an MLP. Trained online on evaluated transitions.
+class Fmo {
+ public:
+  Fmo(int64_t embedding_dim, int64_t task_dim, uint64_t seed,
+      float lr = 0.001f);
+
+  // Predicted (ar_step, pr_step) for appending `candidate` after `sequence`.
+  std::pair<double, double> Predict(
+      const std::vector<tensor::Tensor>& sequence,
+      const tensor::Tensor& candidate, const tensor::Tensor& task);
+
+  // One Adam step on the mean squared error over the batch; returns the
+  // batch loss. Only F_mo's weights are updated (Equation 5 optimizes omega;
+  // strategy embeddings stay fixed here).
+  double TrainBatch(const std::vector<FmoExample>& batch);
+
+ private:
+  struct ForwardCache {
+    std::vector<nn::GruCell::Cache> gru;
+    nn::VecMlp::Cache mlp;
+    tensor::Tensor input;
+  };
+  tensor::Tensor Forward(const std::vector<tensor::Tensor>& sequence,
+                         const tensor::Tensor& candidate,
+                         const tensor::Tensor& task, ForwardCache* cache);
+  std::vector<nn::Param*> Params();
+
+  int64_t embedding_dim_;
+  int64_t task_dim_;
+  int64_t hidden_dim_;
+  std::unique_ptr<nn::GruCell> gru_;
+  std::unique_ptr<nn::VecMlp> head_;
+  nn::Adam optimizer_;
+};
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_FMO_H_

@@ -1,0 +1,93 @@
+#include "search/grid_search.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "common/logging.h"
+#include "search/search_space.h"
+
+namespace automc {
+namespace search {
+
+Result<GridSearchResult> GridSearchMethod(
+    const std::string& method, nn::Model* base,
+    const compress::CompressionContext& ctx,
+    const GridSearchOptions& options) {
+  if (base == nullptr) return Status::InvalidArgument("base model is null");
+  SearchSpace grid = SearchSpace::SingleMethod(method);
+  if (grid.size() == 0) {
+    return Status::NotFound("unknown or empty method grid: " + method);
+  }
+
+  // Choose which configurations to try (dedup after the HP2 override, since
+  // forcing HP2 collapses grid points that differed only in HP2).
+  std::vector<size_t> order(grid.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.seed);
+  rng.Shuffle(&order);
+
+  char pr_buf[32];
+  if (options.target_pr > 0.0) {
+    std::snprintf(pr_buf, sizeof(pr_buf), "%.4f", options.target_pr);
+  }
+
+  std::vector<compress::StrategySpec> configs;
+  int limit = options.max_configs > 0 ? options.max_configs
+                                      : static_cast<int>(grid.size());
+  for (size_t idx : order) {
+    compress::StrategySpec spec = grid.strategy(idx);
+    if (options.target_pr > 0.0 && spec.hp.count("HP2") != 0) {
+      spec.hp["HP2"] = pr_buf;
+    }
+    bool duplicate = false;
+    for (const auto& seen : configs) {
+      if (seen.hp == spec.hp) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    configs.push_back(std::move(spec));
+    if (static_cast<int>(configs.size()) >= limit) break;
+  }
+
+  GridSearchResult result;
+  bool have_best = false;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    AUTOMC_ASSIGN_OR_RETURN(std::unique_ptr<compress::Compressor> compressor,
+                            compress::CreateCompressor(configs[i]));
+    std::unique_ptr<nn::Model> probe = base->Clone();
+    compress::CompressionContext run_ctx = ctx;
+    run_ctx.seed = options.seed * 997 + i;
+    compress::CompressionStats stats;
+    Status st = compressor->Compress(probe.get(), run_ctx, &stats);
+    ++result.configs_tried;
+    if (!st.ok()) {
+      ++result.configs_failed;
+      AUTOMC_LOG(Debug) << "grid config failed: " << configs[i].ToString()
+                        << " -> " << st.ToString();
+      continue;
+    }
+    EvalPoint point;
+    point.acc = stats.acc_after;
+    point.params = stats.params_after;
+    point.flops = stats.flops_after;
+    point.ar = stats.AccIncrease();
+    point.pr = stats.ParamReduction();
+    point.fr = stats.FlopReduction();
+    if (!have_best || point.acc > result.point.acc) {
+      result.best_spec = configs[i];
+      result.point = point;
+      have_best = true;
+    }
+  }
+  if (!have_best) {
+    return Status::Internal("no grid configuration succeeded for " + method);
+  }
+  return result;
+}
+
+}  // namespace search
+}  // namespace automc

@@ -1,0 +1,42 @@
+#ifndef AUTOMC_SEARCH_GRID_SEARCH_H_
+#define AUTOMC_SEARCH_GRID_SEARCH_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "compress/compressor.h"
+#include "nn/model.h"
+#include "search/evaluator.h"
+
+namespace automc {
+namespace search {
+
+// The paper's protocol for the manual baselines: fix a method's parameter
+// decrease ratio (HP2) to the externally requested target and grid-search
+// its remaining hyperparameters, keeping the best test accuracy.
+
+struct GridSearchOptions {
+  // Candidate configurations tried; <= 0 means the full method grid.
+  int max_configs = 8;
+  // When > 0, overrides the method grid's HP2 with this value.
+  double target_pr = 0.0;
+  uint64_t seed = 1;
+};
+
+struct GridSearchResult {
+  compress::StrategySpec best_spec;
+  EvalPoint point;     // measurement of the best configuration
+  int configs_tried = 0;
+  int configs_failed = 0;  // configurations the model couldn't support
+};
+
+// Runs `method`'s grid against clones of `base` (never mutated). Sampled
+// without replacement when max_configs is smaller than the grid.
+Result<GridSearchResult> GridSearchMethod(
+    const std::string& method, nn::Model* base,
+    const compress::CompressionContext& ctx, const GridSearchOptions& options);
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_GRID_SEARCH_H_

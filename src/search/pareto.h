@@ -1,0 +1,27 @@
+#ifndef AUTOMC_SEARCH_PARETO_H_
+#define AUTOMC_SEARCH_PARETO_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace automc {
+namespace search {
+
+// Bi-objective Pareto utilities. Points are (a, b) pairs where BOTH
+// coordinates are to be maximized; callers negate minimization objectives
+// (e.g. pass -params).
+
+// True when x weakly dominates y and is strictly better in one coordinate.
+bool Dominates(const std::pair<double, double>& x,
+               const std::pair<double, double>& y);
+
+// Indices of the non-dominated points, in increasing index order.
+// Ties/duplicates: a point equal to another is kept (neither dominates).
+std::vector<size_t> ParetoFrontIndices(
+    const std::vector<std::pair<double, double>>& points);
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_PARETO_H_

@@ -1,0 +1,208 @@
+#include "search/progressive.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "search/pareto.h"
+
+namespace automc {
+namespace search {
+
+using tensor::Tensor;
+
+namespace {
+
+// One node of the explored scheme tree H_scheme.
+struct Node {
+  std::vector<int> scheme;
+  EvalPoint point;
+  std::unordered_set<int> explored_children;
+};
+
+}  // namespace
+
+ProgressiveSearcher::ProgressiveSearcher(std::vector<Tensor> embeddings,
+                                         Tensor task_features)
+    : ProgressiveSearcher(std::move(embeddings), std::move(task_features),
+                          Options{}) {}
+
+ProgressiveSearcher::ProgressiveSearcher(std::vector<Tensor> embeddings,
+                                         Tensor task_features, Options options)
+    : embeddings_(std::move(embeddings)),
+      task_features_(std::move(task_features)),
+      options_(options) {}
+
+Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
+                                                  const SearchSpace& space,
+                                                  const SearchConfig& config) {
+  if (space.size() == 0) return Status::InvalidArgument("empty search space");
+  if (embeddings_.size() != space.size()) {
+    return Status::InvalidArgument(
+        "embedding count does not match search space size");
+  }
+  Rng rng(config.seed + 9000);
+  Archive archive(config.gamma);
+  Fmo fmo(embeddings_[0].numel(), task_features_.numel(), config.seed + 77);
+  std::vector<FmoExample> replay;
+
+  // Warm-start F_mo on measured experience before the first round.
+  if (!warm_start_.empty()) {
+    for (int epoch = 0; epoch < 20; ++epoch) {
+      std::vector<FmoExample> batch;
+      for (int i = 0; i < 16; ++i) {
+        batch.push_back(warm_start_[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(warm_start_.size())))]);
+      }
+      fmo.TrainBatch(batch);
+    }
+    replay = warm_start_;
+    if (static_cast<int>(replay.size()) > options_.max_replay) {
+      replay.resize(static_cast<size_t>(options_.max_replay));
+    }
+  }
+
+  // Line 1: H_scheme starts from the START node (the uncompressed model).
+  std::vector<Node> nodes;
+  nodes.push_back(Node{{}, evaluator->base_point(), {}});
+
+  auto scheme_embeddings = [&](const std::vector<int>& scheme) {
+    std::vector<Tensor> seq;
+    seq.reserve(scheme.size());
+    for (int s : scheme) seq.push_back(embeddings_[static_cast<size_t>(s)]);
+    return seq;
+  };
+
+  while (evaluator->strategy_executions() < config.max_strategy_executions) {
+    // Line 3: sample H_sub — all current Pareto-optimal nodes first, then
+    // random extras (the paper samples "Pareto-Optimal and evaluated
+    // schemes").
+    std::vector<size_t> extendable;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (static_cast<int>(nodes[i].scheme.size()) < config.max_length) {
+        extendable.push_back(i);
+      }
+    }
+    if (extendable.empty()) break;
+    std::vector<std::pair<double, double>> objs;
+    objs.reserve(extendable.size());
+    for (size_t i : extendable) {
+      objs.push_back({nodes[i].point.acc,
+                      -static_cast<double>(nodes[i].point.params)});
+    }
+    std::vector<size_t> h_sub;
+    for (size_t fi : ParetoFrontIndices(objs)) h_sub.push_back(extendable[fi]);
+    rng.Shuffle(&h_sub);
+    if (static_cast<int>(h_sub.size()) > options_.sample_schemes) {
+      h_sub.resize(static_cast<size_t>(options_.sample_schemes));
+    }
+    while (static_cast<int>(h_sub.size()) < options_.sample_schemes &&
+           h_sub.size() < extendable.size()) {
+      size_t pick = extendable[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(extendable.size())))];
+      if (std::find(h_sub.begin(), h_sub.end(), pick) == h_sub.end()) {
+        h_sub.push_back(pick);
+      }
+    }
+
+    // Line 4: S_step — unexplored one-step extensions (subsampled).
+    struct Candidate {
+      size_t node;
+      int strategy;
+      double pred_acc;   // ACC_{seq,s}
+      double pred_par;   // PAR_{seq,s}
+    };
+    std::vector<Candidate> candidates;
+    for (size_t ni : h_sub) {
+      Node& node = nodes[ni];
+      std::vector<Tensor> seq = scheme_embeddings(node.scheme);
+      for (int c = 0; c < options_.candidates_per_scheme; ++c) {
+        int s = static_cast<int>(
+            rng.UniformInt(static_cast<int64_t>(space.size())));
+        if (node.explored_children.count(s)) continue;
+        // Line 5 scoring (Equation 4).
+        auto [ar_step, pr_step] =
+            fmo.Predict(seq, embeddings_[static_cast<size_t>(s)], task_features_);
+        Candidate cand;
+        cand.node = ni;
+        cand.strategy = s;
+        cand.pred_acc = node.point.acc * (1.0 + ar_step);
+        cand.pred_par =
+            static_cast<double>(node.point.params) * (1.0 - pr_step);
+        candidates.push_back(cand);
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Line 5: ParetoO = argmax [ACC, PAR] (maximize ACC, minimize PAR).
+    std::vector<std::pair<double, double>> cand_objs;
+    cand_objs.reserve(candidates.size());
+    for (const Candidate& c : candidates) {
+      cand_objs.push_back({c.pred_acc, -c.pred_par});
+    }
+    std::vector<size_t> pareto = ParetoFrontIndices(cand_objs);
+    rng.Shuffle(&pareto);
+    if (static_cast<int>(pareto.size()) > options_.max_evals_per_round) {
+      pareto.resize(static_cast<size_t>(options_.max_evals_per_round));
+    }
+
+    // Line 6: evaluate the selected extensions (prefix-cached, so each
+    // costs one strategy execution).
+    std::vector<FmoExample> batch;
+    for (size_t pi : pareto) {
+      if (evaluator->strategy_executions() >= config.max_strategy_executions) {
+        break;
+      }
+      const Candidate& cand = candidates[pi];
+      Node& parent = nodes[cand.node];
+      std::vector<int> child_scheme = parent.scheme;
+      child_scheme.push_back(cand.strategy);
+
+      EvalPoint parent_point;
+      auto point = evaluator->Evaluate(child_scheme, &parent_point);
+      if (!point.ok()) return point.status();
+      parent.explored_children.insert(cand.strategy);
+      archive.Record(child_scheme, *point,
+                     static_cast<int>(evaluator->strategy_executions()));
+
+      // Measured step effects for Equation 5.
+      FmoExample ex;
+      ex.sequence = scheme_embeddings(parent.scheme);
+      ex.candidate = embeddings_[static_cast<size_t>(cand.strategy)];
+      ex.task = task_features_;
+      ex.ar_step = parent_point.acc > 0
+                       ? static_cast<float>(point->acc / parent_point.acc - 1.0)
+                       : 0.0f;
+      ex.pr_step = parent_point.params > 0
+                       ? static_cast<float>(
+                             1.0 - static_cast<double>(point->params) /
+                                       parent_point.params)
+                       : 0.0f;
+      batch.push_back(ex);
+
+      // Line 8: the new scheme joins H_scheme.
+      nodes.push_back(Node{std::move(child_scheme), *point, {}});
+    }
+    if (batch.empty()) continue;
+
+    // Line 7: optimize F_mo on fresh transitions plus replay.
+    for (const FmoExample& ex : batch) {
+      if (static_cast<int>(replay.size()) < options_.max_replay) {
+        replay.push_back(ex);
+      } else {
+        replay[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(replay.size())))] = ex;
+      }
+    }
+    std::vector<FmoExample> train_batch = batch;
+    for (int extra = 0; extra < 8 && !replay.empty(); ++extra) {
+      train_batch.push_back(replay[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(replay.size())))]);
+    }
+    fmo.TrainBatch(train_batch);
+  }
+
+  return archive.Finalize(static_cast<int>(evaluator->strategy_executions()));
+}
+
+}  // namespace search
+}  // namespace automc

@@ -1,0 +1,62 @@
+#ifndef AUTOMC_SEARCH_PROGRESSIVE_H_
+#define AUTOMC_SEARCH_PROGRESSIVE_H_
+
+#include <memory>
+#include <vector>
+
+#include "search/fmo.h"
+#include "search/searcher.h"
+
+namespace automc {
+namespace search {
+
+// AutoMC's progressive search strategy (Algorithm 2). The scheme tree is
+// grown one strategy at a time: each round samples evaluated schemes,
+// scores all unexplored one-step extensions with the learned multi-objective
+// evaluator F_mo, evaluates only the predicted-Pareto-optimal extensions,
+// and feeds the measured step effects back into F_mo.
+class ProgressiveSearcher : public Searcher {
+ public:
+  struct Options {
+    // |H_sub|: evaluated schemes sampled per round (line 3).
+    int sample_schemes = 6;
+    // Candidate next strategies sampled per sampled scheme (S_step is
+    // subsampled for tractability; the full C is ~4k strategies).
+    int candidates_per_scheme = 192;
+    // Cap on evaluations per round (|ParetoO| can be large early on).
+    int max_evals_per_round = 4;
+    // F_mo replay buffer cap.
+    int max_replay = 512;
+  };
+
+  // `embeddings[i]` is the learned embedding of strategy i (Algorithm 1);
+  // `task_features` the 7-dim task descriptor.
+  ProgressiveSearcher(std::vector<tensor::Tensor> embeddings,
+                      tensor::Tensor task_features);
+  ProgressiveSearcher(std::vector<tensor::Tensor> embeddings,
+                      tensor::Tensor task_features, Options options);
+
+  // Pre-training data for F_mo: measured one-step effects (e.g. derived
+  // from the Algorithm-1 experience records). Trained before the first
+  // search round, so early Pareto selections are informed instead of
+  // random.
+  void set_warm_start(std::vector<FmoExample> examples) {
+    warm_start_ = std::move(examples);
+  }
+
+  std::string Name() const override { return "AutoMC"; }
+  Result<SearchOutcome> Search(SchemeEvaluator* evaluator,
+                               const SearchSpace& space,
+                               const SearchConfig& config) override;
+
+ private:
+  std::vector<tensor::Tensor> embeddings_;
+  tensor::Tensor task_features_;
+  Options options_;
+  std::vector<FmoExample> warm_start_;
+};
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_PROGRESSIVE_H_

@@ -1,0 +1,29 @@
+#include "search/random_search.h"
+
+namespace automc {
+namespace search {
+
+Result<SearchOutcome> RandomSearcher::Search(SchemeEvaluator* evaluator,
+                                             const SearchSpace& space,
+                                             const SearchConfig& config) {
+  if (space.size() == 0) return Status::InvalidArgument("empty search space");
+  Rng rng(config.seed);
+  Archive archive(config.gamma);
+
+  while (evaluator->strategy_executions() < config.max_strategy_executions) {
+    int64_t length = 1 + rng.UniformInt(config.max_length);
+    std::vector<int> scheme;
+    scheme.reserve(static_cast<size_t>(length));
+    for (int64_t i = 0; i < length; ++i) {
+      scheme.push_back(
+          static_cast<int>(rng.UniformInt(static_cast<int64_t>(space.size()))));
+    }
+    AUTOMC_ASSIGN_OR_RETURN(EvalPoint point, evaluator->Evaluate(scheme));
+    archive.Record(scheme, point,
+                   static_cast<int>(evaluator->strategy_executions()));
+  }
+  return archive.Finalize(static_cast<int>(evaluator->strategy_executions()));
+}
+
+}  // namespace search
+}  // namespace automc

@@ -1,0 +1,22 @@
+#ifndef AUTOMC_SEARCH_RANDOM_SEARCH_H_
+#define AUTOMC_SEARCH_RANDOM_SEARCH_H_
+
+#include "search/searcher.h"
+
+namespace automc {
+namespace search {
+
+// The standard AutoML baseline: sample scheme lengths and strategies
+// uniformly at random until the execution budget is exhausted.
+class RandomSearcher : public Searcher {
+ public:
+  std::string Name() const override { return "Random"; }
+  Result<SearchOutcome> Search(SchemeEvaluator* evaluator,
+                               const SearchSpace& space,
+                               const SearchConfig& config) override;
+};
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_RANDOM_SEARCH_H_

@@ -1,0 +1,39 @@
+#ifndef AUTOMC_SEARCH_REPORT_H_
+#define AUTOMC_SEARCH_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "search/search_space.h"
+#include "search/searcher.h"
+
+namespace automc {
+namespace search {
+
+// CSV exports of search results, so the Figure 4/5 series can be plotted
+// with external tooling.
+
+// history.csv: executions,best_acc_feasible,best_acc_any
+Status WriteHistoryCsv(const SearchOutcome& outcome, std::ostream* out);
+Status WriteHistoryCsvFile(const SearchOutcome& outcome,
+                           const std::string& path);
+
+// pareto.csv: acc,params,flops,pr,fr,scheme (scheme as quoted text)
+Status WriteParetoCsv(const SearchOutcome& outcome, const SearchSpace& space,
+                      std::ostream* out);
+Status WriteParetoCsvFile(const SearchOutcome& outcome,
+                          const SearchSpace& space, const std::string& path);
+
+// Lossless text persistence of a SearchOutcome (schemes as strategy index
+// sequences), so long searches can be checkpointed and their results
+// re-deployed later (e.g. by the transfer study) without re-searching.
+Status SaveOutcome(const SearchOutcome& outcome, std::ostream* out);
+Result<SearchOutcome> LoadOutcome(std::istream* in);
+Status SaveOutcomeFile(const SearchOutcome& outcome, const std::string& path);
+Result<SearchOutcome> LoadOutcomeFile(const std::string& path);
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_REPORT_H_

@@ -1,0 +1,145 @@
+#include "search/rl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "nn/seqnet.h"
+
+namespace automc {
+namespace search {
+
+using tensor::Tensor;
+
+Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
+                                         const SearchSpace& space,
+                                         const SearchConfig& config) {
+  if (space.size() == 0) return Status::InvalidArgument("empty search space");
+  const int64_t num_actions = static_cast<int64_t>(space.size());
+  const int64_t stop_action = num_actions;  // last logit = STOP
+  const int64_t start_token = num_actions;  // embedding row for <start>
+
+  Rng rng(config.seed + 5000);
+  Archive archive(config.gamma);
+
+  nn::GruCell gru(options_.action_embedding_dim, options_.hidden_dim, &rng);
+  nn::VecMlp head({options_.hidden_dim, num_actions + 1}, &rng);
+  nn::Param embeddings(Tensor::Randn(
+      {num_actions + 1, options_.action_embedding_dim}, &rng, 0.1f));
+  nn::Adam optimizer(options_.lr);
+
+  auto all_params = [&]() {
+    std::vector<nn::Param*> params = gru.Params();
+    for (nn::Param* p : head.Params()) params.push_back(p);
+    params.push_back(&embeddings);
+    return params;
+  };
+
+  auto embedding_of = [&](int64_t row) {
+    Tensor e({options_.action_embedding_dim});
+    const float* src =
+        embeddings.value.data() + row * options_.action_embedding_dim;
+    std::copy(src, src + options_.action_embedding_dim, e.data());
+    return e;
+  };
+
+  double baseline = 0.0;
+  bool baseline_init = false;
+
+  while (evaluator->strategy_executions() < config.max_strategy_executions) {
+    // ---- Sample one episode (scheme) from the controller. ----
+    struct Step {
+      nn::GruCell::Cache gru_cache;
+      nn::VecMlp::Cache head_cache;
+      std::vector<float> probs;  // softmax over actions (after masking)
+      int64_t action = 0;
+      int64_t input_row = 0;  // embedding row fed at this step
+    };
+    std::vector<Step> steps;
+    std::vector<int> scheme;
+    Tensor h = gru.InitialState();
+    int64_t input_row = start_token;
+    for (int t = 0; t < config.max_length; ++t) {
+      Step step;
+      step.input_row = input_row;
+      Tensor x = embedding_of(input_row);
+      h = gru.Step(x, h, &step.gru_cache);
+      Tensor logits = head.Forward(h, &step.head_cache);
+      // Mask STOP on the first step: empty schemes are useless.
+      bool mask_stop = (t == 0);
+      float mx = -1e30f;
+      for (int64_t a = 0; a <= num_actions; ++a) {
+        if (mask_stop && a == stop_action) continue;
+        mx = std::max(mx, logits[a]);
+      }
+      double z = 0.0;
+      step.probs.assign(static_cast<size_t>(num_actions + 1), 0.0f);
+      for (int64_t a = 0; a <= num_actions; ++a) {
+        if (mask_stop && a == stop_action) continue;
+        double p = std::exp(static_cast<double>(logits[a]) - mx);
+        step.probs[static_cast<size_t>(a)] = static_cast<float>(p);
+        z += p;
+      }
+      for (auto& p : step.probs) p = static_cast<float>(p / z);
+      // Sample.
+      double u = rng.Uniform();
+      int64_t action = mask_stop ? 0 : stop_action;
+      double acc = 0.0;
+      for (int64_t a = 0; a <= num_actions; ++a) {
+        acc += step.probs[static_cast<size_t>(a)];
+        if (u <= acc) {
+          action = a;
+          break;
+        }
+      }
+      step.action = action;
+      steps.push_back(std::move(step));
+      if (action == stop_action) break;
+      scheme.push_back(static_cast<int>(action));
+      input_row = action;
+    }
+    if (scheme.empty()) continue;
+
+    // ---- Evaluate and compute the reward. ----
+    AUTOMC_ASSIGN_OR_RETURN(EvalPoint point, evaluator->Evaluate(scheme));
+    archive.Record(scheme, point,
+                   static_cast<int>(evaluator->strategy_executions()));
+    double reward =
+        point.acc - options_.infeasibility_penalty *
+                        std::max(0.0, config.gamma - point.pr);
+    if (!baseline_init) {
+      baseline = reward;
+      baseline_init = true;
+    }
+    double advantage = reward - baseline;
+    baseline = 0.9 * baseline + 0.1 * reward;
+
+    // ---- REINFORCE update: minimize -advantage * sum_t log pi(a_t). ----
+    for (nn::Param* p : all_params()) p->ZeroGrad();
+    Tensor dh_next({options_.hidden_dim});  // gradient flowing from t+1
+    for (size_t t = steps.size(); t-- > 0;) {
+      Step& step = steps[t];
+      Tensor dlogits({num_actions + 1});
+      for (int64_t a = 0; a <= num_actions; ++a) {
+        dlogits[a] = static_cast<float>(advantage) *
+                     step.probs[static_cast<size_t>(a)];
+      }
+      dlogits[step.action] -= static_cast<float>(advantage);
+      Tensor dh = head.Backward(step.head_cache, dlogits);
+      dh.AddInPlace(dh_next);
+      auto [dx, dh_prev] = gru.BackwardStep(step.gru_cache, dh);
+      // Accumulate into the input embedding row.
+      float* grow = embeddings.grad.data() +
+                    step.input_row * options_.action_embedding_dim;
+      for (int64_t i = 0; i < options_.action_embedding_dim; ++i) {
+        grow[i] += dx[i];
+      }
+      dh_next = std::move(dh_prev);
+    }
+    optimizer.Step(all_params());
+  }
+  return archive.Finalize(static_cast<int>(evaluator->strategy_executions()));
+}
+
+}  // namespace search
+}  // namespace automc

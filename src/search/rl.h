@@ -1,0 +1,38 @@
+#ifndef AUTOMC_SEARCH_RL_H_
+#define AUTOMC_SEARCH_RL_H_
+
+#include "search/searcher.h"
+
+namespace automc {
+namespace search {
+
+// RL baseline: a recurrent (GRU) controller emits a compression scheme one
+// strategy at a time (with a STOP action) and is trained with REINFORCE on
+// whole-scheme rewards. This is the non-progressive contrast to AutoMC: it
+// only learns from complete scheme evaluations.
+class RlSearcher : public Searcher {
+ public:
+  struct Options {
+    int64_t action_embedding_dim = 16;
+    int64_t hidden_dim = 32;
+    float lr = 0.005f;
+    // Reward: accuracy minus a penalty when the target reduction is missed.
+    double infeasibility_penalty = 1.0;
+  };
+
+  RlSearcher() : options_(Options{}) {}
+  explicit RlSearcher(Options options) : options_(options) {}
+
+  std::string Name() const override { return "RL"; }
+  Result<SearchOutcome> Search(SchemeEvaluator* evaluator,
+                               const SearchSpace& space,
+                               const SearchConfig& config) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_RL_H_

@@ -1,0 +1,128 @@
+#include "search/search_space.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace automc {
+namespace search {
+
+namespace {
+
+using Grid = std::map<std::string, std::vector<std::string>>;
+
+// Hyperparameter grids transcribed from Table 1. Epoch-style settings (HP1,
+// HP7, HP9, HP13) are fractions of the original model's pretraining epochs
+// ("*n" in the table); HP2 is the per-strategy parameter decrease ratio.
+const std::vector<std::string> kHp1 = {"0.1", "0.2", "0.3", "0.4", "0.5"};
+const std::vector<std::string> kHp2 = {"0.04", "0.12", "0.2", "0.36", "0.4"};
+
+// Cartesian product of the grid, appended to *out.
+void Expand(const std::string& method, const Grid& grid,
+            std::vector<compress::StrategySpec>* out) {
+  std::vector<compress::StrategySpec> partial = {{method, {}}};
+  for (const auto& [hp, values] : grid) {
+    std::vector<compress::StrategySpec> next;
+    next.reserve(partial.size() * values.size());
+    for (const auto& spec : partial) {
+      for (const auto& v : values) {
+        compress::StrategySpec s = spec;
+        s.hp[hp] = v;
+        next.push_back(std::move(s));
+      }
+    }
+    partial = std::move(next);
+  }
+  for (auto& s : partial) out->push_back(std::move(s));
+}
+
+void AppendMethod(const std::string& method,
+                  std::vector<compress::StrategySpec>* out) {
+  if (method == "LMA") {
+    Expand("LMA",
+           Grid{{"HP1", kHp1},
+                {"HP2", kHp2},
+                {"HP3", {"2", "3", "5"}},
+                {"HP4", {"1", "3", "6", "10"}},
+                {"HP5", {"0.05", "0.3", "0.5", "0.99"}}},
+           out);
+  } else if (method == "LeGR") {
+    Expand("LeGR",
+           Grid{{"HP1", kHp1},
+                {"HP2", kHp2},
+                {"HP6", {"0.7", "0.9"}},
+                {"HP7", {"0.4", "0.5", "0.6", "0.7"}},
+                {"HP8", {"l1_weight", "l2_weight", "l2_bn_param"}}},
+           out);
+  } else if (method == "NS") {
+    Expand("NS",
+           Grid{{"HP1", kHp1}, {"HP2", kHp2}, {"HP6", {"0.7", "0.9"}}},
+           out);
+  } else if (method == "SFP") {
+    Expand("SFP",
+           Grid{{"HP2", kHp2},
+                {"HP9", {"0.1", "0.2", "0.3", "0.4", "0.5"}},
+                {"HP10", {"1", "3", "5"}}},
+           out);
+  } else if (method == "HOS") {
+    Expand("HOS",
+           Grid{{"HP1", kHp1},
+                {"HP2", kHp2},
+                {"HP11", {"P1", "P2", "P3"}},
+                {"HP12", {"l1norm", "k34", "skew_kur"}},
+                {"HP13", {"0.3", "0.4", "0.5"}},
+                {"HP14", {"1", "3", "5"}}},
+           out);
+  } else if (method == "QT") {
+    Expand("QT", Grid{{"HP1", kHp1}, {"HP17", {"4", "6", "8"}}}, out);
+  } else if (method == "LFB") {
+    Expand("LFB",
+           Grid{{"HP1", kHp1},
+                {"HP2", kHp2},
+                {"HP15", {"0.5", "1", "1.5", "3", "5"}},
+                {"HP16", {"NLL", "CE", "MSE"}}},
+           out);
+  } else {
+    // Unknown methods contribute nothing; callers observe an empty grid and
+    // report NotFound (e.g. GridSearchMethod).
+    AUTOMC_LOG(Warning) << "unknown compression method: " << method;
+  }
+}
+
+}  // namespace
+
+SearchSpace SearchSpace::FullTable1() {
+  SearchSpace space;
+  for (const char* m : {"LMA", "LeGR", "NS", "SFP", "HOS", "LFB"}) {
+    AppendMethod(m, &space.strategies_);
+  }
+  return space;
+}
+
+SearchSpace SearchSpace::Table1WithExtensions() {
+  SearchSpace space = FullTable1();
+  AppendMethod("QT", &space.strategies_);
+  return space;
+}
+
+SearchSpace SearchSpace::SingleMethod(const std::string& method) {
+  SearchSpace space;
+  AppendMethod(method, &space.strategies_);
+  return space;
+}
+
+std::string SearchSpace::SchemeToString(const std::vector<int>& scheme) const {
+  if (scheme.empty()) return "(empty)";
+  std::string out;
+  for (size_t i = 0; i < scheme.size(); ++i) {
+    if (i) out += " -> ";
+    AUTOMC_CHECK(scheme[i] >= 0 &&
+                 static_cast<size_t>(scheme[i]) < strategies_.size());
+    out += strategies_[static_cast<size_t>(scheme[i])].ToString();
+  }
+  return out;
+}
+
+}  // namespace search
+}  // namespace automc

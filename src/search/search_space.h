@@ -1,0 +1,44 @@
+#ifndef AUTOMC_SEARCH_SEARCH_SPACE_H_
+#define AUTOMC_SEARCH_SEARCH_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+
+namespace automc {
+namespace search {
+
+// The space of compression strategies: every method of Table 1 crossed with
+// its hyperparameter grid. A compression *scheme* is a sequence of indices
+// into strategies(); the scheme space is the tree of Figure 1.
+class SearchSpace {
+ public:
+  // All six methods with the full Table 1 grids.
+  static SearchSpace FullTable1();
+  // Table 1 plus the QT quantization extension (the paper's future-work
+  // "enrich our search space" direction).
+  static SearchSpace Table1WithExtensions();
+  // Only the given method's strategies (the AutoMC-MultipleSource ablation
+  // uses SingleMethod("LeGR")).
+  static SearchSpace SingleMethod(const std::string& method);
+
+  const std::vector<compress::StrategySpec>& strategies() const {
+    return strategies_;
+  }
+  size_t size() const { return strategies_.size(); }
+  const compress::StrategySpec& strategy(size_t i) const {
+    return strategies_[i];
+  }
+
+  // Human-readable form of a scheme ("LeGR(...) -> NS(...)").
+  std::string SchemeToString(const std::vector<int>& scheme) const;
+
+ private:
+  std::vector<compress::StrategySpec> strategies_;
+};
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_SEARCH_SPACE_H_

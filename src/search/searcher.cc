@@ -1,0 +1,64 @@
+#include "search/searcher.h"
+
+#include <algorithm>
+
+#include "search/pareto.h"
+
+namespace automc {
+namespace search {
+
+void Archive::Record(const std::vector<int>& scheme, const EvalPoint& point,
+                     int executions_so_far) {
+  schemes_.push_back(scheme);
+  points_.push_back(point);
+  best_any_acc_ = std::max(best_any_acc_, point.acc);
+  if (point.pr >= gamma_) {
+    best_feasible_acc_ = std::max(best_feasible_acc_, point.acc);
+  }
+  HistoryPoint h;
+  h.executions = executions_so_far;
+  h.best_acc = best_feasible_acc_;
+  h.best_acc_any = best_any_acc_;
+  history_.push_back(h);
+}
+
+SearchOutcome Archive::Finalize(int executions) const {
+  SearchOutcome out;
+  out.history = history_;
+  out.executions = executions;
+
+  // Pareto set over feasible schemes: maximize accuracy, minimize params.
+  std::vector<size_t> feasible;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].pr >= gamma_) feasible.push_back(i);
+  }
+  if (feasible.empty()) {
+    // No scheme met gamma; fall back to the full set so callers still get
+    // the best available trade-offs.
+    for (size_t i = 0; i < points_.size(); ++i) feasible.push_back(i);
+  }
+  std::vector<std::pair<double, double>> objectives;
+  objectives.reserve(feasible.size());
+  for (size_t i : feasible) {
+    objectives.push_back(
+        {points_[i].acc, -static_cast<double>(points_[i].params)});
+  }
+  for (size_t fi : ParetoFrontIndices(objectives)) {
+    size_t i = feasible[fi];
+    // Skip duplicates (same scheme evaluated twice).
+    bool dup = false;
+    for (const auto& s : out.pareto_schemes) {
+      if (s == schemes_[i]) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    out.pareto_schemes.push_back(schemes_[i]);
+    out.pareto_points.push_back(points_[i]);
+  }
+  return out;
+}
+
+}  // namespace search
+}  // namespace automc

@@ -1,0 +1,73 @@
+#ifndef AUTOMC_SEARCH_SEARCHER_H_
+#define AUTOMC_SEARCH_SEARCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "search/evaluator.h"
+#include "search/search_space.h"
+
+namespace automc {
+namespace search {
+
+// Budget and constraints shared by all search strategies. The budget unit
+// is real strategy executions (compressor runs), the dominant cost.
+struct SearchConfig {
+  int max_strategy_executions = 50;
+  int max_length = 5;    // L of Section 3.2
+  double gamma = 0.3;    // target parameter reduction rate
+  uint64_t seed = 1;
+};
+
+// Best-so-far curve sample (drives the Figure 4 reproduction).
+struct HistoryPoint {
+  int executions = 0;
+  double best_acc = 0.0;          // best accuracy among schemes with pr >= gamma
+  double best_acc_any = 0.0;      // best accuracy over all evaluated schemes
+};
+
+struct SearchOutcome {
+  // Pareto-optimal (acc maximized, params minimized) evaluated schemes with
+  // pr >= gamma; parallel arrays.
+  std::vector<std::vector<int>> pareto_schemes;
+  std::vector<EvalPoint> pareto_points;
+  std::vector<HistoryPoint> history;
+  int executions = 0;
+};
+
+// Accumulates evaluated schemes and derives Pareto set + history. Shared by
+// every searcher implementation.
+class Archive {
+ public:
+  explicit Archive(double gamma) : gamma_(gamma) {}
+
+  void Record(const std::vector<int>& scheme, const EvalPoint& point,
+              int executions_so_far);
+  SearchOutcome Finalize(int executions) const;
+  const std::vector<HistoryPoint>& history() const { return history_; }
+  // Best accuracy among feasible (pr >= gamma) schemes so far; -1 if none.
+  double best_feasible_acc() const { return best_feasible_acc_; }
+
+ private:
+  double gamma_;
+  std::vector<std::vector<int>> schemes_;
+  std::vector<EvalPoint> points_;
+  std::vector<HistoryPoint> history_;
+  double best_feasible_acc_ = -1.0;
+  double best_any_acc_ = -1.0;
+};
+
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+  virtual std::string Name() const = 0;
+  virtual Result<SearchOutcome> Search(SchemeEvaluator* evaluator,
+                                       const SearchSpace& space,
+                                       const SearchConfig& config) = 0;
+};
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_SEARCHER_H_

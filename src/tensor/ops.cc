@@ -1,0 +1,162 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+namespace automc {
+namespace tensor {
+
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
+  AUTOMC_CHECK_EQ(a.dim(), 2);
+  AUTOMC_CHECK_EQ(b.dim(), 2);
+  AUTOMC_CHECK_EQ(c->dim(), 2);
+  int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  AUTOMC_CHECK_EQ(b.size(0), k);
+  AUTOMC_CHECK_EQ(c->size(0), m);
+  AUTOMC_CHECK_EQ(c->size(1), n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c->data();
+  // i-k-j loop order keeps both B and C rows contiguous in the inner loop.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    const float* arow = pa + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.size(0), b.size(1)});
+  MatMulAccumulate(a, b, &c);
+  return c;
+}
+
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+  AUTOMC_CHECK_EQ(a.dim(), 2);
+  AUTOMC_CHECK_EQ(b.dim(), 2);
+  int64_t k = a.size(0), m = a.size(1), n = b.size(1);
+  AUTOMC_CHECK_EQ(b.size(0), k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  AUTOMC_CHECK_EQ(a.dim(), 2);
+  AUTOMC_CHECK_EQ(b.dim(), 2);
+  int64_t m = a.size(0), k = a.size(1), n = b.size(0);
+  AUTOMC_CHECK_EQ(b.size(1), k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double s = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) s += static_cast<double>(arow[kk]) * brow[kk];
+      crow[j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+void Im2Col(const float* x, const ConvGeometry& g, Tensor* cols) {
+  int64_t oh = g.OutH(), ow = g.OutW();
+  AUTOMC_CHECK_EQ(cols->dim(), 2);
+  AUTOMC_CHECK_EQ(cols->size(0), g.in_c * g.kernel * g.kernel);
+  AUTOMC_CHECK_EQ(cols->size(1), oh * ow);
+  float* out = cols->data();
+  int64_t col_w = oh * ow;
+  for (int64_t c = 0; c < g.in_c; ++c) {
+    const float* xc = x + c * g.in_h * g.in_w;
+    for (int64_t ki = 0; ki < g.kernel; ++ki) {
+      for (int64_t kj = 0; kj < g.kernel; ++kj) {
+        float* row =
+            out + ((c * g.kernel + ki) * g.kernel + kj) * col_w;
+        int64_t idx = 0;
+        for (int64_t i = 0; i < oh; ++i) {
+          int64_t src_i = i * g.stride + ki - g.pad;
+          bool row_ok = src_i >= 0 && src_i < g.in_h;
+          for (int64_t j = 0; j < ow; ++j, ++idx) {
+            int64_t src_j = j * g.stride + kj - g.pad;
+            row[idx] = (row_ok && src_j >= 0 && src_j < g.in_w)
+                           ? xc[src_i * g.in_w + src_j]
+                           : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const Tensor& cols, const ConvGeometry& g, float* dx) {
+  int64_t oh = g.OutH(), ow = g.OutW();
+  AUTOMC_CHECK_EQ(cols.dim(), 2);
+  AUTOMC_CHECK_EQ(cols.size(0), g.in_c * g.kernel * g.kernel);
+  AUTOMC_CHECK_EQ(cols.size(1), oh * ow);
+  const float* in = cols.data();
+  int64_t col_w = oh * ow;
+  for (int64_t c = 0; c < g.in_c; ++c) {
+    float* xc = dx + c * g.in_h * g.in_w;
+    for (int64_t ki = 0; ki < g.kernel; ++ki) {
+      for (int64_t kj = 0; kj < g.kernel; ++kj) {
+        const float* row =
+            in + ((c * g.kernel + ki) * g.kernel + kj) * col_w;
+        int64_t idx = 0;
+        for (int64_t i = 0; i < oh; ++i) {
+          int64_t src_i = i * g.stride + ki - g.pad;
+          bool row_ok = src_i >= 0 && src_i < g.in_h;
+          for (int64_t j = 0; j < ow; ++j, ++idx) {
+            int64_t src_j = j * g.stride + kj - g.pad;
+            if (row_ok && src_j >= 0 && src_j < g.in_w) {
+              xc[src_i * g.in_w + src_j] += row[idx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor LogSoftmax(const Tensor& logits) {
+  AUTOMC_CHECK_EQ(logits.dim(), 2);
+  int64_t n = logits.size(0), c = logits.size(1);
+  Tensor out({n, c});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < c; ++j) sum += std::exp(static_cast<double>(row[j]) - mx);
+    float lse = mx + static_cast<float>(std::log(sum));
+    for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
+  }
+  return out;
+}
+
+}  // namespace tensor
+}  // namespace automc

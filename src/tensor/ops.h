@@ -1,0 +1,44 @@
+#ifndef AUTOMC_TENSOR_OPS_H_
+#define AUTOMC_TENSOR_OPS_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace automc {
+namespace tensor {
+
+// Dense kernels shared by the layer implementations. All output tensors are
+// allocated by the caller-facing functions; shapes are checked.
+
+// c = a * b for 2-D tensors; a is [m,k], b is [k,n], result [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// c += a * b into an existing [m,n] tensor.
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor* c);
+// c = a^T * b with a [k,m], b [k,n] -> [m,n].
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b);
+// c = a * b^T with a [m,k], b [n,k] -> [m,n].
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
+
+// Geometry of a 2-D convolution / pooling window.
+struct ConvGeometry {
+  int64_t in_c = 0, in_h = 0, in_w = 0;
+  int64_t kernel = 1, stride = 1, pad = 0;
+  int64_t OutH() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  int64_t OutW() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+};
+
+// Unfolds one image x[c,h,w] (given as a pointer into an NCHW batch) into a
+// column matrix of shape [C*k*k, OH*OW]; zero padding outside the image.
+void Im2Col(const float* x, const ConvGeometry& g, Tensor* cols);
+// Adjoint of Im2Col: folds the column matrix back, accumulating into dx
+// (dx must be pre-zeroed by the caller for a pure adjoint).
+void Col2Im(const Tensor& cols, const ConvGeometry& g, float* dx);
+
+// Row-wise log-softmax of a [n, c] tensor.
+Tensor LogSoftmax(const Tensor& logits);
+
+}  // namespace tensor
+}  // namespace automc
+
+#endif  // AUTOMC_TENSOR_OPS_H_

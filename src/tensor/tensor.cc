@@ -1,0 +1,101 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace automc {
+namespace tensor {
+
+namespace {
+int64_t Product(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    AUTOMC_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      numel_(Product(shape_)),
+      data_(static_cast<size_t>(numel_), 0.0f) {}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng, float stddev) {
+  AUTOMC_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::KaimingNormal(std::vector<int64_t> shape, int64_t fan_in,
+                             Rng* rng) {
+  AUTOMC_CHECK_GT(fan_in, 0);
+  float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Randn(std::move(shape), rng, stddev);
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
+  Tensor out(std::move(new_shape));
+  AUTOMC_CHECK_EQ(out.numel(), numel_)
+      << "reshape " << ShapeString() << " -> " << out.ShapeString();
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  AUTOMC_CHECK_EQ(numel_, other.numel_);
+  for (int64_t i = 0; i < numel_; ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::AxpyInPlace(float alpha, const Tensor& x) {
+  AUTOMC_CHECK_EQ(numel_, x.numel_);
+  for (int64_t i = 0; i < numel_; ++i) data_[i] += alpha * x.data_[i];
+}
+
+void Tensor::Scale(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+float Tensor::SumAll() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::L2NormSquared() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(s);
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ",";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace tensor
+}  // namespace automc

@@ -1,0 +1,100 @@
+#ifndef AUTOMC_TENSOR_TENSOR_H_
+#define AUTOMC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace automc {
+namespace tensor {
+
+// Contiguous float32 N-dimensional array (up to 4-D in practice: NCHW
+// activations, FCKK convolution kernels, 2-D weight matrices, 1-D biases).
+// Deep-copyable; all layers own their parameters as Tensors.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape);
+  Tensor(std::initializer_list<int64_t> shape)
+      : Tensor(std::vector<int64_t>(shape)) {}
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  // Gaussian init with the given standard deviation.
+  static Tensor Randn(std::vector<int64_t> shape, Rng* rng,
+                      float stddev = 1.0f);
+  // Kaiming/He normal init for a fan-in of `fan_in`.
+  static Tensor KaimingNormal(std::vector<int64_t> shape, int64_t fan_in,
+                              Rng* rng);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t size(int64_t axis) const {
+    AUTOMC_CHECK(axis >= 0 && axis < dim());
+    return shape_[static_cast<size_t>(axis)];
+  }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) {
+    AUTOMC_CHECK(i >= 0 && i < numel_);
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    AUTOMC_CHECK(i >= 0 && i < numel_);
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // Multi-dimensional accessors (checked in debug-style via AUTOMC_CHECK).
+  float& at(int64_t i, int64_t j) { return data_[Index2(i, j)]; }
+  float at(int64_t i, int64_t j) const { return data_[Index2(i, j)]; }
+  float& at(int64_t i, int64_t j, int64_t k, int64_t l) {
+    return data_[Index4(i, j, k, l)];
+  }
+  float at(int64_t i, int64_t j, int64_t k, int64_t l) const {
+    return data_[Index4(i, j, k, l)];
+  }
+
+  void Fill(float value);
+  // Returns a copy with a new shape; numel must match.
+  Tensor Reshaped(std::vector<int64_t> new_shape) const;
+
+  // In-place arithmetic.
+  void AddInPlace(const Tensor& other);            // this += other
+  void AxpyInPlace(float alpha, const Tensor& x);  // this += alpha * x
+  void Scale(float alpha);                         // this *= alpha
+
+  float SumAll() const;
+  float L2NormSquared() const;
+  std::string ShapeString() const;
+
+ private:
+  size_t Index2(int64_t i, int64_t j) const {
+    AUTOMC_CHECK_EQ(dim(), 2);
+    AUTOMC_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+    return static_cast<size_t>(i * shape_[1] + j);
+  }
+  size_t Index4(int64_t i, int64_t j, int64_t k, int64_t l) const {
+    AUTOMC_CHECK_EQ(dim(), 4);
+    AUTOMC_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+                 k >= 0 && k < shape_[2] && l >= 0 && l < shape_[3]);
+    return static_cast<size_t>(
+        ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l);
+  }
+
+  std::vector<int64_t> shape_;
+  int64_t numel_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace tensor
+}  // namespace automc
+
+#endif  // AUTOMC_TENSOR_TENSOR_H_

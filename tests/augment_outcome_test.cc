@@ -1,0 +1,208 @@
+// Tests for the augmentation pipeline, TransR ranking metrics, and search
+// outcome persistence.
+#include <sstream>
+
+#include "data/augment.h"
+#include "gtest/gtest.h"
+#include "kg/transr.h"
+#include "nn/trainer.h"
+#include "search/report.h"
+#include "search/search_space.h"
+
+namespace automc {
+namespace {
+
+using tensor::Tensor;
+
+// --------------------------------------------------------------------------
+// Augmentation
+
+TEST(AugmentTest, FlipIsInvolution) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn({2, 3, 4, 4}, &rng);
+  Tensor orig = x;
+  data::FlipHorizontal(&x, 1);
+  data::FlipHorizontal(&x, 1);
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(x[i], orig[i]);
+}
+
+TEST(AugmentTest, FlipMirrorsColumns) {
+  Tensor x({1, 1, 1, 4});
+  for (int j = 0; j < 4; ++j) x[j] = static_cast<float>(j);
+  data::FlipHorizontal(&x, 0);
+  EXPECT_FLOAT_EQ(x[0], 3.0f);
+  EXPECT_FLOAT_EQ(x[3], 0.0f);
+}
+
+TEST(AugmentTest, ShiftMovesAndZeroPads) {
+  Tensor x({1, 1, 3, 3});
+  x.at(0, 0, 1, 1) = 5.0f;
+  data::Shift(&x, 0, 1, 0);  // down by one
+  EXPECT_FLOAT_EQ(x.at(0, 0, 2, 1), 5.0f);
+  EXPECT_FLOAT_EQ(x.at(0, 0, 1, 1), 0.0f);
+  // Top row must be zero padding.
+  for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(x.at(0, 0, 0, j), 0.0f);
+}
+
+TEST(AugmentTest, AugmentPreservesShapeAndIsSeeded) {
+  Rng rng_data(3);
+  Tensor x = Tensor::Randn({4, 3, 8, 8}, &rng_data);
+  data::AugmentConfig cfg;
+  cfg.noise_stddev = 0.1f;
+  Rng a(7), b(7);
+  Tensor ya = data::Augment(x, cfg, &a);
+  Tensor yb = data::Augment(x, cfg, &b);
+  ASSERT_EQ(ya.shape(), x.shape());
+  for (int64_t i = 0; i < ya.numel(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(AugmentTest, NoOpConfigKeepsImages) {
+  Rng rng_data(5);
+  Tensor x = Tensor::Randn({2, 3, 4, 4}, &rng_data);
+  data::AugmentConfig cfg;
+  cfg.horizontal_flip = false;
+  cfg.pad_crop = 0;
+  cfg.noise_stddev = 0.0f;
+  Rng rng(9);
+  Tensor y = data::Augment(x, cfg, &rng);
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(AugmentTest, TrainerWithAugmentationStillLearns) {
+  data::SyntheticTaskConfig cfg;
+  cfg.num_classes = 3;
+  cfg.train_per_class = 20;
+  cfg.test_per_class = 8;
+  cfg.seed = 21;
+  data::TaskData task = MakeSyntheticTask(cfg);
+  nn::ModelSpec spec;
+  spec.family = "resnet";
+  spec.depth = 20;
+  spec.num_classes = 3;
+  spec.base_width = 4;
+  Rng rng(4);
+  auto model = std::move(nn::BuildModel(spec, &rng)).value();
+  nn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.lr = 0.02f;
+  tc.augment = true;
+  // The synthetic prototypes are not flip-invariant; use shift+noise only.
+  tc.augment_config.horizontal_flip = false;
+  tc.augment_config.pad_crop = 1;
+  tc.augment_config.noise_stddev = 0.05f;
+  nn::Trainer trainer(tc);
+  ASSERT_TRUE(trainer.Fit(model.get(), task.train).ok());
+  EXPECT_GT(nn::Trainer::Evaluate(model.get(), task.test), 1.3 / 3.0);
+}
+
+// --------------------------------------------------------------------------
+// TransR ranking metrics
+
+TEST(TransRMetricsTest, TrainingImprovesMrr) {
+  auto strategies = search::SearchSpace::SingleMethod("NS").strategies();
+  kg::KnowledgeGraph g = kg::KnowledgeGraph::Build(strategies);
+  kg::TransRConfig cfg;
+  cfg.entity_dim = 16;
+  cfg.relation_dim = 16;
+  cfg.seed = 3;
+  kg::TransR transr(g.num_entities(), kg::kNumRelations, cfg);
+  auto before = transr.EvaluateRanking(g.triplets(), g.num_entities(), 100);
+  Rng rng(5);
+  for (int e = 0; e < 25; ++e) {
+    transr.TrainEpoch(g.triplets(), g.num_entities(), &rng);
+  }
+  auto after = transr.EvaluateRanking(g.triplets(), g.num_entities(), 100);
+  EXPECT_GT(after.mrr, before.mrr);
+  EXPECT_GT(after.hits_at_10, 0.3);
+  EXPECT_EQ(after.evaluated, 100);
+}
+
+TEST(TransRMetricsTest, BoundsHold) {
+  kg::TransRConfig cfg;
+  cfg.entity_dim = 8;
+  cfg.relation_dim = 8;
+  kg::TransR transr(12, kg::kNumRelations, cfg);
+  std::vector<kg::Triplet> triplets = {{0, 0, 1}, {2, 1, 3}, {4, 2, 5}};
+  auto m = transr.EvaluateRanking(triplets, 12);
+  EXPECT_GE(m.mrr, 0.0);
+  EXPECT_LE(m.mrr, 1.0);
+  EXPECT_LE(m.hits_at_1, m.hits_at_10);
+  EXPECT_EQ(m.evaluated, 3);
+}
+
+// --------------------------------------------------------------------------
+// Outcome persistence
+
+search::SearchOutcome SampleOutcome() {
+  search::SearchOutcome out;
+  out.executions = 7;
+  out.history = {{1, -1.0, 0.25}, {4, 0.5, 0.6}, {7, 0.55, 0.62}};
+  search::EvalPoint p1;
+  p1.acc = 0.55;
+  p1.params = 1234;
+  p1.flops = 99887;
+  p1.pr = 0.41;
+  p1.fr = 0.37;
+  search::EvalPoint p2 = p1;
+  p2.acc = 0.5;
+  p2.params = 900;
+  out.pareto_points = {p1, p2};
+  out.pareto_schemes = {{3, 17}, {3, 17, 240}};
+  return out;
+}
+
+TEST(OutcomePersistenceTest, RoundTripsThroughStream) {
+  search::SearchOutcome out = SampleOutcome();
+  std::stringstream buf;
+  ASSERT_TRUE(search::SaveOutcome(out, &buf).ok());
+  auto loaded = search::LoadOutcome(&buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->executions, out.executions);
+  ASSERT_EQ(loaded->history.size(), out.history.size());
+  EXPECT_DOUBLE_EQ(loaded->history[1].best_acc, 0.5);
+  ASSERT_EQ(loaded->pareto_schemes.size(), 2u);
+  EXPECT_EQ(loaded->pareto_schemes[1], (std::vector<int>{3, 17, 240}));
+  EXPECT_DOUBLE_EQ(loaded->pareto_points[0].acc, 0.55);
+  EXPECT_EQ(loaded->pareto_points[0].params, 1234);
+}
+
+TEST(OutcomePersistenceTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/outcome.txt";
+  ASSERT_TRUE(search::SaveOutcomeFile(SampleOutcome(), path).ok());
+  auto loaded = search::LoadOutcomeFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->executions, 7);
+}
+
+TEST(OutcomePersistenceTest, RejectsGarbage) {
+  std::stringstream buf;
+  buf << "NOT_AN_OUTCOME 1";
+  EXPECT_FALSE(search::LoadOutcome(&buf).ok());
+}
+
+TEST(OutcomePersistenceTest, RejectsTruncation) {
+  std::stringstream buf;
+  ASSERT_TRUE(search::SaveOutcome(SampleOutcome(), &buf).ok());
+  std::string text = buf.str();
+  std::stringstream cut;
+  cut << text.substr(0, text.size() - 20);
+  EXPECT_FALSE(search::LoadOutcome(&cut).ok());
+}
+
+TEST(OutcomePersistenceTest, LoadedSchemesRedeployable) {
+  // The persisted scheme indices remain valid against the same space.
+  search::SearchSpace space = search::SearchSpace::SingleMethod("NS");
+  search::SearchOutcome out = SampleOutcome();
+  out.pareto_schemes = {{0, 5}};
+  out.pareto_points.resize(1);
+  std::stringstream buf;
+  ASSERT_TRUE(search::SaveOutcome(out, &buf).ok());
+  auto loaded = search::LoadOutcome(&buf);
+  ASSERT_TRUE(loaded.ok());
+  std::string text = space.SchemeToString(loaded->pareto_schemes[0]);
+  EXPECT_NE(text.find("NS("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace automc

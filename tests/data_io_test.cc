@@ -1,0 +1,158 @@
+#include <fstream>
+
+#include "compress/scheme_parser.h"
+#include "data/cifar.h"
+#include "gtest/gtest.h"
+
+namespace automc {
+namespace {
+
+// --------------------------------------------------------------------------
+// CIFAR binary loaders (synthetic fixture files)
+
+std::string WriteCifar10Fixture(int records, uint8_t label_base) {
+  std::string path = ::testing::TempDir() + "/cifar10_fixture.bin";
+  std::ofstream out(path, std::ios::binary);
+  for (int r = 0; r < records; ++r) {
+    uint8_t label = static_cast<uint8_t>((label_base + r) % 10);
+    out.put(static_cast<char>(label));
+    for (int i = 0; i < data::kCifarImageBytes; ++i) {
+      out.put(static_cast<char>((r * 31 + i) % 256));
+    }
+  }
+  return path;
+}
+
+TEST(Cifar10LoaderTest, LoadsRecords) {
+  std::string path = WriteCifar10Fixture(5, 3);
+  auto ds = data::LoadCifar10({path});
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->Size(), 5);
+  EXPECT_EQ(ds->num_classes, 10);
+  EXPECT_EQ(ds->Channels(), 3);
+  EXPECT_EQ(ds->Height(), 32);
+  EXPECT_EQ(ds->labels[0], 3);
+  EXPECT_EQ(ds->labels[4], 7);
+  // First pixel of record 0 was byte 0 -> normalized to -1.
+  EXPECT_FLOAT_EQ(ds->images[0], -1.0f);
+  // Pixel values normalized into [-1, 1].
+  for (int64_t i = 0; i < ds->images.numel(); ++i) {
+    EXPECT_GE(ds->images[i], -1.0f);
+    EXPECT_LE(ds->images[i], 1.0f);
+  }
+}
+
+TEST(Cifar10LoaderTest, ConcatenatesBatches) {
+  std::string path = WriteCifar10Fixture(4, 0);
+  auto ds = data::LoadCifar10({path, path});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->Size(), 8);
+  EXPECT_EQ(ds->labels[0], ds->labels[4]);
+}
+
+TEST(Cifar10LoaderTest, RejectsMissingFile) {
+  auto ds = data::LoadCifar10({"/nonexistent/batch.bin"});
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Cifar10LoaderTest, RejectsCorruptSize) {
+  std::string path = ::testing::TempDir() + "/corrupt.bin";
+  std::ofstream(path, std::ios::binary) << "abc";
+  auto ds = data::LoadCifar10({path});
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Cifar100LoaderTest, UsesFineLabels) {
+  std::string path = ::testing::TempDir() + "/cifar100_fixture.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    for (int r = 0; r < 3; ++r) {
+      out.put(static_cast<char>(r));        // coarse label (ignored)
+      out.put(static_cast<char>(40 + r));   // fine label
+      for (int i = 0; i < data::kCifarImageBytes; ++i) {
+        out.put(static_cast<char>(128));
+      }
+    }
+  }
+  auto ds = data::LoadCifar100(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->Size(), 3);
+  EXPECT_EQ(ds->num_classes, 100);
+  EXPECT_EQ(ds->labels[0], 40);
+  EXPECT_EQ(ds->labels[2], 42);
+}
+
+TEST(Cifar10LoaderTest, RejectsEmptyPathList) {
+  EXPECT_FALSE(data::LoadCifar10({}).ok());
+}
+
+// --------------------------------------------------------------------------
+// Scheme parser
+
+TEST(SchemeParserTest, ParsesSingleStrategy) {
+  auto spec = compress::ParseStrategy("NS(HP1=0.3,HP2=0.2,HP6=0.9)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->method, "NS");
+  EXPECT_EQ(spec->hp.at("HP1"), "0.3");
+  EXPECT_EQ(spec->hp.at("HP6"), "0.9");
+}
+
+TEST(SchemeParserTest, ParsesMultiStepScheme) {
+  auto scheme = compress::ParseScheme(
+      "NS(HP1=0.3,HP2=0.2,HP6=0.9) -> SFP(HP10=1,HP2=0.12,HP9=0.4)");
+  ASSERT_TRUE(scheme.ok()) << scheme.status().ToString();
+  ASSERT_EQ(scheme->size(), 2u);
+  EXPECT_EQ((*scheme)[0].method, "NS");
+  EXPECT_EQ((*scheme)[1].method, "SFP");
+  EXPECT_EQ((*scheme)[1].hp.at("HP9"), "0.4");
+}
+
+TEST(SchemeParserTest, ToleratesWhitespace) {
+  auto scheme = compress::ParseScheme(
+      "  LeGR( HP1 = 0.2 , HP8 = l2_weight )  ->  QT(HP17=8, HP1=0.1) ");
+  ASSERT_TRUE(scheme.ok()) << scheme.status().ToString();
+  EXPECT_EQ((*scheme)[0].hp.at("HP8"), "l2_weight");
+  EXPECT_EQ((*scheme)[1].method, "QT");
+}
+
+TEST(SchemeParserTest, RoundTripsThroughToString) {
+  auto scheme = compress::ParseScheme(
+      "HOS(HP1=0.3,HP11=P2,HP12=skew_kur,HP13=0.4,HP14=3,HP2=0.2)");
+  ASSERT_TRUE(scheme.ok());
+  std::string text = compress::SchemeToString(*scheme);
+  auto reparsed = compress::ParseScheme(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)[0].method, (*scheme)[0].method);
+  EXPECT_EQ((*reparsed)[0].hp, (*scheme)[0].hp);
+}
+
+TEST(SchemeParserTest, ParsedSchemeInstantiates) {
+  auto scheme = compress::ParseScheme("NS(HP1=0.3,HP2=0.2,HP6=0.9)");
+  ASSERT_TRUE(scheme.ok());
+  auto compressor = compress::CreateCompressor((*scheme)[0]);
+  EXPECT_TRUE(compressor.ok()) << compressor.status().ToString();
+}
+
+TEST(SchemeParserTest, EmptyHyperparameters) {
+  auto spec = compress::ParseStrategy("Foo()");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->method, "Foo");
+  EXPECT_TRUE(spec->hp.empty());
+}
+
+class SchemeParserRejectTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchemeParserRejectTest, RejectsMalformedInput) {
+  EXPECT_FALSE(compress::ParseScheme(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, SchemeParserRejectTest,
+    ::testing::Values("", "NS", "NS(HP1)", "NS(HP1=0.3", "(HP1=0.3)",
+                      "NS(HP1=0.3,HP1=0.5)", "NS(HP1=0.3) -> ",
+                      "NS(HP = = 3)", "NS(HP1=a b)"));
+
+}  // namespace
+}  // namespace automc

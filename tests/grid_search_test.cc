@@ -1,0 +1,113 @@
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "nn/trainer.h"
+#include "search/grid_search.h"
+
+namespace automc {
+namespace search {
+namespace {
+
+struct Fixture {
+  data::TaskData task;
+  std::unique_ptr<nn::Model> model;
+  compress::CompressionContext ctx;
+
+  Fixture() {
+    data::SyntheticTaskConfig cfg;
+    cfg.num_classes = 3;
+    cfg.train_per_class = 10;
+    cfg.test_per_class = 4;
+    cfg.seed = 61;
+    task = MakeSyntheticTask(cfg);
+    nn::ModelSpec spec;
+    spec.family = "vgg";
+    spec.depth = 13;
+    spec.num_classes = 3;
+    spec.base_width = 4;
+    Rng rng(3);
+    model = std::move(nn::BuildModel(spec, &rng)).value();
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 10;
+    nn::Trainer trainer(tc);
+    AUTOMC_CHECK(trainer.Fit(model.get(), task.train).ok());
+    ctx.train = &task.train;
+    ctx.test = &task.test;
+    ctx.pretrain_epochs = 1;
+    ctx.batch_size = 10;
+  }
+};
+
+TEST(GridSearchTest, FindsConfigurationMeetingTarget) {
+  Fixture f;
+  int64_t params_before = f.model->ParamCount();
+  GridSearchOptions opts;
+  opts.max_configs = 4;
+  opts.target_pr = 0.3;
+  opts.seed = 5;
+  auto result = GridSearchMethod("NS", f.model.get(), f.ctx, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->best_spec.method, "NS");
+  EXPECT_EQ(result->best_spec.hp.at("HP2"), "0.3000");
+  EXPECT_NEAR(result->point.pr, 0.3, 0.08);
+  EXPECT_GT(result->configs_tried, 0);
+  // The base model must not have been mutated.
+  EXPECT_EQ(f.model->ParamCount(), params_before);
+}
+
+TEST(GridSearchTest, Hp2OverrideCollapsesDuplicates) {
+  // NS's grid is 5 (HP1) x 5 (HP2) x 2 (HP6) = 50; with HP2 forced, only
+  // 10 distinct configurations remain.
+  Fixture f;
+  GridSearchOptions opts;
+  opts.max_configs = 0;  // full grid
+  opts.target_pr = 0.25;
+  auto result = GridSearchMethod("NS", f.model.get(), f.ctx, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->configs_tried, 10);
+}
+
+TEST(GridSearchTest, WithoutOverrideUsesGridHp2) {
+  Fixture f;
+  GridSearchOptions opts;
+  opts.max_configs = 2;
+  opts.target_pr = 0.0;  // no override
+  opts.seed = 9;
+  auto result = GridSearchMethod("NS", f.model.get(), f.ctx, opts);
+  ASSERT_TRUE(result.ok());
+  // HP2 stays one of the grid values.
+  std::string hp2 = result->best_spec.hp.at("HP2");
+  EXPECT_TRUE(hp2 == "0.04" || hp2 == "0.12" || hp2 == "0.2" ||
+              hp2 == "0.36" || hp2 == "0.4")
+      << hp2;
+}
+
+TEST(GridSearchTest, UnknownMethodRejected) {
+  Fixture f;
+  GridSearchOptions opts;
+  EXPECT_FALSE(GridSearchMethod("Distill9000", f.model.get(), f.ctx, opts).ok());
+}
+
+TEST(GridSearchTest, NullModelRejected) {
+  Fixture f;
+  GridSearchOptions opts;
+  EXPECT_FALSE(GridSearchMethod("NS", nullptr, f.ctx, opts).ok());
+}
+
+TEST(GridSearchTest, DeterministicForSeed) {
+  Fixture f;
+  GridSearchOptions opts;
+  opts.max_configs = 3;
+  opts.target_pr = 0.2;
+  opts.seed = 21;
+  auto a = GridSearchMethod("SFP", f.model.get(), f.ctx, opts);
+  auto b = GridSearchMethod("SFP", f.model.get(), f.ctx, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->best_spec.hp, b->best_spec.hp);
+  EXPECT_DOUBLE_EQ(a->point.acc, b->point.acc);
+}
+
+}  // namespace
+}  // namespace search
+}  // namespace automc

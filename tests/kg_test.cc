@@ -1,0 +1,307 @@
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "kg/embedding.h"
+#include "kg/experience.h"
+#include "kg/knowledge_graph.h"
+#include "kg/transr.h"
+#include "search/search_space.h"
+
+namespace automc {
+namespace kg {
+namespace {
+
+using compress::StrategySpec;
+
+std::vector<StrategySpec> SmallStrategies() {
+  return search::SearchSpace::SingleMethod("NS").strategies();
+}
+
+// --------------------------------------------------------------------------
+// Knowledge graph
+
+TEST(KnowledgeGraphTest, EntityAndTripletStructure) {
+  auto strategies = SmallStrategies();  // NS: 5*5*2 = 50 strategies
+  KnowledgeGraph g = KnowledgeGraph::Build(strategies);
+  // Entities: 50 strategies + 1 method + 3 hps (HP1, HP2, HP6)
+  // + settings (5 + 5 + 2 = 12) + 2 techniques (TE4, TE3) = 68.
+  EXPECT_EQ(g.num_entities(), 68);
+  EXPECT_NE(g.FindEntity("M:NS"), -1);
+  EXPECT_NE(g.FindEntity("H:HP2"), -1);
+  EXPECT_NE(g.FindEntity("V:HP2=0.2"), -1);
+  EXPECT_NE(g.FindEntity("T:TE3"), -1);
+  EXPECT_NE(g.FindEntity("T:TE4"), -1);
+  EXPECT_EQ(g.FindEntity("M:LeGR"), -1);
+
+  // Triplets: per strategy 1 R1 + 3 R2 = 200; method-level: 3 R3 + 2 R4;
+  // hp-level: 12 R5. Total 217.
+  EXPECT_EQ(g.triplets().size(), 217u);
+}
+
+TEST(KnowledgeGraphTest, StrategyEntitiesDistinct) {
+  auto strategies = SmallStrategies();
+  KnowledgeGraph g = KnowledgeGraph::Build(strategies);
+  std::set<int64_t> ids;
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    ids.insert(g.StrategyEntity(i));
+  }
+  EXPECT_EQ(ids.size(), strategies.size());
+}
+
+TEST(KnowledgeGraphTest, RelationsWellTyped) {
+  auto strategies = SmallStrategies();
+  KnowledgeGraph g = KnowledgeGraph::Build(strategies);
+  for (const Triplet& t : g.triplets()) {
+    ASSERT_GE(t.relation, 0);
+    ASSERT_LT(t.relation, kNumRelations);
+    const std::string& head = g.EntityName(t.head);
+    const std::string& tail = g.EntityName(t.tail);
+    switch (t.relation) {
+      case kStrategyMethod:
+        EXPECT_EQ(head[0], 'S');
+        EXPECT_EQ(tail[0], 'M');
+        break;
+      case kStrategySetting:
+        EXPECT_EQ(head[0], 'S');
+        EXPECT_EQ(tail[0], 'V');
+        break;
+      case kMethodHp:
+        EXPECT_EQ(head[0], 'M');
+        EXPECT_EQ(tail[0], 'H');
+        break;
+      case kMethodTechnique:
+        EXPECT_EQ(head[0], 'M');
+        EXPECT_EQ(tail[0], 'T');
+        break;
+      case kHpSetting:
+        EXPECT_EQ(head[0], 'H');
+        EXPECT_EQ(tail[0], 'V');
+        break;
+      default:
+        FAIL();
+    }
+  }
+}
+
+TEST(KnowledgeGraphTest, TechniqueTableMatchesPaper) {
+  EXPECT_EQ(TechniquesOfMethod("HOS").size(), 3u);
+  EXPECT_EQ(TechniquesOfMethod("LMA").size(), 1u);
+  EXPECT_TRUE(TechniquesOfMethod("Quantize").empty());
+}
+
+// --------------------------------------------------------------------------
+// TransR
+
+TEST(TransRTest, TrainingReducesLoss) {
+  auto strategies = SmallStrategies();
+  KnowledgeGraph g = KnowledgeGraph::Build(strategies);
+  TransRConfig cfg;
+  cfg.entity_dim = 16;
+  cfg.relation_dim = 16;
+  cfg.seed = 3;
+  TransR transr(g.num_entities(), kNumRelations, cfg);
+  Rng rng(4);
+  double first = transr.TrainEpoch(g.triplets(), g.num_entities(), &rng);
+  double last = first;
+  for (int e = 0; e < 15; ++e) {
+    last = transr.TrainEpoch(g.triplets(), g.num_entities(), &rng);
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(TransRTest, PositivesScoreBelowCorruptions) {
+  auto strategies = SmallStrategies();
+  KnowledgeGraph g = KnowledgeGraph::Build(strategies);
+  TransRConfig cfg;
+  cfg.entity_dim = 16;
+  cfg.relation_dim = 16;
+  cfg.seed = 3;
+  TransR transr(g.num_entities(), kNumRelations, cfg);
+  Rng rng(4);
+  for (int e = 0; e < 20; ++e) {
+    transr.TrainEpoch(g.triplets(), g.num_entities(), &rng);
+  }
+  // After training, true triplets should usually beat random corruptions.
+  int wins = 0, total = 0;
+  Rng neg_rng(9);
+  for (const Triplet& t : g.triplets()) {
+    Triplet corrupted = t;
+    corrupted.tail = neg_rng.UniformInt(g.num_entities());
+    if (corrupted.tail == t.tail) continue;
+    ++total;
+    if (transr.Score(t) < transr.Score(corrupted)) ++wins;
+  }
+  EXPECT_GT(static_cast<double>(wins) / total, 0.75);
+}
+
+TEST(TransRTest, EmbeddingRoundTrip) {
+  TransRConfig cfg;
+  cfg.entity_dim = 8;
+  cfg.relation_dim = 8;
+  TransR transr(10, kNumRelations, cfg);
+  tensor::Tensor e({8});
+  for (int64_t i = 0; i < 8; ++i) e[i] = 0.1f * static_cast<float>(i);
+  transr.SetEntityEmbedding(3, e);
+  tensor::Tensor back = transr.EntityEmbedding(3);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(back[i], e[i]);
+}
+
+// --------------------------------------------------------------------------
+// Experience generation (real strategy executions on micro tasks)
+
+TEST(ExperienceTest, GeneratesValidRecords) {
+  auto strategies = SmallStrategies();
+  ExperienceGenConfig cfg;
+  cfg.num_tasks = 1;
+  cfg.strategies_per_task = 4;
+  cfg.pretrain_epochs = 1;
+  cfg.batch_size = 16;
+  cfg.seed = 7;
+  auto records = GenerateExperience(strategies, cfg);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_FALSE(records->empty());
+  for (const ExperienceRecord& r : *records) {
+    EXPECT_LT(r.strategy_index, strategies.size());
+    EXPECT_EQ(r.task_features.size(),
+              static_cast<size_t>(data::kTaskFeatureDim));
+    EXPECT_GT(r.pr, 0.0f);   // every strategy removes parameters
+    EXPECT_GT(r.ar, -1.0f);  // AR is bounded below by -1
+  }
+}
+
+TEST(ExperienceTest, RejectsEmptyStrategyList) {
+  ExperienceGenConfig cfg;
+  EXPECT_FALSE(GenerateExperience({}, cfg).ok());
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 1: joint embedding learning
+
+class EmbeddingVariantTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(EmbeddingVariantTest, LearnsEmbeddings) {
+  auto [use_kg, use_exp] = GetParam();
+  auto strategies = SmallStrategies();
+
+  EmbeddingLearnerConfig cfg;
+  cfg.train_epochs = 5;
+  cfg.transr.entity_dim = 16;
+  cfg.transr.relation_dim = 16;
+  cfg.use_kg = use_kg;
+  cfg.use_exp = use_exp;
+  cfg.seed = 13;
+
+  std::vector<ExperienceRecord> experience;
+  if (use_exp) {
+    ExperienceGenConfig xcfg;
+    xcfg.num_tasks = 1;
+    xcfg.strategies_per_task = 4;
+    xcfg.pretrain_epochs = 1;
+    xcfg.seed = 17;
+    auto records = GenerateExperience(strategies, xcfg);
+    ASSERT_TRUE(records.ok());
+    experience = std::move(records).value();
+  }
+
+  StrategyEmbeddingLearner learner(strategies, cfg);
+  ASSERT_TRUE(learner.Learn(experience).ok());
+  EXPECT_EQ(learner.num_strategies(), strategies.size());
+  // Embeddings exist, are finite, and are not all identical.
+  const tensor::Tensor& e0 = learner.Embedding(0);
+  const tensor::Tensor& e1 = learner.Embedding(strategies.size() - 1);
+  EXPECT_EQ(e0.numel(), 16);
+  double diff = 0.0;
+  for (int64_t i = 0; i < e0.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(e0[i]));
+    diff += std::fabs(e0[i] - e1[i]);
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, EmbeddingVariantTest,
+                         ::testing::Values(std::make_tuple(true, true),
+                                           std::make_tuple(true, false),
+                                           std::make_tuple(false, true)));
+
+TEST(EmbeddingLearnerTest, UseExpRequiresExperience) {
+  auto strategies = SmallStrategies();
+  EmbeddingLearnerConfig cfg;
+  cfg.use_exp = true;
+  StrategyEmbeddingLearner learner(strategies, cfg);
+  EXPECT_FALSE(learner.Learn({}).ok());
+}
+
+TEST(EmbeddingLearnerTest, ExperienceLossDecreases) {
+  auto strategies = SmallStrategies();
+  ExperienceGenConfig xcfg;
+  xcfg.num_tasks = 1;
+  xcfg.strategies_per_task = 6;
+  xcfg.pretrain_epochs = 1;
+  xcfg.seed = 19;
+  auto records = GenerateExperience(strategies, xcfg);
+  ASSERT_TRUE(records.ok());
+
+  EmbeddingLearnerConfig short_cfg;
+  short_cfg.train_epochs = 1;
+  short_cfg.transr.entity_dim = 16;
+  short_cfg.transr.relation_dim = 16;
+  short_cfg.seed = 21;
+  StrategyEmbeddingLearner short_learner(strategies, short_cfg);
+  ASSERT_TRUE(short_learner.Learn(*records).ok());
+
+  EmbeddingLearnerConfig long_cfg = short_cfg;
+  long_cfg.train_epochs = 20;
+  StrategyEmbeddingLearner long_learner(strategies, long_cfg);
+  ASSERT_TRUE(long_learner.Learn(*records).ok());
+
+  EXPECT_LT(long_learner.last_exp_loss(), short_learner.last_exp_loss());
+}
+
+TEST(EmbeddingLearnerTest, SameMethodStrategiesCluster) {
+  // With KG training, strategies sharing a method should sit closer to each
+  // other than strategies of different methods.
+  std::vector<StrategySpec> strategies;
+  auto ns = search::SearchSpace::SingleMethod("NS").strategies();
+  auto sfp = search::SearchSpace::SingleMethod("SFP").strategies();
+  strategies.insert(strategies.end(), ns.begin(), ns.end());
+  strategies.insert(strategies.end(), sfp.begin(), sfp.end());
+
+  EmbeddingLearnerConfig cfg;
+  cfg.train_epochs = 30;
+  cfg.transr.entity_dim = 16;
+  cfg.transr.relation_dim = 16;
+  cfg.use_exp = false;
+  cfg.seed = 23;
+  StrategyEmbeddingLearner learner(strategies, cfg);
+  ASSERT_TRUE(learner.Learn({}).ok());
+
+  auto dist = [&](size_t a, size_t b) {
+    const tensor::Tensor& ea = learner.Embedding(a);
+    const tensor::Tensor& eb = learner.Embedding(b);
+    double d = 0.0;
+    for (int64_t i = 0; i < ea.numel(); ++i) {
+      d += (ea[i] - eb[i]) * (ea[i] - eb[i]);
+    }
+    return d;
+  };
+  // Average within-NS distance vs NS-to-SFP distance over fixed samples.
+  double within = 0.0, across = 0.0;
+  int count = 0;
+  Rng rng(29);
+  for (int k = 0; k < 200; ++k) {
+    size_t a = static_cast<size_t>(rng.UniformInt(ns.size()));
+    size_t b = static_cast<size_t>(rng.UniformInt(ns.size()));
+    size_t c = ns.size() + static_cast<size_t>(rng.UniformInt(sfp.size()));
+    if (a == b) continue;
+    within += dist(a, b);
+    across += dist(a, c);
+    ++count;
+  }
+  EXPECT_LT(within / count, across / count);
+}
+
+}  // namespace
+}  // namespace kg
+}  // namespace automc

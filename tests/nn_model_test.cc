@@ -1,0 +1,300 @@
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+#include "nn/visit.h"
+
+namespace automc {
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+ModelSpec SmallSpec(const std::string& family, int depth) {
+  ModelSpec s;
+  s.family = family;
+  s.depth = depth;
+  s.num_classes = 10;
+  s.base_width = 4;
+  s.in_channels = 3;
+  s.image_size = 8;
+  return s;
+}
+
+class ResNetDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResNetDepthTest, BuildsAndForwards) {
+  Rng rng(1);
+  auto model = BuildResNet(SmallSpec("resnet", GetParam()), &rng);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, &rng);
+  Tensor logits = (*model)->Forward(x, false);
+  EXPECT_EQ(logits.size(0), 2);
+  EXPECT_EQ(logits.size(1), 10);
+  EXPECT_GT((*model)->ParamCount(), 0);
+  EXPECT_GT((*model)->FlopsPerSample(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ResNetDepthTest,
+                         ::testing::Values(20, 56, 164));
+
+TEST(ResNetTest, InvalidDepthRejected) {
+  Rng rng(1);
+  auto model = BuildResNet(SmallSpec("resnet", 21), &rng);
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResNetTest, DeeperHasMoreParams) {
+  Rng rng(1);
+  auto m20 = BuildResNet(SmallSpec("resnet", 20), &rng);
+  auto m56 = BuildResNet(SmallSpec("resnet", 56), &rng);
+  ASSERT_TRUE(m20.ok() && m56.ok());
+  EXPECT_GT((*m56)->ParamCount(), (*m20)->ParamCount());
+}
+
+TEST(ResNetTest, BlockCountMatchesDepthFormula) {
+  Rng rng(1);
+  auto model = BuildResNet(SmallSpec("resnet", 56), &rng);
+  ASSERT_TRUE(model.ok());
+  int blocks = 0;
+  VisitLayers((*model)->net(), [&blocks](Layer* l) {
+    if (dynamic_cast<ResidualBlock*>(l) != nullptr) ++blocks;
+  });
+  EXPECT_EQ(blocks, 27);  // (56-2)/6 per stage * 3 stages
+}
+
+TEST(ResNet164Test, UsesBottleneckBlocks) {
+  Rng rng(1);
+  auto model = BuildResNet(SmallSpec("resnet", 164), &rng);
+  ASSERT_TRUE(model.ok());
+  int bottlenecks = 0;
+  VisitLayers((*model)->net(), [&bottlenecks](Layer* l) {
+    auto* b = dynamic_cast<ResidualBlock*>(l);
+    if (b != nullptr && b->kind() == ResidualBlock::Kind::kBottleneck) {
+      ++bottlenecks;
+    }
+  });
+  EXPECT_EQ(bottlenecks, 54);  // (164-2)/9 per stage * 3 stages
+}
+
+class VggDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VggDepthTest, BuildsAndForwards) {
+  Rng rng(2);
+  ModelSpec spec = SmallSpec("vgg", GetParam());
+  spec.num_classes = 20;
+  auto model = BuildVgg(spec, &rng);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, &rng);
+  Tensor logits = (*model)->Forward(x, false);
+  EXPECT_EQ(logits.size(1), 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, VggDepthTest, ::testing::Values(13, 16, 19));
+
+TEST(VggTest, ConvCountMatchesDepth) {
+  Rng rng(2);
+  for (int depth : {13, 16, 19}) {
+    auto model = BuildVgg(SmallSpec("vgg", depth), &rng);
+    ASSERT_TRUE(model.ok());
+    int convs = 0;
+    VisitLayers((*model)->net(), [&convs](Layer* l) {
+      if (dynamic_cast<Conv2d*>(l) != nullptr) ++convs;
+    });
+    // VGG-n has n-3 conv layers (rest are the classifier FCs in the paper;
+    // we use a single linear head).
+    EXPECT_EQ(convs, depth - 3) << "depth " << depth;
+  }
+}
+
+TEST(ModelTest, CloneIsIndependent) {
+  Rng rng(3);
+  auto model = BuildResNet(SmallSpec("resnet", 20), &rng);
+  ASSERT_TRUE(model.ok());
+  auto copy = (*model)->Clone();
+  // Mutate the copy's params; original unchanged.
+  for (Param* p : copy->Params()) p->value.Fill(0.0f);
+  Tensor x = Tensor::Randn({1, 3, 8, 8}, &rng);
+  Tensor y_orig = (*model)->Forward(x, false);
+  EXPECT_GT(y_orig.L2NormSquared(), 0.0f);
+  Tensor y_copy = copy->Forward(x, false);
+  EXPECT_FLOAT_EQ(y_copy.L2NormSquared(), 0.0f);
+}
+
+TEST(ModelTest, BuildModelDispatch) {
+  Rng rng(4);
+  EXPECT_TRUE(BuildModel(SmallSpec("resnet", 20), &rng).ok());
+  EXPECT_TRUE(BuildModel(SmallSpec("vgg", 16), &rng).ok());
+  EXPECT_FALSE(BuildModel(SmallSpec("alexnet", 8), &rng).ok());
+}
+
+// --------------------------------------------------------------------------
+// Trainer end-to-end: a small model must learn the synthetic task.
+
+TEST(TrainerTest, LearnsSyntheticTask) {
+  data::SyntheticTaskConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_per_class = 24;
+  cfg.test_per_class = 8;
+  cfg.noise = 0.25f;
+  cfg.seed = 13;
+  data::TaskData task = MakeSyntheticTask(cfg);
+
+  Rng rng(5);
+  ModelSpec spec = SmallSpec("resnet", 20);
+  spec.num_classes = 4;
+  auto model = BuildResNet(spec, &rng);
+  ASSERT_TRUE(model.ok());
+
+  double acc_before = Trainer::Evaluate(model->get(), task.test);
+
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 16;
+  tc.lr = 0.05f;
+  tc.seed = 3;
+  Trainer trainer(tc);
+  float final_loss = 0.0f;
+  Status st = trainer.Fit(model->get(), task.train, nullptr, nullptr,
+                          &final_loss);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  double acc_after = Trainer::Evaluate(model->get(), task.test);
+  EXPECT_GT(acc_after, acc_before + 0.15)
+      << "before=" << acc_before << " after=" << acc_after
+      << " loss=" << final_loss;
+}
+
+TEST(TrainerTest, RejectsBadConfig) {
+  Rng rng(6);
+  auto model = BuildResNet(SmallSpec("resnet", 20), &rng);
+  ASSERT_TRUE(model.ok());
+  data::Dataset empty;
+  Trainer trainer(TrainConfig{});
+  EXPECT_FALSE(trainer.Fit(model->get(), empty).ok());
+  EXPECT_FALSE(trainer.Fit(nullptr, empty).ok());
+}
+
+TEST(TrainerTest, EpochHookRuns) {
+  data::SyntheticTaskConfig cfg;
+  cfg.num_classes = 2;
+  cfg.train_per_class = 8;
+  cfg.test_per_class = 2;
+  data::TaskData task = MakeSyntheticTask(cfg);
+  Rng rng(7);
+  auto model = BuildResNet(SmallSpec("resnet", 20), &rng);
+  ASSERT_TRUE(model.ok());
+  TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 8;
+  Trainer trainer(tc);
+  int hooks = 0;
+  ASSERT_TRUE(trainer
+                  .Fit(model->get(), task.train, nullptr,
+                       [&hooks](int, Model*) { ++hooks; })
+                  .ok());
+  EXPECT_EQ(hooks, 3);
+}
+
+TEST(TrainerTest, BnGammaL1ShrinksGammas) {
+  data::SyntheticTaskConfig cfg;
+  cfg.num_classes = 2;
+  cfg.train_per_class = 16;
+  cfg.test_per_class = 2;
+  data::TaskData task = MakeSyntheticTask(cfg);
+  Rng rng(8);
+  ModelSpec spec = SmallSpec("vgg", 13);
+  spec.num_classes = 2;
+
+  auto sum_gammas = [](Model* m) {
+    double s = 0.0;
+    VisitLayers(m->net(), [&s](Layer* l) {
+      if (auto* bn = dynamic_cast<BatchNorm2d*>(l)) {
+        for (int64_t i = 0; i < bn->gamma().value.numel(); ++i) {
+          s += std::fabs(bn->gamma().value[i]);
+        }
+      }
+    });
+    return s;
+  };
+
+  auto plain = BuildVgg(spec, &rng);
+  Rng rng2(8);
+  auto sparse = BuildVgg(spec, &rng2);
+  ASSERT_TRUE(plain.ok() && sparse.ok());
+
+  TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 16;
+  Trainer t1(tc);
+  ASSERT_TRUE(t1.Fit(plain->get(), task.train).ok());
+  tc.bn_gamma_l1 = 0.02f;
+  Trainer t2(tc);
+  ASSERT_TRUE(t2.Fit(sparse->get(), task.train).ok());
+
+  EXPECT_LT(sum_gammas(sparse->get()), sum_gammas(plain->get()));
+}
+
+// --------------------------------------------------------------------------
+// Data module
+
+TEST(DatasetTest, SyntheticShapes) {
+  data::TaskData task = data::MakeCifar10Like(3);
+  EXPECT_EQ(task.train.num_classes, 10);
+  EXPECT_EQ(task.train.Size(), 640);
+  EXPECT_EQ(task.test.Size(), 200);
+  EXPECT_EQ(task.train.Channels(), 3);
+  EXPECT_EQ(task.train.Height(), 8);
+}
+
+TEST(DatasetTest, SubsampleFraction) {
+  data::TaskData task = data::MakeCifar10Like(3);
+  Rng rng(1);
+  data::Dataset sub = task.train.Subsample(0.1, &rng);
+  EXPECT_EQ(sub.Size(), 64);
+  EXPECT_EQ(sub.num_classes, 10);
+}
+
+TEST(DatasetTest, SplitPartitions) {
+  data::TaskData task = data::MakeCifar10Like(3);
+  Rng rng(1);
+  auto [a, b] = task.train.Split(0.25, &rng);
+  EXPECT_EQ(a.Size() + b.Size(), task.train.Size());
+  EXPECT_EQ(a.Size(), 160);
+}
+
+TEST(DatasetTest, GatherRoundTrip) {
+  data::TaskData task = data::MakeCifar10Like(3);
+  std::vector<int64_t> idx = {5, 0, 10};
+  Tensor imgs = task.train.GatherImages(idx);
+  std::vector<int> labels = task.train.GatherLabels(idx);
+  EXPECT_EQ(imgs.size(0), 3);
+  EXPECT_EQ(labels.size(), 3u);
+  // Row 1 of the gather equals source row 0.
+  int64_t stride = task.train.Channels() * 64;
+  for (int64_t i = 0; i < stride; ++i) {
+    EXPECT_FLOAT_EQ(imgs[stride + i], task.train.images[i]);
+  }
+}
+
+TEST(DatasetTest, DeterministicAcrossSeeds) {
+  data::TaskData a = data::MakeCifar10Like(3);
+  data::TaskData b = data::MakeCifar10Like(3);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(a.train.images[i], b.train.images[i]);
+  }
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(DatasetTest, TaskFeatureVectorShape) {
+  data::TaskData task = data::MakeCifar10Like(3);
+  auto f = data::TaskFeatureVector(task.train, 1000, 50000, 0.8);
+  EXPECT_EQ(f.size(), static_cast<size_t>(data::kTaskFeatureDim));
+  for (float v : f) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_FLOAT_EQ(f[6], 0.8f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace automc

@@ -1,0 +1,242 @@
+// Property-style tests: invariants that must hold across randomized inputs
+// and configurations, plus failure injection on API misuse.
+#include <cmath>
+
+#include "compress/compressor.h"
+#include "compress/decompose.h"
+#include "compress/lowrank_apply.h"
+#include "compress/surgery.h"
+#include "gtest/gtest.h"
+#include "kg/transr.h"
+#include "nn/trainer.h"
+#include "search/pareto.h"
+#include "search/search_space.h"
+
+namespace automc {
+namespace {
+
+using tensor::Tensor;
+
+std::unique_ptr<nn::Model> SmallModel(const std::string& family, int depth,
+                                      uint64_t seed) {
+  nn::ModelSpec spec;
+  spec.family = family;
+  spec.depth = depth;
+  spec.num_classes = 4;
+  spec.base_width = 4;
+  Rng rng(seed);
+  return std::move(nn::BuildModel(spec, &rng)).value();
+}
+
+// --------------------------------------------------------------------------
+// Pruning invariants over randomized targets and seeds.
+
+class PruneInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PruneInvariantTest, ParamsNeverIncreaseAndForwardStaysFinite) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  bool use_resnet = rng.Bernoulli(0.5);
+  auto model =
+      SmallModel(use_resnet ? "resnet" : "vgg", use_resnet ? 20 : 13, seed);
+  int64_t params = model->ParamCount();
+  // Apply a random sequence of surgeries.
+  for (int step = 0; step < 3; ++step) {
+    double frac = rng.Uniform(0.05, 0.3);
+    Status st;
+    if (rng.Bernoulli(0.5)) {
+      compress::GlobalPruneOptions opts;
+      opts.target_param_fraction = frac;
+      st = compress::GlobalStructuredPrune(model.get(), opts,
+                                           compress::FilterL2);
+    } else {
+      st = compress::ApplyLowRankGlobal(
+          model.get(), frac,
+          rng.Bernoulli(0.5) ? compress::DecompKind::kSvd
+                             : compress::DecompKind::kHooi);
+    }
+    if (!st.ok()) continue;  // caps may legitimately block further surgery
+    int64_t now = model->ParamCount();
+    EXPECT_LE(now, params) << "surgery increased parameters";
+    params = now;
+    Tensor x = Tensor::Randn({2, 3, 8, 8}, &rng);
+    Tensor y = model->Forward(x, false);
+    for (int64_t i = 0; i < y.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(y[i])) << "non-finite output after surgery";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruneInvariantTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(PruneInvariantTest, ImportanceFunctionsNonNegative) {
+  auto model = SmallModel("vgg", 16, 9);
+  for (const auto& unit : compress::CollectPrunableUnits(model.get())) {
+    for (int64_t f = 0; f < unit.conv->out_channels(); ++f) {
+      EXPECT_GE(compress::FilterL1(unit, f), 0.0);
+      EXPECT_GE(compress::FilterL2(unit, f), 0.0);
+      EXPECT_GE(compress::FilterBnGamma(unit, f), 0.0);
+    }
+  }
+}
+
+TEST(PruneInvariantTest, L1DominatesL2PerFilter) {
+  // For any vector, ||w||_1 >= ||w||_2.
+  auto model = SmallModel("resnet", 20, 11);
+  for (const auto& unit : compress::CollectPrunableUnits(model.get())) {
+    for (int64_t f = 0; f < unit.conv->out_channels(); ++f) {
+      EXPECT_GE(compress::FilterL1(unit, f) + 1e-9,
+                compress::FilterL2(unit, f));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Decomposition: error decreases monotonically with rank (on average).
+
+TEST(DecomposeProperty, SvdErrorShrinksWithRank) {
+  Rng rng(13);
+  nn::Conv2d conv(6, 8, 3, 1, 1, false, &rng);
+  Tensor x = Tensor::Randn({2, 6, 6, 6}, &rng);
+  Tensor y_ref = conv.Forward(x, false);
+  double prev_err = 1e30;
+  for (int64_t rank : {1, 2, 4, 8}) {
+    auto lr = compress::SvdDecomposeConv(conv, rank);
+    Tensor y = lr->Forward(x, false);
+    double err = 0.0;
+    for (int64_t i = 0; i < y.numel(); ++i) {
+      err += (y[i] - y_ref[i]) * (y[i] - y_ref[i]);
+    }
+    EXPECT_LE(err, prev_err + 1e-6) << "rank " << rank;
+    prev_err = err;
+  }
+  EXPECT_NEAR(prev_err, 0.0, 1e-5);  // full rank reconstructs
+}
+
+// --------------------------------------------------------------------------
+// Pareto front properties on random point sets.
+
+class ParetoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParetoPropertyTest, FrontIsNonDominatedAndCoversDominators) {
+  Rng rng(GetParam());
+  std::vector<std::pair<double, double>> pts;
+  for (int i = 0; i < 40; ++i) pts.push_back({rng.Normal(), rng.Normal()});
+  auto front = search::ParetoFrontIndices(pts);
+  ASSERT_FALSE(front.empty());
+  // No front member is dominated by any point.
+  for (size_t fi : front) {
+    for (size_t j = 0; j < pts.size(); ++j) {
+      EXPECT_FALSE(j != fi && search::Dominates(pts[j], pts[fi]));
+    }
+  }
+  // Every non-front point is dominated by someone.
+  std::vector<bool> in_front(pts.size(), false);
+  for (size_t fi : front) in_front[fi] = true;
+  for (size_t j = 0; j < pts.size(); ++j) {
+    if (in_front[j]) continue;
+    bool dominated = false;
+    for (size_t k = 0; k < pts.size() && !dominated; ++k) {
+      if (k != j && search::Dominates(pts[k], pts[j])) dominated = true;
+    }
+    EXPECT_TRUE(dominated) << "point " << j << " excluded but not dominated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoPropertyTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+// --------------------------------------------------------------------------
+// TransR invariants.
+
+TEST(TransRProperty, EntityNormsBoundedAfterTraining) {
+  auto strategies = search::SearchSpace::SingleMethod("SFP").strategies();
+  kg::KnowledgeGraph g = kg::KnowledgeGraph::Build(strategies);
+  kg::TransRConfig cfg;
+  cfg.entity_dim = 12;
+  cfg.relation_dim = 12;
+  kg::TransR transr(g.num_entities(), kg::kNumRelations, cfg);
+  Rng rng(31);
+  for (int e = 0; e < 5; ++e) {
+    transr.TrainEpoch(g.triplets(), g.num_entities(), &rng);
+  }
+  for (int64_t id = 0; id < g.num_entities(); ++id) {
+    Tensor e = transr.EntityEmbedding(id);
+    double n = 0.0;
+    for (int64_t i = 0; i < e.numel(); ++i) n += e[i] * e[i];
+    EXPECT_LE(std::sqrt(n), 1.0 + 1e-4) << "entity " << id;
+  }
+}
+
+TEST(TransRProperty, ScoreIsNonNegative) {
+  kg::TransRConfig cfg;
+  cfg.entity_dim = 8;
+  cfg.relation_dim = 8;
+  kg::TransR transr(20, kg::kNumRelations, cfg);
+  Rng rng(37);
+  for (int i = 0; i < 50; ++i) {
+    kg::Triplet t{rng.UniformInt(20), rng.UniformInt(kg::kNumRelations),
+                  rng.UniformInt(20)};
+    EXPECT_GE(transr.Score(t), 0.0);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Failure injection: misuse must produce Status errors (recoverable APIs) or
+// process death (checked invariants), never silent corruption.
+
+TEST(FailureInjection, CompressorsRejectMissingDatasets) {
+  auto model = SmallModel("vgg", 13, 41);
+  compress::CompressionContext ctx;  // train/test left null
+  for (const char* method : {"NS", "SFP", "LFB"}) {
+    search::SearchSpace grid = search::SearchSpace::SingleMethod(method);
+    auto compressor = compress::CreateCompressor(grid.strategy(0));
+    ASSERT_TRUE(compressor.ok());
+    Status st = (*compressor)->Compress(model.get(), ctx, nullptr);
+    EXPECT_FALSE(st.ok()) << method;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << method;
+  }
+}
+
+TEST(FailureInjection, CompressorsRejectNullModel) {
+  data::SyntheticTaskConfig cfg;
+  cfg.num_classes = 2;
+  cfg.train_per_class = 4;
+  cfg.test_per_class = 2;
+  data::TaskData task = MakeSyntheticTask(cfg);
+  compress::CompressionContext ctx;
+  ctx.train = &task.train;
+  ctx.test = &task.test;
+  search::SearchSpace grid = search::SearchSpace::SingleMethod("NS");
+  auto compressor = compress::CreateCompressor(grid.strategy(0));
+  ASSERT_TRUE(compressor.ok());
+  EXPECT_FALSE((*compressor)->Compress(nullptr, ctx, nullptr).ok());
+}
+
+using FailureDeathTest = ::testing::Test;
+
+TEST(FailureDeathTest, ConvRejectsWrongChannelCount) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Rng rng(43);
+  nn::Conv2d conv(3, 4, 3, 1, 1, false, &rng);
+  Tensor x({1, 5, 8, 8});  // 5 channels into a 3-channel conv
+  EXPECT_DEATH(conv.Forward(x, false), "channels mismatch");
+}
+
+TEST(FailureDeathTest, ReshapeRejectsSizeMismatch) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Tensor t({2, 3});
+  EXPECT_DEATH(t.Reshaped({4, 4}), "reshape");
+}
+
+TEST(FailureDeathTest, BackwardWithoutForwardDies) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Rng rng(47);
+  nn::Linear lin(4, 2, &rng);
+  Tensor g({1, 2});
+  EXPECT_DEATH(lin.Backward(g), "without Forward");
+}
+
+}  // namespace
+}  // namespace automc

@@ -1,0 +1,176 @@
+// Behavioral contracts every search strategy must honor: budget, length
+// caps, determinism, and consistency between outcome and evaluator.
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "nn/trainer.h"
+#include "search/evolutionary.h"
+#include "search/progressive.h"
+#include "search/random_search.h"
+#include "search/rl.h"
+
+namespace automc {
+namespace search {
+namespace {
+
+using tensor::Tensor;
+
+struct Fixture {
+  data::TaskData task;
+  std::unique_ptr<nn::Model> model;
+  compress::CompressionContext ctx;
+  SearchSpace space = SearchSpace::SingleMethod("NS");
+
+  explicit Fixture(uint64_t seed = 3) {
+    data::SyntheticTaskConfig cfg;
+    cfg.num_classes = 3;
+    cfg.train_per_class = 10;
+    cfg.test_per_class = 4;
+    cfg.seed = 91;
+    task = MakeSyntheticTask(cfg);
+
+    nn::ModelSpec spec;
+    spec.family = "vgg";
+    spec.depth = 13;
+    spec.num_classes = 3;
+    spec.base_width = 4;
+    Rng rng(seed);
+    model = std::move(nn::BuildModel(spec, &rng)).value();
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 10;
+    nn::Trainer trainer(tc);
+    AUTOMC_CHECK(trainer.Fit(model.get(), task.train).ok());
+
+    ctx.train = &task.train;
+    ctx.test = &task.test;
+    ctx.pretrain_epochs = 1;
+    ctx.batch_size = 10;
+    ctx.seed = 5;
+  }
+};
+
+std::unique_ptr<Searcher> MakeSearcher(const std::string& name,
+                                       size_t space_size) {
+  if (name == "random") return std::make_unique<RandomSearcher>();
+  if (name == "evolution") {
+    EvolutionarySearcher::Options opts;
+    opts.population = 3;
+    return std::make_unique<EvolutionarySearcher>(opts);
+  }
+  if (name == "rl") return std::make_unique<RlSearcher>();
+  // progressive with random embeddings
+  Rng rng(7);
+  std::vector<Tensor> embeddings;
+  for (size_t i = 0; i < space_size; ++i) {
+    embeddings.push_back(Tensor::Randn({8}, &rng));
+  }
+  ProgressiveSearcher::Options opts;
+  opts.sample_schemes = 2;
+  opts.candidates_per_scheme = 10;
+  opts.max_evals_per_round = 2;
+  return std::make_unique<ProgressiveSearcher>(
+      embeddings, Tensor::Randn({data::kTaskFeatureDim}, &rng), opts);
+}
+
+class SearcherContractTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SearcherContractTest, RespectsLengthCap) {
+  Fixture f;
+  SchemeEvaluator evaluator(&f.space, f.model.get(), f.ctx, {});
+  auto searcher = MakeSearcher(GetParam(), f.space.size());
+  SearchConfig cfg;
+  cfg.max_strategy_executions = 6;
+  cfg.max_length = 2;
+  cfg.gamma = 0.1;
+  cfg.seed = 11;
+  auto outcome = searcher->Search(&evaluator, f.space, cfg);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  for (const auto& scheme : outcome->pareto_schemes) {
+    EXPECT_LE(scheme.size(), 2u) << GetParam();
+    EXPECT_GE(scheme.size(), 1u) << GetParam();
+  }
+}
+
+TEST_P(SearcherContractTest, ExecutionsMatchEvaluator) {
+  Fixture f;
+  SchemeEvaluator evaluator(&f.space, f.model.get(), f.ctx, {});
+  auto searcher = MakeSearcher(GetParam(), f.space.size());
+  SearchConfig cfg;
+  cfg.max_strategy_executions = 5;
+  cfg.max_length = 3;
+  cfg.gamma = 0.1;
+  cfg.seed = 13;
+  auto outcome = searcher->Search(&evaluator, f.space, cfg);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->executions, evaluator.strategy_executions());
+  // Budget respected up to one scheme's slack.
+  EXPECT_LE(outcome->executions, cfg.max_strategy_executions + cfg.max_length);
+}
+
+TEST_P(SearcherContractTest, DeterministicForFixedSeed) {
+  auto run = [&]() {
+    Fixture f;
+    SchemeEvaluator evaluator(&f.space, f.model.get(), f.ctx, {});
+    auto searcher = MakeSearcher(GetParam(), f.space.size());
+    SearchConfig cfg;
+    cfg.max_strategy_executions = 5;
+    cfg.max_length = 3;
+    cfg.gamma = 0.1;
+    cfg.seed = 17;
+    auto outcome = searcher->Search(&evaluator, f.space, cfg);
+    AUTOMC_CHECK(outcome.ok());
+    return std::move(outcome).value();
+  };
+  SearchOutcome a = run();
+  SearchOutcome b = run();
+  ASSERT_EQ(a.pareto_schemes.size(), b.pareto_schemes.size()) << GetParam();
+  for (size_t i = 0; i < a.pareto_schemes.size(); ++i) {
+    EXPECT_EQ(a.pareto_schemes[i], b.pareto_schemes[i]) << GetParam();
+  }
+  EXPECT_EQ(a.executions, b.executions) << GetParam();
+}
+
+TEST_P(SearcherContractTest, RejectsEmptySpace) {
+  Fixture f;
+  SchemeEvaluator evaluator(&f.space, f.model.get(), f.ctx, {});
+  SearchSpace empty;
+  auto searcher = MakeSearcher(GetParam(), 0);
+  SearchConfig cfg;
+  cfg.max_strategy_executions = 2;
+  auto outcome = searcher->Search(&evaluator, empty, cfg);
+  EXPECT_FALSE(outcome.ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Searchers, SearcherContractTest,
+                         ::testing::Values("random", "evolution", "rl",
+                                           "progressive"));
+
+// Pareto outcomes are mutually non-dominated in (acc, -params).
+TEST(SearchOutcomeTest, ParetoSetIsNonDominated) {
+  Fixture f;
+  SchemeEvaluator evaluator(&f.space, f.model.get(), f.ctx, {});
+  RandomSearcher searcher;
+  SearchConfig cfg;
+  cfg.max_strategy_executions = 8;
+  cfg.max_length = 2;
+  cfg.gamma = 0.05;
+  cfg.seed = 19;
+  auto outcome = searcher.Search(&evaluator, f.space, cfg);
+  ASSERT_TRUE(outcome.ok());
+  const auto& pts = outcome->pareto_points;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (i == j) continue;
+      bool dominates = pts[j].acc >= pts[i].acc &&
+                       pts[j].params <= pts[i].params &&
+                       (pts[j].acc > pts[i].acc ||
+                        pts[j].params < pts[i].params);
+      EXPECT_FALSE(dominates) << i << " dominated by " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace search
+}  // namespace automc

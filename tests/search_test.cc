@@ -1,0 +1,334 @@
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "nn/trainer.h"
+#include "search/evaluator.h"
+#include "search/evolutionary.h"
+#include "search/fmo.h"
+#include "search/pareto.h"
+#include "search/progressive.h"
+#include "search/random_search.h"
+#include "search/rl.h"
+#include "search/search_space.h"
+
+namespace automc {
+namespace search {
+namespace {
+
+using tensor::Tensor;
+
+// --------------------------------------------------------------------------
+// SearchSpace
+
+TEST(SearchSpaceTest, MethodGridSizes) {
+  EXPECT_EQ(SearchSpace::SingleMethod("LMA").size(), 1200u);   // 5*5*3*4*4
+  EXPECT_EQ(SearchSpace::SingleMethod("LeGR").size(), 600u);   // 5*5*2*4*3
+  EXPECT_EQ(SearchSpace::SingleMethod("NS").size(), 50u);      // 5*5*2
+  EXPECT_EQ(SearchSpace::SingleMethod("SFP").size(), 75u);     // 5*5*3
+  EXPECT_EQ(SearchSpace::SingleMethod("HOS").size(), 2025u);   // 5*5*3*3*3*3
+  EXPECT_EQ(SearchSpace::SingleMethod("LFB").size(), 375u);    // 5*5*5*3
+}
+
+TEST(SearchSpaceTest, FullSpaceIsUnionOfMethods) {
+  SearchSpace full = SearchSpace::FullTable1();
+  EXPECT_EQ(full.size(), 1200u + 600u + 50u + 75u + 2025u + 375u);  // 4325
+}
+
+TEST(SearchSpaceTest, AllStrategiesInstantiable) {
+  // Every strategy in the grid must produce a valid compressor: the grids
+  // and the factory must agree on hyperparameter names and values.
+  SearchSpace full = SearchSpace::FullTable1();
+  for (size_t i = 0; i < full.size(); i += 7) {  // stride keeps this fast
+    auto c = compress::CreateCompressor(full.strategy(i));
+    ASSERT_TRUE(c.ok()) << full.strategy(i).ToString() << ": "
+                        << c.status().ToString();
+  }
+}
+
+TEST(SearchSpaceTest, SchemeToString) {
+  SearchSpace ns = SearchSpace::SingleMethod("NS");
+  std::string s = ns.SchemeToString({0, 1});
+  EXPECT_NE(s.find("NS("), std::string::npos);
+  EXPECT_NE(s.find(" -> "), std::string::npos);
+  EXPECT_EQ(ns.SchemeToString({}), "(empty)");
+}
+
+// --------------------------------------------------------------------------
+// Pareto
+
+TEST(ParetoTest, DominationRules) {
+  EXPECT_TRUE(Dominates({2.0, 2.0}, {1.0, 1.0}));
+  EXPECT_TRUE(Dominates({2.0, 1.0}, {1.0, 1.0}));
+  EXPECT_FALSE(Dominates({1.0, 1.0}, {1.0, 1.0}));  // equal: no strict gain
+  EXPECT_FALSE(Dominates({2.0, 0.5}, {1.0, 1.0}));  // trade-off
+}
+
+TEST(ParetoTest, FrontOfTradeoffCurve) {
+  std::vector<std::pair<double, double>> pts = {
+      {1.0, 5.0}, {2.0, 4.0}, {3.0, 3.0}, {2.5, 2.0},  // dominated by (3,3)
+      {4.0, 1.0}, {0.5, 0.5},                          // dominated
+  };
+  auto front = ParetoFrontIndices(pts);
+  EXPECT_EQ(front, (std::vector<size_t>{0, 1, 2, 4}));
+}
+
+TEST(ParetoTest, DuplicatePointsBothKept) {
+  std::vector<std::pair<double, double>> pts = {{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ(ParetoFrontIndices(pts).size(), 2u);
+}
+
+TEST(ParetoTest, SinglePoint) {
+  std::vector<std::pair<double, double>> pts = {{3.0, -2.0}};
+  EXPECT_EQ(ParetoFrontIndices(pts), (std::vector<size_t>{0}));
+}
+
+// --------------------------------------------------------------------------
+// Evaluator with prefix cache
+
+struct EvalFixture {
+  data::TaskData task;
+  std::unique_ptr<nn::Model> model;
+  compress::CompressionContext ctx;
+  SearchSpace space = SearchSpace::SingleMethod("NS");
+
+  EvalFixture() {
+    data::SyntheticTaskConfig cfg;
+    cfg.num_classes = 3;
+    cfg.train_per_class = 12;
+    cfg.test_per_class = 4;
+    cfg.seed = 41;
+    task = MakeSyntheticTask(cfg);
+
+    nn::ModelSpec spec;
+    spec.family = "vgg";
+    spec.depth = 13;
+    spec.num_classes = 3;
+    spec.base_width = 4;
+    Rng rng(5);
+    model = std::move(nn::BuildModel(spec, &rng)).value();
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 12;
+    nn::Trainer trainer(tc);
+    AUTOMC_CHECK(trainer.Fit(model.get(), task.train).ok());
+
+    ctx.train = &task.train;
+    ctx.test = &task.test;
+    ctx.pretrain_epochs = 1;
+    ctx.batch_size = 12;
+    ctx.seed = 3;
+  }
+};
+
+TEST(EvaluatorTest, BasePointMatchesModel) {
+  EvalFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  EXPECT_EQ(ev.base_point().params, f.model->ParamCount());
+  EXPECT_DOUBLE_EQ(ev.base_point().pr, 0.0);
+  EXPECT_EQ(ev.strategy_executions(), 0);
+}
+
+TEST(EvaluatorTest, EvaluateSingleStrategy) {
+  EvalFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  auto point = ev.Evaluate({0});
+  ASSERT_TRUE(point.ok()) << point.status().ToString();
+  EXPECT_GT(point->pr, 0.0);
+  EXPECT_LT(point->params, ev.base_point().params);
+  EXPECT_EQ(ev.strategy_executions(), 1);
+  // The base model must not have been mutated.
+  EXPECT_EQ(f.model->ParamCount(), ev.base_point().params);
+}
+
+TEST(EvaluatorTest, RepeatEvaluationIsCached) {
+  EvalFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  auto p1 = ev.Evaluate({2, 5});
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(ev.strategy_executions(), 2);
+  auto p2 = ev.Evaluate({2, 5});
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(ev.strategy_executions(), 2);  // no new executions
+  EXPECT_DOUBLE_EQ(p1->acc, p2->acc);
+  EXPECT_EQ(ev.cache_hits(), 1);
+}
+
+TEST(EvaluatorTest, PrefixReuseCostsOnlySuffix) {
+  EvalFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  ASSERT_TRUE(ev.Evaluate({2}).ok());
+  EXPECT_EQ(ev.strategy_executions(), 1);
+  // Extending by one strategy must cost exactly one more execution.
+  ASSERT_TRUE(ev.Evaluate({2, 7}).ok());
+  EXPECT_EQ(ev.strategy_executions(), 2);
+}
+
+TEST(EvaluatorTest, ParentPointReported) {
+  EvalFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  EvalPoint parent;
+  auto p1 = ev.Evaluate({4}, &parent);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(parent.params, ev.base_point().params);
+  EvalPoint parent2;
+  auto p2 = ev.Evaluate({4, 9}, &parent2);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(parent2.params, p1->params);
+  EXPECT_DOUBLE_EQ(parent2.acc, p1->acc);
+}
+
+TEST(EvaluatorTest, DeterministicAcrossInstances) {
+  EvalFixture f;
+  SchemeEvaluator ev1(&f.space, f.model.get(), f.ctx, {});
+  SchemeEvaluator ev2(&f.space, f.model.get(), f.ctx, {});
+  auto p1 = ev1.Evaluate({3});
+  auto p2 = ev2.Evaluate({3});
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_DOUBLE_EQ(p1->acc, p2->acc);
+  EXPECT_EQ(p1->params, p2->params);
+}
+
+TEST(EvaluatorTest, RejectsBadIndices) {
+  EvalFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  EXPECT_FALSE(ev.Evaluate({-1}).ok());
+  EXPECT_FALSE(ev.Evaluate({static_cast<int>(f.space.size())}).ok());
+}
+
+// --------------------------------------------------------------------------
+// F_mo
+
+TEST(FmoTest, LearnsSyntheticStepFunction) {
+  // Target: ar_step = 0.1 * cand[0], pr_step = 0.2 * cand[1] (+0 from seq).
+  Rng rng(7);
+  Fmo fmo(4, 2, /*seed=*/11, /*lr=*/0.01f);
+  auto make_example = [&](float a, float b) {
+    FmoExample ex;
+    ex.candidate = Tensor({4});
+    ex.candidate[0] = a;
+    ex.candidate[1] = b;
+    ex.task = Tensor({2});
+    ex.ar_step = 0.1f * a;
+    ex.pr_step = 0.2f * b;
+    return ex;
+  };
+  std::vector<FmoExample> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back(make_example(static_cast<float>(rng.Normal()),
+                                 static_cast<float>(rng.Normal())));
+  }
+  double first = fmo.TrainBatch(batch);
+  double last = first;
+  for (int e = 0; e < 200; ++e) last = fmo.TrainBatch(batch);
+  EXPECT_LT(last, 0.25 * first);
+  // Prediction close to target on a training point.
+  auto [ar, pr] = fmo.Predict({}, batch[0].candidate, batch[0].task);
+  EXPECT_NEAR(ar, batch[0].ar_step, 0.15);
+  EXPECT_NEAR(pr, batch[0].pr_step, 0.15);
+}
+
+TEST(FmoTest, SequenceAffectsPrediction) {
+  Fmo fmo(4, 2, 13);
+  Rng rng(17);
+  Tensor cand = Tensor::Randn({4}, &rng);
+  Tensor task = Tensor::Randn({2}, &rng);
+  Tensor step = Tensor::Randn({4}, &rng, 2.0f);
+  auto [a0, p0] = fmo.Predict({}, cand, task);
+  auto [a1, p1] = fmo.Predict({step}, cand, task);
+  // An (untrained) GRU still mixes the sequence into the state.
+  EXPECT_TRUE(a0 != a1 || p0 != p1);
+}
+
+TEST(FmoTest, EmptyBatchIsNoop) {
+  Fmo fmo(4, 2, 13);
+  EXPECT_DOUBLE_EQ(fmo.TrainBatch({}), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Searchers (tiny budgets; NS-only space keeps each execution cheap)
+
+SearchConfig TinyConfig() {
+  SearchConfig cfg;
+  cfg.max_strategy_executions = 8;
+  cfg.max_length = 3;
+  cfg.gamma = 0.2;
+  cfg.seed = 5;
+  return cfg;
+}
+
+void CheckOutcome(const SearchOutcome& out, int budget) {
+  EXPECT_GT(out.executions, 0);
+  EXPECT_LE(out.executions, budget + 1);
+  ASSERT_FALSE(out.pareto_schemes.empty());
+  ASSERT_EQ(out.pareto_schemes.size(), out.pareto_points.size());
+  ASSERT_FALSE(out.history.empty());
+  // best_acc_any is monotone non-decreasing.
+  for (size_t i = 1; i < out.history.size(); ++i) {
+    EXPECT_GE(out.history[i].best_acc_any, out.history[i - 1].best_acc_any);
+  }
+}
+
+TEST(RandomSearcherTest, RunsWithinBudget) {
+  EvalFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  RandomSearcher searcher;
+  auto out = searcher.Search(&ev, f.space, TinyConfig());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  CheckOutcome(*out, TinyConfig().max_strategy_executions + 3);
+}
+
+TEST(EvolutionarySearcherTest, RunsWithinBudget) {
+  EvalFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  EvolutionarySearcher::Options opts;
+  opts.population = 3;
+  EvolutionarySearcher searcher(opts);
+  auto out = searcher.Search(&ev, f.space, TinyConfig());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  CheckOutcome(*out, TinyConfig().max_strategy_executions + 3);
+}
+
+TEST(RlSearcherTest, RunsWithinBudget) {
+  EvalFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  RlSearcher searcher;
+  auto out = searcher.Search(&ev, f.space, TinyConfig());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  CheckOutcome(*out, TinyConfig().max_strategy_executions + 3);
+}
+
+TEST(ProgressiveSearcherTest, RunsWithinBudget) {
+  EvalFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  // Random embeddings stand in for Algorithm 1 output in this unit test.
+  Rng rng(19);
+  std::vector<Tensor> embeddings;
+  for (size_t i = 0; i < f.space.size(); ++i) {
+    embeddings.push_back(Tensor::Randn({8}, &rng));
+  }
+  Tensor task_features = Tensor::Randn({data::kTaskFeatureDim}, &rng);
+  ProgressiveSearcher::Options opts;
+  opts.sample_schemes = 3;
+  opts.candidates_per_scheme = 16;
+  opts.max_evals_per_round = 2;
+  ProgressiveSearcher searcher(embeddings, task_features, opts);
+  auto out = searcher.Search(&ev, f.space, TinyConfig());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  CheckOutcome(*out, TinyConfig().max_strategy_executions + 3);
+  // Progressive growth: pareto schemes are non-empty sequences within L.
+  for (const auto& s : out->pareto_schemes) {
+    EXPECT_GE(s.size(), 1u);
+    EXPECT_LE(s.size(), 3u);
+  }
+}
+
+TEST(ProgressiveSearcherTest, RejectsMismatchedEmbeddings) {
+  EvalFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  ProgressiveSearcher searcher({}, Tensor({data::kTaskFeatureDim}));
+  EXPECT_FALSE(searcher.Search(&ev, f.space, TinyConfig()).ok());
+}
+
+}  // namespace
+}  // namespace search
+}  // namespace automc

@@ -1,0 +1,176 @@
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "compress/lowrank_apply.h"
+#include "compress/surgery.h"
+#include "gtest/gtest.h"
+#include "nn/summary.h"
+#include "nn/trainer.h"
+#include "search/report.h"
+
+namespace automc {
+namespace {
+
+std::unique_ptr<nn::Model> SmallModel(const std::string& family, int depth) {
+  nn::ModelSpec spec;
+  spec.family = family;
+  spec.depth = depth;
+  spec.num_classes = 4;
+  spec.base_width = 4;
+  Rng rng(3);
+  return std::move(nn::BuildModel(spec, &rng)).value();
+}
+
+// --------------------------------------------------------------------------
+// Model summary
+
+TEST(SummaryTest, TotalsMatchModelCounters) {
+  auto model = SmallModel("resnet", 20);
+  nn::ModelSummary s = nn::Summarize(model.get());
+  EXPECT_EQ(s.total_params, model->ParamCount());
+  EXPECT_EQ(s.total_flops, model->FlopsPerSample());
+  EXPECT_EQ(s.weight_bits, 32);
+  EXPECT_FALSE(s.layers.empty());
+}
+
+TEST(SummaryTest, VggLayerCount) {
+  auto model = SmallModel("vgg", 13);
+  nn::ModelSummary s = nn::Summarize(model.get());
+  // 10 convs + 10 BNs + 10 ReLUs + 3 pools + GAP + flatten + linear = 36.
+  EXPECT_EQ(s.layers.size(), 36u);
+}
+
+TEST(SummaryTest, PathsAreUnique) {
+  auto model = SmallModel("resnet", 20);
+  nn::ModelSummary s = nn::Summarize(model.get());
+  std::set<std::string> paths;
+  for (const auto& row : s.layers) {
+    EXPECT_TRUE(paths.insert(row.path).second) << "duplicate " << row.path;
+  }
+}
+
+TEST(SummaryTest, ReflectsLowRankSurgery) {
+  auto model = SmallModel("resnet", 20);
+  int64_t before = nn::Summarize(model.get()).total_params;
+  ASSERT_TRUE(compress::ApplyLowRankGlobal(model.get(), 0.25,
+                                           compress::DecompKind::kSvd)
+                  .ok());
+  nn::ModelSummary s = nn::Summarize(model.get());
+  EXPECT_LT(s.total_params, before);
+  // Decomposed convs show up as stage paths.
+  bool has_stage = false;
+  for (const auto& row : s.layers) {
+    if (row.path.find(".stage") != std::string::npos) has_stage = true;
+  }
+  EXPECT_TRUE(has_stage);
+}
+
+TEST(SummaryTest, ToStringContainsTotals) {
+  auto model = SmallModel("vgg", 13);
+  nn::ModelSummary s = nn::Summarize(model.get());
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("total:"), std::string::npos);
+  EXPECT_NE(text.find("Conv2d"), std::string::npos);
+  EXPECT_NE(text.find("32-bit"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// CSV reports
+
+search::SearchOutcome FakeOutcome() {
+  search::SearchOutcome out;
+  search::EvalPoint p1;
+  p1.acc = 0.9;
+  p1.params = 1000;
+  p1.flops = 5000;
+  p1.pr = 0.4;
+  p1.fr = 0.3;
+  out.pareto_points = {p1};
+  out.pareto_schemes = {{0}};
+  out.history = {{1, -1.0, 0.5}, {2, 0.9, 0.9}};
+  out.executions = 2;
+  return out;
+}
+
+TEST(ReportTest, HistoryCsvFormat) {
+  std::ostringstream os;
+  ASSERT_TRUE(search::WriteHistoryCsv(FakeOutcome(), &os).ok());
+  std::string csv = os.str();
+  EXPECT_NE(csv.find("executions,best_acc_feasible,best_acc_any"),
+            std::string::npos);
+  EXPECT_NE(csv.find("1,-1,0.5"), std::string::npos);
+  EXPECT_NE(csv.find("2,0.9,0.9"), std::string::npos);
+}
+
+TEST(ReportTest, ParetoCsvIncludesSchemeText) {
+  search::SearchSpace space = search::SearchSpace::SingleMethod("NS");
+  std::ostringstream os;
+  ASSERT_TRUE(search::WriteParetoCsv(FakeOutcome(), space, &os).ok());
+  std::string csv = os.str();
+  EXPECT_NE(csv.find("acc,params,flops,pr,fr,scheme"), std::string::npos);
+  EXPECT_NE(csv.find("\"NS("), std::string::npos);
+}
+
+TEST(ReportTest, FileRoundTrip) {
+  search::SearchSpace space = search::SearchSpace::SingleMethod("NS");
+  std::string path = ::testing::TempDir() + "/history.csv";
+  ASSERT_TRUE(search::WriteHistoryCsvFile(FakeOutcome(), path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "executions,best_acc_feasible,best_acc_any");
+}
+
+TEST(ReportTest, RejectsNullStream) {
+  EXPECT_FALSE(search::WriteHistoryCsv(FakeOutcome(), nullptr).ok());
+}
+
+TEST(ReportTest, RejectsInconsistentOutcome) {
+  search::SearchSpace space = search::SearchSpace::SingleMethod("NS");
+  search::SearchOutcome bad = FakeOutcome();
+  bad.pareto_schemes.clear();  // now out of sync with points
+  std::ostringstream os;
+  EXPECT_FALSE(search::WriteParetoCsv(bad, space, &os).ok());
+}
+
+// --------------------------------------------------------------------------
+// Trainer lr decay
+
+TEST(TrainerDecayTest, DecayReducesStepSizes) {
+  data::SyntheticTaskConfig cfg;
+  cfg.num_classes = 2;
+  cfg.train_per_class = 8;
+  cfg.test_per_class = 2;
+  data::TaskData task = MakeSyntheticTask(cfg);
+
+  // With decay ~0, only the first epoch moves the weights appreciably.
+  auto run = [&](float decay) {
+    auto model = SmallModel("vgg", 13);
+    std::vector<float> w0;
+    for (nn::Param* p : model->Params()) {
+      for (int64_t i = 0; i < p->value.numel(); ++i) w0.push_back(p->value[i]);
+    }
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 8;
+    tc.lr = 0.01f;
+    tc.lr_decay = decay;
+    tc.seed = 4;
+    nn::Trainer trainer(tc);
+    AUTOMC_CHECK(trainer.Fit(model.get(), task.train).ok());
+    double moved = 0.0;
+    size_t k = 0;
+    for (nn::Param* p : model->Params()) {
+      for (int64_t i = 0; i < p->value.numel(); ++i, ++k) {
+        moved += std::fabs(p->value[i] - w0[k]);
+      }
+    }
+    return moved;
+  };
+  EXPECT_LT(run(0.1f), run(1.0f));
+}
+
+}  // namespace
+}  // namespace automc

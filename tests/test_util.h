@@ -1,0 +1,54 @@
+#ifndef AUTOMC_TESTS_TEST_UTIL_H_
+#define AUTOMC_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace automc {
+namespace testing {
+
+// Central-difference numeric gradient of a scalar function with respect to
+// the entries of `x`, compared elementwise against `analytic`.
+// `f` must be a pure function of the current contents of *x.
+inline void ExpectGradientsMatch(tensor::Tensor* x,
+                                 const std::function<double()>& f,
+                                 const tensor::Tensor& analytic,
+                                 double eps = 1e-3, double tol = 2e-2) {
+  ASSERT_EQ(x->numel(), analytic.numel());
+  for (int64_t i = 0; i < x->numel(); ++i) {
+    float orig = (*x)[i];
+    (*x)[i] = orig + static_cast<float>(eps);
+    double fp = f();
+    (*x)[i] = orig - static_cast<float>(eps);
+    double fm = f();
+    (*x)[i] = orig;
+    double numeric = (fp - fm) / (2.0 * eps);
+    double a = analytic[i];
+    double scale = std::max({1.0, std::fabs(numeric), std::fabs(a)});
+    EXPECT_NEAR(numeric, a, tol * scale)
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+// Deterministic weights used to reduce a tensor to a scalar "loss" so both
+// the analytic backward pass and the numeric differentiation see the same
+// objective.
+inline tensor::Tensor ScalarizeWeights(const std::vector<int64_t>& shape,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  return tensor::Tensor::Randn(shape, &rng, 1.0f);
+}
+
+inline double Scalarize(const tensor::Tensor& y, const tensor::Tensor& w) {
+  double s = 0.0;
+  for (int64_t i = 0; i < y.numel(); ++i) s += static_cast<double>(y[i]) * w[i];
+  return s;
+}
+
+}  // namespace testing
+}  // namespace automc
+
+#endif  // AUTOMC_TESTS_TEST_UTIL_H_
