@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefix_cache.dir/ablation_prefix_cache.cc.o"
+  "CMakeFiles/ablation_prefix_cache.dir/ablation_prefix_cache.cc.o.d"
+  "ablation_prefix_cache"
+  "ablation_prefix_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefix_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

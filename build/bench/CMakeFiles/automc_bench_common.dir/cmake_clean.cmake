@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automc_bench_common.dir/exp_common.cc.o"
+  "CMakeFiles/automc_bench_common.dir/exp_common.cc.o.d"
+  "libautomc_bench_common.a"
+  "libautomc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_search_curves.dir/fig4_search_curves.cc.o"
+  "CMakeFiles/fig4_search_curves.dir/fig4_search_curves.cc.o.d"
+  "fig4_search_curves"
+  "fig4_search_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_search_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

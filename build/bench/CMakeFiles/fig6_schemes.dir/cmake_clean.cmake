@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_schemes.dir/fig6_schemes.cc.o"
+  "CMakeFiles/fig6_schemes.dir/fig6_schemes.cc.o.d"
+  "fig6_schemes"
+  "fig6_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_transfer.dir/table3_transfer.cc.o"
+  "CMakeFiles/table3_transfer.dir/table3_transfer.cc.o.d"
+  "table3_transfer"
+  "table3_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automc_cli.dir/automc_cli.cpp.o"
+  "CMakeFiles/automc_cli.dir/automc_cli.cpp.o.d"
+  "automc_cli"
+  "automc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_scheme.dir/transfer_scheme.cpp.o"
+  "CMakeFiles/transfer_scheme.dir/transfer_scheme.cpp.o.d"
+  "transfer_scheme"
+  "transfer_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

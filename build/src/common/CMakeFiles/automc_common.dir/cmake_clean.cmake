@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automc_common.dir/logging.cc.o"
+  "CMakeFiles/automc_common.dir/logging.cc.o.d"
+  "CMakeFiles/automc_common.dir/matrix.cc.o"
+  "CMakeFiles/automc_common.dir/matrix.cc.o.d"
+  "CMakeFiles/automc_common.dir/stats.cc.o"
+  "CMakeFiles/automc_common.dir/stats.cc.o.d"
+  "CMakeFiles/automc_common.dir/status.cc.o"
+  "CMakeFiles/automc_common.dir/status.cc.o.d"
+  "libautomc_common.a"
+  "libautomc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/automc_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/decompose.cc" "src/compress/CMakeFiles/automc_compress.dir/decompose.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/decompose.cc.o.d"
+  "/root/repo/src/compress/factory.cc" "src/compress/CMakeFiles/automc_compress.dir/factory.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/factory.cc.o.d"
+  "/root/repo/src/compress/hos.cc" "src/compress/CMakeFiles/automc_compress.dir/hos.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/hos.cc.o.d"
+  "/root/repo/src/compress/legr.cc" "src/compress/CMakeFiles/automc_compress.dir/legr.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/legr.cc.o.d"
+  "/root/repo/src/compress/lfb.cc" "src/compress/CMakeFiles/automc_compress.dir/lfb.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/lfb.cc.o.d"
+  "/root/repo/src/compress/lma.cc" "src/compress/CMakeFiles/automc_compress.dir/lma.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/lma.cc.o.d"
+  "/root/repo/src/compress/lowrank_apply.cc" "src/compress/CMakeFiles/automc_compress.dir/lowrank_apply.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/lowrank_apply.cc.o.d"
+  "/root/repo/src/compress/ns.cc" "src/compress/CMakeFiles/automc_compress.dir/ns.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/ns.cc.o.d"
+  "/root/repo/src/compress/quant.cc" "src/compress/CMakeFiles/automc_compress.dir/quant.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/quant.cc.o.d"
+  "/root/repo/src/compress/scheme_parser.cc" "src/compress/CMakeFiles/automc_compress.dir/scheme_parser.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/scheme_parser.cc.o.d"
+  "/root/repo/src/compress/sfp.cc" "src/compress/CMakeFiles/automc_compress.dir/sfp.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/sfp.cc.o.d"
+  "/root/repo/src/compress/surgery.cc" "src/compress/CMakeFiles/automc_compress.dir/surgery.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/surgery.cc.o.d"
+  "/root/repo/src/compress/taylor.cc" "src/compress/CMakeFiles/automc_compress.dir/taylor.cc.o" "gcc" "src/compress/CMakeFiles/automc_compress.dir/taylor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/automc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/automc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/automc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/automc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

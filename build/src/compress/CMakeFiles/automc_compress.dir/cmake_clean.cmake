@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automc_compress.dir/compressor.cc.o"
+  "CMakeFiles/automc_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/automc_compress.dir/decompose.cc.o"
+  "CMakeFiles/automc_compress.dir/decompose.cc.o.d"
+  "CMakeFiles/automc_compress.dir/factory.cc.o"
+  "CMakeFiles/automc_compress.dir/factory.cc.o.d"
+  "CMakeFiles/automc_compress.dir/hos.cc.o"
+  "CMakeFiles/automc_compress.dir/hos.cc.o.d"
+  "CMakeFiles/automc_compress.dir/legr.cc.o"
+  "CMakeFiles/automc_compress.dir/legr.cc.o.d"
+  "CMakeFiles/automc_compress.dir/lfb.cc.o"
+  "CMakeFiles/automc_compress.dir/lfb.cc.o.d"
+  "CMakeFiles/automc_compress.dir/lma.cc.o"
+  "CMakeFiles/automc_compress.dir/lma.cc.o.d"
+  "CMakeFiles/automc_compress.dir/lowrank_apply.cc.o"
+  "CMakeFiles/automc_compress.dir/lowrank_apply.cc.o.d"
+  "CMakeFiles/automc_compress.dir/ns.cc.o"
+  "CMakeFiles/automc_compress.dir/ns.cc.o.d"
+  "CMakeFiles/automc_compress.dir/quant.cc.o"
+  "CMakeFiles/automc_compress.dir/quant.cc.o.d"
+  "CMakeFiles/automc_compress.dir/scheme_parser.cc.o"
+  "CMakeFiles/automc_compress.dir/scheme_parser.cc.o.d"
+  "CMakeFiles/automc_compress.dir/sfp.cc.o"
+  "CMakeFiles/automc_compress.dir/sfp.cc.o.d"
+  "CMakeFiles/automc_compress.dir/surgery.cc.o"
+  "CMakeFiles/automc_compress.dir/surgery.cc.o.d"
+  "CMakeFiles/automc_compress.dir/taylor.cc.o"
+  "CMakeFiles/automc_compress.dir/taylor.cc.o.d"
+  "libautomc_compress.a"
+  "libautomc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automc_core.dir/automc.cc.o"
+  "CMakeFiles/automc_core.dir/automc.cc.o.d"
+  "libautomc_core.a"
+  "libautomc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automc_data.dir/augment.cc.o"
+  "CMakeFiles/automc_data.dir/augment.cc.o.d"
+  "CMakeFiles/automc_data.dir/cifar.cc.o"
+  "CMakeFiles/automc_data.dir/cifar.cc.o.d"
+  "CMakeFiles/automc_data.dir/dataset.cc.o"
+  "CMakeFiles/automc_data.dir/dataset.cc.o.d"
+  "libautomc_data.a"
+  "libautomc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

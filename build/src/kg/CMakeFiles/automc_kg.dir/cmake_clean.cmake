@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automc_kg.dir/embedding.cc.o"
+  "CMakeFiles/automc_kg.dir/embedding.cc.o.d"
+  "CMakeFiles/automc_kg.dir/experience.cc.o"
+  "CMakeFiles/automc_kg.dir/experience.cc.o.d"
+  "CMakeFiles/automc_kg.dir/knowledge_graph.cc.o"
+  "CMakeFiles/automc_kg.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/automc_kg.dir/transr.cc.o"
+  "CMakeFiles/automc_kg.dir/transr.cc.o.d"
+  "libautomc_kg.a"
+  "libautomc_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automc_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

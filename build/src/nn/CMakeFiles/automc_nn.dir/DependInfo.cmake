@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/automc_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/automc_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/automc_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/automc_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/lowrank.cc" "src/nn/CMakeFiles/automc_nn.dir/lowrank.cc.o" "gcc" "src/nn/CMakeFiles/automc_nn.dir/lowrank.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/automc_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/automc_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/automc_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/automc_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/residual.cc" "src/nn/CMakeFiles/automc_nn.dir/residual.cc.o" "gcc" "src/nn/CMakeFiles/automc_nn.dir/residual.cc.o.d"
+  "/root/repo/src/nn/seqnet.cc" "src/nn/CMakeFiles/automc_nn.dir/seqnet.cc.o" "gcc" "src/nn/CMakeFiles/automc_nn.dir/seqnet.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/automc_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/automc_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/summary.cc" "src/nn/CMakeFiles/automc_nn.dir/summary.cc.o" "gcc" "src/nn/CMakeFiles/automc_nn.dir/summary.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/automc_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/automc_nn.dir/trainer.cc.o.d"
+  "/root/repo/src/nn/visit.cc" "src/nn/CMakeFiles/automc_nn.dir/visit.cc.o" "gcc" "src/nn/CMakeFiles/automc_nn.dir/visit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/automc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/automc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/automc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automc_nn.dir/layers.cc.o"
+  "CMakeFiles/automc_nn.dir/layers.cc.o.d"
+  "CMakeFiles/automc_nn.dir/loss.cc.o"
+  "CMakeFiles/automc_nn.dir/loss.cc.o.d"
+  "CMakeFiles/automc_nn.dir/lowrank.cc.o"
+  "CMakeFiles/automc_nn.dir/lowrank.cc.o.d"
+  "CMakeFiles/automc_nn.dir/model.cc.o"
+  "CMakeFiles/automc_nn.dir/model.cc.o.d"
+  "CMakeFiles/automc_nn.dir/optimizer.cc.o"
+  "CMakeFiles/automc_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/automc_nn.dir/residual.cc.o"
+  "CMakeFiles/automc_nn.dir/residual.cc.o.d"
+  "CMakeFiles/automc_nn.dir/seqnet.cc.o"
+  "CMakeFiles/automc_nn.dir/seqnet.cc.o.d"
+  "CMakeFiles/automc_nn.dir/serialize.cc.o"
+  "CMakeFiles/automc_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/automc_nn.dir/summary.cc.o"
+  "CMakeFiles/automc_nn.dir/summary.cc.o.d"
+  "CMakeFiles/automc_nn.dir/trainer.cc.o"
+  "CMakeFiles/automc_nn.dir/trainer.cc.o.d"
+  "CMakeFiles/automc_nn.dir/visit.cc.o"
+  "CMakeFiles/automc_nn.dir/visit.cc.o.d"
+  "libautomc_nn.a"
+  "libautomc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

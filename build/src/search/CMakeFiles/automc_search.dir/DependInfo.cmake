@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/evaluator.cc" "src/search/CMakeFiles/automc_search.dir/evaluator.cc.o" "gcc" "src/search/CMakeFiles/automc_search.dir/evaluator.cc.o.d"
+  "/root/repo/src/search/evolutionary.cc" "src/search/CMakeFiles/automc_search.dir/evolutionary.cc.o" "gcc" "src/search/CMakeFiles/automc_search.dir/evolutionary.cc.o.d"
+  "/root/repo/src/search/fmo.cc" "src/search/CMakeFiles/automc_search.dir/fmo.cc.o" "gcc" "src/search/CMakeFiles/automc_search.dir/fmo.cc.o.d"
+  "/root/repo/src/search/grid_search.cc" "src/search/CMakeFiles/automc_search.dir/grid_search.cc.o" "gcc" "src/search/CMakeFiles/automc_search.dir/grid_search.cc.o.d"
+  "/root/repo/src/search/pareto.cc" "src/search/CMakeFiles/automc_search.dir/pareto.cc.o" "gcc" "src/search/CMakeFiles/automc_search.dir/pareto.cc.o.d"
+  "/root/repo/src/search/progressive.cc" "src/search/CMakeFiles/automc_search.dir/progressive.cc.o" "gcc" "src/search/CMakeFiles/automc_search.dir/progressive.cc.o.d"
+  "/root/repo/src/search/random_search.cc" "src/search/CMakeFiles/automc_search.dir/random_search.cc.o" "gcc" "src/search/CMakeFiles/automc_search.dir/random_search.cc.o.d"
+  "/root/repo/src/search/report.cc" "src/search/CMakeFiles/automc_search.dir/report.cc.o" "gcc" "src/search/CMakeFiles/automc_search.dir/report.cc.o.d"
+  "/root/repo/src/search/rl.cc" "src/search/CMakeFiles/automc_search.dir/rl.cc.o" "gcc" "src/search/CMakeFiles/automc_search.dir/rl.cc.o.d"
+  "/root/repo/src/search/search_space.cc" "src/search/CMakeFiles/automc_search.dir/search_space.cc.o" "gcc" "src/search/CMakeFiles/automc_search.dir/search_space.cc.o.d"
+  "/root/repo/src/search/searcher.cc" "src/search/CMakeFiles/automc_search.dir/searcher.cc.o" "gcc" "src/search/CMakeFiles/automc_search.dir/searcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/automc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/automc_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/automc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/automc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/automc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/automc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

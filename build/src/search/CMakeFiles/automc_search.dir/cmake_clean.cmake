@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automc_search.dir/evaluator.cc.o"
+  "CMakeFiles/automc_search.dir/evaluator.cc.o.d"
+  "CMakeFiles/automc_search.dir/evolutionary.cc.o"
+  "CMakeFiles/automc_search.dir/evolutionary.cc.o.d"
+  "CMakeFiles/automc_search.dir/fmo.cc.o"
+  "CMakeFiles/automc_search.dir/fmo.cc.o.d"
+  "CMakeFiles/automc_search.dir/grid_search.cc.o"
+  "CMakeFiles/automc_search.dir/grid_search.cc.o.d"
+  "CMakeFiles/automc_search.dir/pareto.cc.o"
+  "CMakeFiles/automc_search.dir/pareto.cc.o.d"
+  "CMakeFiles/automc_search.dir/progressive.cc.o"
+  "CMakeFiles/automc_search.dir/progressive.cc.o.d"
+  "CMakeFiles/automc_search.dir/random_search.cc.o"
+  "CMakeFiles/automc_search.dir/random_search.cc.o.d"
+  "CMakeFiles/automc_search.dir/report.cc.o"
+  "CMakeFiles/automc_search.dir/report.cc.o.d"
+  "CMakeFiles/automc_search.dir/rl.cc.o"
+  "CMakeFiles/automc_search.dir/rl.cc.o.d"
+  "CMakeFiles/automc_search.dir/search_space.cc.o"
+  "CMakeFiles/automc_search.dir/search_space.cc.o.d"
+  "CMakeFiles/automc_search.dir/searcher.cc.o"
+  "CMakeFiles/automc_search.dir/searcher.cc.o.d"
+  "libautomc_search.a"
+  "libautomc_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automc_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

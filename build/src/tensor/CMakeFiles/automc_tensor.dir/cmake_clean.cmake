@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automc_tensor.dir/ops.cc.o"
+  "CMakeFiles/automc_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/automc_tensor.dir/tensor.cc.o"
+  "CMakeFiles/automc_tensor.dir/tensor.cc.o.d"
+  "libautomc_tensor.a"
+  "libautomc_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automc_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_outcome_test.dir/augment_outcome_test.cc.o"
+  "CMakeFiles/augment_outcome_test.dir/augment_outcome_test.cc.o.d"
+  "augment_outcome_test"
+  "augment_outcome_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_outcome_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/automc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/automc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/automc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/automc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/automc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/automc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/automc_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/automc_kg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

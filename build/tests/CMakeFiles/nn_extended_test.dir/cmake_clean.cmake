@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_extended_test.dir/nn_extended_test.cc.o"
+  "CMakeFiles/nn_extended_test.dir/nn_extended_test.cc.o.d"
+  "nn_extended_test"
+  "nn_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_behavior_test.dir/search_behavior_test.cc.o"
+  "CMakeFiles/search_behavior_test.dir/search_behavior_test.cc.o.d"
+  "search_behavior_test"
+  "search_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
