@@ -3,13 +3,23 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/metrics.h"
 #include "nn/trainer.h"
 #include "search/grid_search.h"
 
 namespace automc {
 namespace bench {
 
+void InstallMetricsDump() {
+  static const bool installed = [] {
+    std::atexit([] { metrics::MetricsRegistry::Global().DumpIfConfigured(); });
+    return true;
+  }();
+  (void)installed;
+}
+
 core::CompressionTask MakeExp1Task(uint64_t seed) {
+  InstallMetricsDump();
   core::CompressionTask task;
   task.data = data::MakeCifar10Like(seed);
   task.model_spec.family = "resnet";
@@ -28,6 +38,7 @@ core::CompressionTask MakeExp1Task(uint64_t seed) {
 }
 
 core::CompressionTask MakeExp2Task(uint64_t seed) {
+  InstallMetricsDump();
   core::CompressionTask task;
   task.data = data::MakeCifar100Like(seed);
   task.model_spec.family = "vgg";

@@ -26,6 +26,12 @@ core::CompressionTask MakeExp2Task(uint64_t seed = 7);
 int BenchBudget();
 int BenchGridSamples();
 
+// Registers an atexit hook that writes the process metrics snapshot to
+// $AUTOMC_METRICS_OUT (if set) when the bench exits. Idempotent; called
+// automatically by MakeExp1Task/MakeExp2Task so every harness records a
+// BENCH_*.json-style trajectory for free.
+void InstallMetricsDump();
+
 // Bench-scale AutoMC options (full Table 1 space, small budgets).
 core::AutoMCOptions BenchAutoMCOptions(int budget, double gamma,
                                        uint64_t seed);

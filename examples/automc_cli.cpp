@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
 #include "compress/scheme_parser.h"
 #include "core/automc.h"
 #include "data/cifar.h"
@@ -95,6 +96,8 @@ void Usage() {
 
 int main(int argc, char** argv) {
   using namespace automc;
+  // Honors AUTOMC_METRICS_OUT=<path>: write the metrics snapshot at exit.
+  std::atexit([] { metrics::MetricsRegistry::Global().DumpIfConfigured(); });
   CliOptions cli;
   if (!ParseArgs(argc, argv, &cli)) {
     Usage();

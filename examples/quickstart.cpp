@@ -4,11 +4,18 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <cstdlib>
 
+#include "common/metrics.h"
 #include "core/automc.h"
 
 int main() {
   using namespace automc;
+
+  // Record the run's observability trajectory (counters, timing histograms)
+  // when AUTOMC_METRICS_OUT=<path> is set, e.g.
+  //   AUTOMC_METRICS_OUT=metrics.json ./build/examples/quickstart
+  std::atexit([] { metrics::MetricsRegistry::Global().DumpIfConfigured(); });
 
   // 1. Define the compression task: model family + dataset + target.
   core::CompressionTask task;

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+#
+# Usage:
+#   scripts/ci.sh                      # plain Release build + ctest
+#   AUTOMC_SANITIZE=address,undefined scripts/ci.sh
+#                                      # additional sanitizer build + ctest
+#
+# Exits non-zero on the first failing step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+}
+
+echo "== tier-1: release build + tests =="
+run_suite build
+
+if [[ -n "${AUTOMC_SANITIZE:-}" ]]; then
+  echo "== sanitizer pass (${AUTOMC_SANITIZE}) =="
+  run_suite "build-san" "-DAUTOMC_SANITIZE=${AUTOMC_SANITIZE}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "CI OK"

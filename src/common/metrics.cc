@@ -1,0 +1,247 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/trace.h"
+
+namespace automc {
+namespace metrics {
+
+namespace {
+
+bool EnvDisabled() {
+  const char* v = std::getenv("AUTOMC_METRICS");
+  if (v == nullptr) return false;
+  return std::string(v) == "0" || std::string(v) == "false" ||
+         std::string(v) == "off";
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{!EnvDisabled()};
+  return enabled;
+}
+
+// Escapes a metric name for use as a JSON string literal. Names are plain
+// dotted identifiers in practice; this keeps the export valid regardless.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  std::string s = os.str();
+  // JSON has no inf/nan literals; clamp to null-safe sentinels.
+  if (s.find("inf") != std::string::npos) return v > 0 ? "1e308" : "-1e308";
+  if (s.find("nan") != std::string::npos) return "0";
+  return s;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+void SetEnabled(bool on) {
+  EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultBounds();
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::DefaultBounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-3; decade < 1e5; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.5 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  return bounds;  // 1e-3 ... 5e4
+}
+
+void Histogram::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  ++counts_[b];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << JsonDouble(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
+       << "\"count\": " << h->count() << ", \"sum\": " << JsonDouble(h->sum())
+       << ", \"min\": " << JsonDouble(h->min())
+       << ", \"max\": " << JsonDouble(h->max())
+       << ", \"mean\": " << JsonDouble(h->mean()) << ", \"buckets\": [";
+    const std::vector<double>& bounds = h->bounds();
+    std::vector<int64_t> counts = h->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i) os << ", ";
+      os << "{\"le\": "
+         << (i < bounds.size() ? JsonDouble(bounds[i]) : "\"inf\"")
+         << ", \"count\": " << counts[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"trace\": " << trace::ToJson()
+     << "\n}\n";
+  return os.str();
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+bool MetricsRegistry::DumpIfConfigured() const {
+  const char* path = std::getenv("AUTOMC_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return false;
+  bool ok = WriteJson(path);
+  if (!ok) {
+    AUTOMC_LOG(Warning) << "failed to write metrics to AUTOMC_METRICS_OUT="
+                        << path;
+  }
+  return ok;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Recording helpers
+
+void Count(const std::string& name, int64_t delta) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().GetCounter(name).Add(delta);
+}
+
+void SetGauge(const std::string& name, double value) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().GetGauge(name).Set(value);
+}
+
+void Observe(const std::string& name, double value) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().GetHistogram(name).Observe(value);
+}
+
+}  // namespace metrics
+}  // namespace automc

@@ -1,0 +1,143 @@
+#ifndef AUTOMC_COMMON_METRICS_H_
+#define AUTOMC_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace automc {
+namespace metrics {
+
+// Process-wide observability registry. Everything that defines the search
+// budget reports here: strategy executions, prefix-cache behaviour, training
+// epochs, per-method compression cost. Exported as JSON (ToJson) so bench
+// runs can record trajectories; the path comes from AUTOMC_METRICS_OUT.
+//
+// Naming convention: "<subsystem>.<noun>" for counters and gauges,
+// "<subsystem>.<noun>_ms" for wall-time histograms (milliseconds).
+//
+// Two disable levels:
+//   * runtime  — SetEnabled(false) or AUTOMC_METRICS=0 in the environment;
+//                recording helpers become cheap early-out no-ops.
+//   * compile  — building with -DAUTOMC_DISABLE_METRICS turns the
+//                AUTOMC_METRIC_* macros (and scoped timers) into nothing.
+
+// Runtime kill switch. Initialized once from AUTOMC_METRICS ("0"/"false"
+// disable); defaults to enabled.
+bool Enabled();
+void SetEnabled(bool on);
+
+// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-value-wins floating-point metric.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper edges; one implicit
+// overflow bucket collects everything above the last edge.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t count() const;
+  double sum() const;
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<int64_t> bucket_counts() const;  // bounds().size() + 1 entries
+
+  // Decade ladder (1 / 2.5 / 5) from 1e-3 to 6e4 — covers both millisecond
+  // timings and loss-scale observations.
+  static std::vector<double> DefaultBounds();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Lookup-or-create by name. Returned references live until Reset().
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // `bounds` is honoured only on first creation; empty means DefaultBounds().
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  // Snapshot of all metrics (plus any completed trace roots) as one JSON
+  // object: {"counters":{...},"gauges":{...},"histograms":{...},"trace":[..]}.
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`; false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+  // Writes ToJson() to $AUTOMC_METRICS_OUT when that is set and non-empty.
+  // Returns true only if a file was actually written.
+  bool DumpIfConfigured() const;
+
+  // Drops every registered metric (test isolation). Invalidates references
+  // previously returned by the getters.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Recording helpers: early-out when runtime-disabled, so instrumented code
+// never pays more than one branch + an atomic load.
+void Count(const std::string& name, int64_t delta = 1);
+void SetGauge(const std::string& name, double value);
+void Observe(const std::string& name, double value);
+
+}  // namespace metrics
+}  // namespace automc
+
+#ifndef AUTOMC_DISABLE_METRICS
+#define AUTOMC_METRIC_COUNT(name, ...) \
+  ::automc::metrics::Count(name, ##__VA_ARGS__)
+#define AUTOMC_METRIC_GAUGE(name, value) \
+  ::automc::metrics::SetGauge(name, value)
+#define AUTOMC_METRIC_OBSERVE(name, value) \
+  ::automc::metrics::Observe(name, value)
+#else
+#define AUTOMC_METRIC_COUNT(name, ...) ((void)0)
+#define AUTOMC_METRIC_GAUGE(name, value) ((void)0)
+#define AUTOMC_METRIC_OBSERVE(name, value) ((void)0)
+#endif
+
+#endif  // AUTOMC_COMMON_METRICS_H_

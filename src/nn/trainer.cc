@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "nn/optimizer.h"
 #include "nn/visit.h"
 
@@ -54,31 +56,37 @@ Status Trainer::Fit(Model* model, const data::Dataset& train, LossFn loss_fn,
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     int64_t batches = 0;
-    for (size_t start = 0; start < order.size();
-         start += static_cast<size_t>(config_.batch_size)) {
-      size_t end = std::min(order.size(),
-                            start + static_cast<size_t>(config_.batch_size));
-      std::vector<int64_t> idx(order.begin() + static_cast<int64_t>(start),
-                               order.begin() + static_cast<int64_t>(end));
-      Tensor images = train.GatherImages(idx);
-      std::vector<int> labels = train.GatherLabels(idx);
-      if (config_.augment) {
-        images = data::Augment(images, config_.augment_config, &rng);
-      }
+    {
+      AUTOMC_SCOPED_TIMER("trainer.epoch_ms");
+      for (size_t start = 0; start < order.size();
+           start += static_cast<size_t>(config_.batch_size)) {
+        size_t end = std::min(order.size(),
+                              start + static_cast<size_t>(config_.batch_size));
+        std::vector<int64_t> idx(order.begin() + static_cast<int64_t>(start),
+                                 order.begin() + static_cast<int64_t>(end));
+        Tensor images = train.GatherImages(idx);
+        std::vector<int> labels = train.GatherLabels(idx);
+        if (config_.augment) {
+          images = data::Augment(images, config_.augment_config, &rng);
+        }
 
-      model->ZeroGrad();
-      Tensor logits = model->Forward(images, /*training=*/true);
-      LossResult lr = loss_fn(logits, labels, images);
-      model->Backward(lr.grad);
-      if (config_.bn_gamma_l1 > 0.0f) {
-        ApplyBnGammaL1(model, config_.bn_gamma_l1);
+        model->ZeroGrad();
+        Tensor logits = model->Forward(images, /*training=*/true);
+        LossResult lr = loss_fn(logits, labels, images);
+        model->Backward(lr.grad);
+        if (config_.bn_gamma_l1 > 0.0f) {
+          ApplyBnGammaL1(model, config_.bn_gamma_l1);
+        }
+        opt.Step(model->Params());
+        epoch_loss += lr.loss;
+        ++batches;
       }
-      opt.Step(model->Params());
-      epoch_loss += lr.loss;
-      ++batches;
     }
     last_epoch_loss =
         batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
+    AUTOMC_METRIC_COUNT("trainer.epochs");
+    AUTOMC_METRIC_COUNT("trainer.steps", batches);
+    AUTOMC_METRIC_OBSERVE("trainer.epoch_loss", last_epoch_loss);
     if (epoch_hook) epoch_hook(epoch, model);
     if (!std::isfinite(last_epoch_loss)) {
       // Diverged (aggressive compression + high lr can blow up). Stop

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "nn/trainer.h"
 
 namespace automc {
@@ -56,6 +58,7 @@ void SchemeEvaluator::MaybeEvict() {
     }
     if (victim == cache_.end()) break;
     cache_.erase(victim);
+    AUTOMC_METRIC_COUNT("evaluator.cache_evictions");
   }
 }
 
@@ -72,6 +75,8 @@ void SchemeEvaluator::Insert(const std::string& key,
 
 Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
                                             EvalPoint* parent_out) {
+  AUTOMC_SCOPED_TIMER("evaluator.eval_ms");
+  AUTOMC_METRIC_COUNT("evaluator.evaluations");
   for (int idx : scheme) {
     if (idx < 0 || static_cast<size_t>(idx) >= space_->size()) {
       return Status::OutOfRange("strategy index out of range: " +
@@ -91,6 +96,12 @@ Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
   auto base_it = cache_.find(Key(scheme, start));
   AUTOMC_CHECK(base_it != cache_.end());
   base_it->second.last_used = ++clock_;
+  // The cache-hit metric counts strategy executions the prefix cache
+  // avoided (a fully cached scheme avoids all of them); misses count the
+  // executions that still have to run.
+  AUTOMC_METRIC_COUNT("evaluator.cache_hits", static_cast<int64_t>(start));
+  AUTOMC_METRIC_COUNT("evaluator.cache_misses",
+                      static_cast<int64_t>(scheme.size() - start));
   if (start == scheme.size()) {
     ++cache_hits_;
     if (parent_out != nullptr) {
@@ -130,6 +141,7 @@ Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
       return st;
     }
     ++strategy_executions_;
+    AUTOMC_METRIC_COUNT("search.strategy_executions");
     parent = point;
     point = MeasureModel(model.get());
     Insert(Key(scheme, i + 1), model->Clone(), point);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "search/pareto.h"
 
 namespace automc {
@@ -111,6 +112,10 @@ Result<SearchOutcome> EvolutionarySearcher::Search(SchemeEvaluator* evaluator,
                             evaluator->Evaluate(offspring.scheme));
     archive.Record(offspring.scheme, offspring.point,
                    static_cast<int>(evaluator->strategy_executions()));
+    AUTOMC_METRIC_COUNT("search.evolutionary.rounds");
+    AUTOMC_METRIC_COUNT("search.evolutionary.candidates_expanded");
+    AUTOMC_METRIC_OBSERVE("search.evolutionary.pareto_front_size",
+                          static_cast<double>(archive.ParetoFrontSize()));
 
     // Steady-state replacement of the worst member.
     size_t worst = 0;

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "search/search_space.h"
 
 namespace automc {
@@ -16,6 +18,7 @@ Result<GridSearchResult> GridSearchMethod(
     const compress::CompressionContext& ctx,
     const GridSearchOptions& options) {
   if (base == nullptr) return Status::InvalidArgument("base model is null");
+  AUTOMC_SCOPED_TIMER("search.grid.method_ms");
   SearchSpace grid = SearchSpace::SingleMethod(method);
   if (grid.size() == 0) {
     return Status::NotFound("unknown or empty method grid: " + method);
@@ -64,6 +67,7 @@ Result<GridSearchResult> GridSearchMethod(
     compress::CompressionStats stats;
     Status st = compressor->Compress(probe.get(), run_ctx, &stats);
     ++result.configs_tried;
+    AUTOMC_METRIC_COUNT("search.grid.configs_tried");
     if (!st.ok()) {
       ++result.configs_failed;
       AUTOMC_LOG(Debug) << "grid config failed: " << configs[i].ToString()

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "search/pareto.h"
 
 namespace automc {
@@ -91,6 +92,9 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
     }
     std::vector<size_t> h_sub;
     for (size_t fi : ParetoFrontIndices(objs)) h_sub.push_back(extendable[fi]);
+    AUTOMC_METRIC_COUNT("search.progressive.rounds");
+    AUTOMC_METRIC_OBSERVE("search.progressive.pareto_front_size",
+                          static_cast<double>(h_sub.size()));
     rng.Shuffle(&h_sub);
     if (static_cast<int>(h_sub.size()) > options_.sample_schemes) {
       h_sub.resize(static_cast<size_t>(options_.sample_schemes));
@@ -132,6 +136,8 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
       }
     }
     if (candidates.empty()) break;
+    AUTOMC_METRIC_COUNT("search.progressive.candidates_expanded",
+                        static_cast<int64_t>(candidates.size()));
 
     // Line 5: ParetoO = argmax [ACC, PAR] (maximize ACC, minimize PAR).
     std::vector<std::pair<double, double>> cand_objs;

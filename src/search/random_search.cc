@@ -1,5 +1,7 @@
 #include "search/random_search.h"
 
+#include "common/metrics.h"
+
 namespace automc {
 namespace search {
 
@@ -21,6 +23,10 @@ Result<SearchOutcome> RandomSearcher::Search(SchemeEvaluator* evaluator,
     AUTOMC_ASSIGN_OR_RETURN(EvalPoint point, evaluator->Evaluate(scheme));
     archive.Record(scheme, point,
                    static_cast<int>(evaluator->strategy_executions()));
+    AUTOMC_METRIC_COUNT("search.random.rounds");
+    AUTOMC_METRIC_COUNT("search.random.candidates_expanded");
+    AUTOMC_METRIC_OBSERVE("search.random.pareto_front_size",
+                          static_cast<double>(archive.ParetoFrontSize()));
   }
   return archive.Finalize(static_cast<int>(evaluator->strategy_executions()));
 }

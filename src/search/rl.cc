@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "nn/optimizer.h"
 #include "nn/seqnet.h"
 
@@ -104,6 +105,10 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
     AUTOMC_ASSIGN_OR_RETURN(EvalPoint point, evaluator->Evaluate(scheme));
     archive.Record(scheme, point,
                    static_cast<int>(evaluator->strategy_executions()));
+    AUTOMC_METRIC_COUNT("search.rl.rounds");
+    AUTOMC_METRIC_COUNT("search.rl.candidates_expanded");
+    AUTOMC_METRIC_OBSERVE("search.rl.pareto_front_size",
+                          static_cast<double>(archive.ParetoFrontSize()));
     double reward =
         point.acc - options_.infeasibility_penalty *
                         std::max(0.0, config.gamma - point.pr);

@@ -22,6 +22,10 @@ void Archive::Record(const std::vector<int>& scheme, const EvalPoint& point,
   history_.push_back(h);
 }
 
+size_t Archive::ParetoFrontSize() const {
+  return Finalize(0).pareto_schemes.size();
+}
+
 SearchOutcome Archive::Finalize(int executions) const {
   SearchOutcome out;
   out.history = history_;

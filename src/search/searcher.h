@@ -45,6 +45,10 @@ class Archive {
   void Record(const std::vector<int>& scheme, const EvalPoint& point,
               int executions_so_far);
   SearchOutcome Finalize(int executions) const;
+  // Size of the current Pareto front over recorded schemes (feasible set
+  // when non-empty, else all). O(n^2) in recorded schemes; intended for
+  // per-round observability, not hot loops.
+  size_t ParetoFrontSize() const;
   const std::vector<HistoryPoint>& history() const { return history_; }
   // Best accuracy among feasible (pr >= gamma) schemes so far; -1 if none.
   double best_feasible_acc() const { return best_feasible_acc_; }

@@ -1,0 +1,158 @@
+// SchemeEvaluator prefix-cache behaviour: LRU eviction at the
+// max_cached_models boundary, cache_hits() accounting, and recomputation
+// identity for evicted prefixes.
+#include <memory>
+
+#include "common/metrics.h"
+#include "gtest/gtest.h"
+#include "nn/trainer.h"
+#include "search/evaluator.h"
+#include "search/search_space.h"
+
+namespace automc {
+namespace search {
+namespace {
+
+struct CacheFixture {
+  data::TaskData task;
+  std::unique_ptr<nn::Model> model;
+  compress::CompressionContext ctx;
+  SearchSpace space = SearchSpace::SingleMethod("NS");
+
+  CacheFixture() {
+    data::SyntheticTaskConfig cfg;
+    cfg.num_classes = 3;
+    cfg.train_per_class = 12;
+    cfg.test_per_class = 4;
+    cfg.seed = 41;
+    task = MakeSyntheticTask(cfg);
+
+    nn::ModelSpec spec;
+    spec.family = "vgg";
+    spec.depth = 13;
+    spec.num_classes = 3;
+    spec.base_width = 4;
+    Rng rng(5);
+    model = std::move(nn::BuildModel(spec, &rng)).value();
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 12;
+    nn::Trainer trainer(tc);
+    AUTOMC_CHECK(trainer.Fit(model.get(), task.train).ok());
+
+    ctx.train = &task.train;
+    ctx.test = &task.test;
+    ctx.pretrain_epochs = 1;
+    ctx.batch_size = 12;
+    ctx.seed = 3;
+  }
+
+  SchemeEvaluator::Options Capped(int max_cached) {
+    SchemeEvaluator::Options opts;
+    opts.max_cached_models = max_cached;
+    return opts;
+  }
+};
+
+TEST(EvaluatorCacheTest, LruEvictionAtBoundary) {
+  CacheFixture f;
+  metrics::MetricsRegistry::Global().Reset();
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, f.Capped(2));
+
+  ASSERT_TRUE(ev.Evaluate({0}).ok());
+  ASSERT_TRUE(ev.Evaluate({1}).ok());
+  EXPECT_EQ(ev.strategy_executions(), 2);
+
+  // Touch {0} so {1} becomes the least-recently-used entry.
+  ASSERT_TRUE(ev.Evaluate({0}).ok());
+  EXPECT_EQ(ev.strategy_executions(), 2);
+
+  // Third distinct entry exceeds max_cached_models=2 and evicts LRU ({1}).
+  ASSERT_TRUE(ev.Evaluate({2}).ok());
+  EXPECT_EQ(ev.strategy_executions(), 3);
+  EXPECT_GE(
+      metrics::MetricsRegistry::Global().GetCounter("evaluator.cache_evictions")
+          .value(),
+      1);
+
+  // {0} survived the eviction (recently used): free.
+  ASSERT_TRUE(ev.Evaluate({0}).ok());
+  EXPECT_EQ(ev.strategy_executions(), 3);
+
+  // {1} was evicted: re-evaluating costs one real execution again.
+  ASSERT_TRUE(ev.Evaluate({1}).ok());
+  EXPECT_EQ(ev.strategy_executions(), 4);
+}
+
+TEST(EvaluatorCacheTest, CacheHitsAccounting) {
+  CacheFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+
+  EXPECT_EQ(ev.cache_hits(), 0);
+  ASSERT_TRUE(ev.Evaluate({2}).ok());
+  EXPECT_EQ(ev.cache_hits(), 0);  // cold evaluation is not a hit
+
+  ASSERT_TRUE(ev.Evaluate({2}).ok());
+  EXPECT_EQ(ev.cache_hits(), 1);  // fully cached scheme
+
+  // Extending a cached prefix is not a full hit...
+  ASSERT_TRUE(ev.Evaluate({2, 5}).ok());
+  EXPECT_EQ(ev.cache_hits(), 1);
+  EXPECT_EQ(ev.strategy_executions(), 2);  // ...but only the suffix ran.
+
+  ASSERT_TRUE(ev.Evaluate({2, 5}).ok());
+  EXPECT_EQ(ev.cache_hits(), 2);
+
+  // The empty scheme is the (never-evicted) root: always a hit.
+  auto root = ev.Evaluate({});
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(ev.cache_hits(), 3);
+  EXPECT_DOUBLE_EQ(root->acc, ev.base_point().acc);
+  EXPECT_EQ(ev.strategy_executions(), 2);
+}
+
+TEST(EvaluatorCacheTest, EvictedPrefixRecomputesIdentically) {
+  CacheFixture f;
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, f.Capped(1));
+
+  auto p1 = ev.Evaluate({3, 4});
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(ev.strategy_executions(), 2);
+
+  // Force {3,4} (and the intermediate {3}) out of the one-slot cache.
+  ASSERT_TRUE(ev.Evaluate({5}).ok());
+  EXPECT_EQ(ev.strategy_executions(), 3);
+
+  // Re-evaluating rebuilds from the root — two fresh executions — and the
+  // per-node deterministic seeding makes the result bit-identical.
+  auto p2 = ev.Evaluate({3, 4});
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(ev.strategy_executions(), 5);
+  EXPECT_DOUBLE_EQ(p1->acc, p2->acc);
+  EXPECT_EQ(p1->params, p2->params);
+  EXPECT_EQ(p1->flops, p2->flops);
+  EXPECT_DOUBLE_EQ(p1->ar, p2->ar);
+  EXPECT_DOUBLE_EQ(p1->pr, p2->pr);
+  EXPECT_DOUBLE_EQ(p1->fr, p2->fr);
+}
+
+TEST(EvaluatorCacheTest, StrategyExecutionMetricTracksEvaluator) {
+  CacheFixture f;
+  metrics::MetricsRegistry::Global().Reset();
+  SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
+  ASSERT_TRUE(ev.Evaluate({1, 2}).ok());
+  ASSERT_TRUE(ev.Evaluate({1, 2, 3}).ok());
+  EXPECT_EQ(metrics::MetricsRegistry::Global()
+                .GetCounter("search.strategy_executions")
+                .value(),
+            ev.strategy_executions());
+  // The second call reused the cached 2-step prefix.
+  EXPECT_GE(metrics::MetricsRegistry::Global()
+                .GetCounter("evaluator.cache_hits")
+                .value(),
+            2);
+}
+
+}  // namespace
+}  // namespace search
+}  // namespace automc

@@ -1,0 +1,198 @@
+// Metrics/trace subsystem: counter/gauge/histogram semantics, scoped-timer
+// nesting, JSON export round-trip, and disabled-mode no-op behaviour.
+#include "common/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/trace.h"
+#include "gtest/gtest.h"
+
+namespace automc {
+namespace {
+
+using metrics::Histogram;
+using metrics::MetricsRegistry;
+
+// Pulls the numeric value following `"key": ` out of a JSON document. Good
+// enough for round-tripping our own flat export without a JSON library.
+double ExtractNumber(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\": ";
+  size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "missing key " << key;
+  if (pos == std::string::npos) return -1e300;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().Reset();
+    trace::ClearRoots();
+    metrics::SetEnabled(true);
+    trace::SetEnabled(false);
+  }
+  void TearDown() override {
+    MetricsRegistry::Global().Reset();
+    trace::ClearRoots();
+    metrics::SetEnabled(true);
+    trace::SetEnabled(false);
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  metrics::Count("t.counter");
+  metrics::Count("t.counter", 4);
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("t.counter").value(), 5);
+  // Same name resolves to the same instance.
+  MetricsRegistry::Global().GetCounter("t.counter").Add(2);
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("t.counter").value(), 7);
+}
+
+TEST_F(MetricsTest, GaugeLastValueWins) {
+  metrics::SetGauge("t.gauge", 1.5);
+  metrics::SetGauge("t.gauge", -2.25);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::Global().GetGauge("t.gauge").value(),
+                   -2.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketSemantics) {
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("t.hist", {1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1
+  h.Observe(1.0);    // <= 1 (inclusive upper edge)
+  h.Observe(5.0);    // <= 10
+  h.Observe(1000.0); // overflow
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  std::vector<int64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST_F(MetricsTest, HistogramDefaultBoundsCoverMillisecondRange) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("t.default");
+  ASSERT_FALSE(h.bounds().empty());
+  EXPECT_LE(h.bounds().front(), 1e-3);
+  EXPECT_GE(h.bounds().back(), 1e4);
+  h.Observe(0.42);
+  EXPECT_EQ(h.count(), 1);
+}
+
+TEST_F(MetricsTest, ScopedTimerFeedsHistogram) {
+  {
+    trace::ScopedTimer t("t.timer_ms");
+    EXPECT_GE(t.ElapsedMs(), 0.0);
+  }
+  Histogram& h = MetricsRegistry::Global().GetHistogram("t.timer_ms");
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST_F(MetricsTest, ScopedTimerNestingBuildsTraceTree) {
+  trace::SetEnabled(true);
+  {
+    trace::ScopedTimer outer("t.outer_ms");
+    {
+      trace::ScopedTimer inner("t.inner_ms");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    { trace::ScopedTimer inner2("t.inner2_ms"); }
+  }
+  std::vector<trace::Span> roots = trace::Roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].name, "t.outer_ms");
+  ASSERT_EQ(roots[0].children.size(), 2u);
+  EXPECT_EQ(roots[0].children[0].name, "t.inner_ms");
+  EXPECT_EQ(roots[0].children[1].name, "t.inner2_ms");
+  EXPECT_GE(roots[0].ms, roots[0].children[0].ms);
+  EXPECT_GT(roots[0].children[0].ms, 0.0);
+  // Trace JSON mirrors the tree.
+  std::string json = trace::ToJson();
+  EXPECT_NE(json.find("t.outer_ms"), std::string::npos);
+  EXPECT_NE(json.find("t.inner_ms"), std::string::npos);
+}
+
+TEST_F(MetricsTest, JsonExportRoundTrip) {
+  metrics::Count("rt.executions", 42);
+  metrics::SetGauge("rt.gauge", 3.5);
+  Histogram& h = MetricsRegistry::Global().GetHistogram("rt.hist", {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(9.0);
+
+  std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_DOUBLE_EQ(ExtractNumber(json, "rt.executions"), 42.0);
+  EXPECT_DOUBLE_EQ(ExtractNumber(json, "rt.gauge"), 3.5);
+  // Histogram summary fields appear after the histogram name.
+  size_t hist_pos = json.find("\"rt.hist\"");
+  ASSERT_NE(hist_pos, std::string::npos);
+  std::string hist_part = json.substr(hist_pos);
+  EXPECT_DOUBLE_EQ(ExtractNumber(hist_part, "count"), 3.0);
+  EXPECT_DOUBLE_EQ(ExtractNumber(hist_part, "sum"), 11.0);
+  // The export prints 12 significant digits, not full double precision.
+  EXPECT_NEAR(ExtractNumber(hist_part, "mean"), 11.0 / 3.0, 1e-9);
+
+  // File round-trip: WriteJson output re-reads byte-identical to ToJson.
+  std::string path = ::testing::TempDir() + "/automc_metrics_rt.json";
+  ASSERT_TRUE(MetricsRegistry::Global().WriteJson(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), MetricsRegistry::Global().ToJson());
+  std::remove(path.c_str());
+}
+
+TEST_F(MetricsTest, DumpIfConfiguredHonorsEnv) {
+  metrics::Count("dump.counter", 7);
+  // Unset: nothing written.
+  unsetenv("AUTOMC_METRICS_OUT");
+  EXPECT_FALSE(MetricsRegistry::Global().DumpIfConfigured());
+  // Set: file appears with the counter in it.
+  std::string path = ::testing::TempDir() + "/automc_metrics_dump.json";
+  setenv("AUTOMC_METRICS_OUT", path.c_str(), 1);
+  EXPECT_TRUE(MetricsRegistry::Global().DumpIfConfigured());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_DOUBLE_EQ(ExtractNumber(buf.str(), "dump.counter"), 7.0);
+  unsetenv("AUTOMC_METRICS_OUT");
+  std::remove(path.c_str());
+}
+
+TEST_F(MetricsTest, DisabledModeIsNoOp) {
+  metrics::SetEnabled(false);
+  EXPECT_FALSE(metrics::Enabled());
+  metrics::Count("off.counter", 5);
+  metrics::SetGauge("off.gauge", 1.0);
+  metrics::Observe("off.hist", 1.0);
+  { trace::ScopedTimer t("off.timer_ms"); }
+  metrics::SetEnabled(true);
+  // Nothing was recorded while disabled: the names exist only if someone
+  // created them, and the export must not mention them.
+  std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_EQ(json.find("off.counter"), std::string::npos);
+  EXPECT_EQ(json.find("off.gauge"), std::string::npos);
+  EXPECT_EQ(json.find("off.hist"), std::string::npos);
+  EXPECT_EQ(json.find("off.timer_ms"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ResetDropsEverything) {
+  metrics::Count("gone.counter");
+  metrics::Observe("gone.hist", 1.0);
+  MetricsRegistry::Global().Reset();
+  std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_EQ(json.find("gone.counter"), std::string::npos);
+  EXPECT_EQ(json.find("gone.hist"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace automc

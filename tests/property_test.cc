@@ -17,6 +17,16 @@ namespace {
 
 using tensor::Tensor;
 
+// GTEST_FLAG_SET only exists from GoogleTest 1.12; older releases expose the
+// flags as testing::FLAGS_gtest_* globals.
+void UseThreadsafeDeathTests() {
+#if defined(GTEST_FLAG_SET)
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+#endif
+}
+
 std::unique_ptr<nn::Model> SmallModel(const std::string& family, int depth,
                                       uint64_t seed) {
   nn::ModelSpec spec;
@@ -217,7 +227,7 @@ TEST(FailureInjection, CompressorsRejectNullModel) {
 using FailureDeathTest = ::testing::Test;
 
 TEST(FailureDeathTest, ConvRejectsWrongChannelCount) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   Rng rng(43);
   nn::Conv2d conv(3, 4, 3, 1, 1, false, &rng);
   Tensor x({1, 5, 8, 8});  // 5 channels into a 3-channel conv
@@ -225,13 +235,13 @@ TEST(FailureDeathTest, ConvRejectsWrongChannelCount) {
 }
 
 TEST(FailureDeathTest, ReshapeRejectsSizeMismatch) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   Tensor t({2, 3});
   EXPECT_DEATH(t.Reshaped({4, 4}), "reshape");
 }
 
 TEST(FailureDeathTest, BackwardWithoutForwardDies) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   Rng rng(47);
   nn::Linear lin(4, 2, &rng);
   Tensor g({1, 2});
