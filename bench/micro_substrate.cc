@@ -4,7 +4,10 @@
 // epochs, and F_mo prediction.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/matrix.h"
+#include "common/thread_pool.h"
 #include "compress/decompose.h"
 #include "compress/surgery.h"
 #include "kg/transr.h"
@@ -17,6 +20,69 @@
 namespace automc {
 namespace {
 
+// ---------------------------------------------------------------------------
+// Reference kernels: the pre-thread-pool serial implementations, kept here
+// verbatim so scripts/bench.sh can compare the production kernels against
+// them inside one binary (BENCH_kernels.json records the speedups).
+
+// Serial unblocked ikj GEMM — the original tensor::MatMul inner loop.
+void RefGemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Serial per-sample im2col + RefGemm with a fresh column buffer per sample —
+// the original Conv2d::Forward structure.
+void RefConvForward(const tensor::Tensor& x, const tensor::Tensor& wmat,
+                    const tensor::ConvGeometry& g, tensor::Tensor* y) {
+  int64_t n = x.size(0), out_c = wmat.size(0), ckk = wmat.size(1);
+  int64_t p = g.OutH() * g.OutW();
+  for (int64_t i = 0; i < n; ++i) {
+    tensor::Tensor cols({ckk, p});
+    tensor::Im2Col(x.data() + i * g.in_c * g.in_h * g.in_w, g, &cols);
+    RefGemm(wmat.data(), cols.data(), y->data() + i * out_c * p, out_c, ckk,
+            p);
+  }
+}
+
+// Serial naive C += A * B^T and C += A^T * B (one dot / one saxpy per
+// element) — the original backward-GEMM loops.
+void RefGemmTB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      double s = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        s += static_cast<double>(arow[kk]) * brow[kk];
+      }
+      crow[j] += static_cast<float>(s);
+    }
+  }
+}
+
+void RefGemmTA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* brow = b + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float av = a[kk * m + i];
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
 void BM_MatMul(benchmark::State& state) {
   int64_t n = state.range(0);
   Rng rng(1);
@@ -28,7 +94,53 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulRef(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn({n, n}, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    tensor::Tensor c({n, n});
+    RefGemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulRef)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Matrix a(n, n), b(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      a.at(i, j) = rng.Normal();
+      b.at(i, j) = rng.Normal();
+    }
+  }
+  for (auto _ : state) {
+    Matrix c = a.Multiply(b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(64)->Arg(128);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  int64_t n = state.range(0);
+  std::vector<float> out(static_cast<size_t>(n), 0.0f);
+  float* od = out.data();
+  for (auto _ : state) {
+    automc::ParallelFor(n, 1 << 13, [=](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) od[i] += 1.0f;
+    });
+    benchmark::DoNotOptimize(od);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_Conv2dForward(benchmark::State& state) {
   int64_t c = state.range(0);
@@ -41,6 +153,21 @@ void BM_Conv2dForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dForwardRef(benchmark::State& state) {
+  int64_t c = state.range(0);
+  Rng rng(2);
+  nn::Conv2d conv(c, c, 3, 1, 1, false, &rng);
+  tensor::Tensor x = tensor::Tensor::Randn({8, c, 8, 8}, &rng);
+  tensor::ConvGeometry g{c, 8, 8, 3, 1, 1};
+  tensor::Tensor wmat = conv.weight().value.Reshaped({c, c * 9});
+  for (auto _ : state) {
+    tensor::Tensor y({8, c, g.OutH(), g.OutW()});
+    RefConvForward(x, wmat, g, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForwardRef)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_Conv2dBackward(benchmark::State& state) {
   int64_t c = state.range(0);
@@ -55,6 +182,34 @@ void BM_Conv2dBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16);
+
+void BM_Conv2dBackwardRef(benchmark::State& state) {
+  int64_t c = state.range(0);
+  Rng rng(3);
+  nn::Conv2d conv(c, c, 3, 1, 1, false, &rng);
+  tensor::Tensor x = tensor::Tensor::Randn({8, c, 8, 8}, &rng);
+  tensor::Tensor gout = tensor::Tensor::Randn({8, c, 8, 8}, &rng);
+  tensor::ConvGeometry g{c, 8, 8, 3, 1, 1};
+  tensor::Tensor wmat = conv.weight().value.Reshaped({c, c * 9});
+  int64_t ckk = c * 9, p = g.OutH() * g.OutW();
+  for (auto _ : state) {
+    // Original serial backward: per sample, fresh buffers, naive GEMMs.
+    tensor::Tensor dx({8, c, 8, 8});
+    tensor::Tensor dw({c, ckk});
+    for (int64_t i = 0; i < 8; ++i) {
+      tensor::Tensor cols({ckk, p});
+      tensor::Im2Col(x.data() + i * c * 64, g, &cols);
+      const float* dyi = gout.data() + i * c * p;
+      RefGemmTB(dyi, cols.data(), dw.data(), c, p, ckk);
+      tensor::Tensor dcols({ckk, p});
+      RefGemmTA(wmat.data(), dyi, dcols.data(), ckk, c, p);
+      tensor::Col2Im(dcols, g, dx.data() + i * c * 64);
+    }
+    benchmark::DoNotOptimize(dx.data());
+    benchmark::DoNotOptimize(dw.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackwardRef)->Arg(8)->Arg(16);
 
 void BM_ResNet56ForwardBatch(benchmark::State& state) {
   Rng rng(4);

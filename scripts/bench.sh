@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Kernel + end-to-end benchmark driver. Builds the Release tree, runs the
+# micro_substrate kernel benchmarks against the retained serial reference
+# kernels (same binary) at AUTOMC_THREADS=1 and AUTOMC_THREADS=4, times the
+# fig4_search_curves end-to-end search at both thread counts, and writes
+# BENCH_kernels.json at the repo root.
+#
+# Usage:
+#   scripts/bench.sh              # full run (includes two ~minutes-long
+#                                 # end-to-end search passes)
+#   AUTOMC_BENCH_SKIP_E2E=1 scripts/bench.sh   # kernels only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${AUTOMC_BENCH_BUILD_DIR:-build}"
+OUT_JSON="BENCH_kernels.json"
+FILTER='BM_MatMul|BM_MatMulRef|BM_MatrixMultiply|BM_Conv2dForward|BM_Conv2dForwardRef|BM_Conv2dBackward|BM_Conv2dBackwardRef|BM_ParallelForOverhead|BM_FmoPredict'
+
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j --target micro_substrate fig4_search_curves >/dev/null
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+echo "== micro kernels, AUTOMC_THREADS=1 =="
+AUTOMC_THREADS=1 "${BUILD_DIR}/bench/micro_substrate" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_out="${tmpdir}/micro_t1.json" --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+echo "== micro kernels, AUTOMC_THREADS=4 =="
+AUTOMC_THREADS=4 "${BUILD_DIR}/bench/micro_substrate" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_out="${tmpdir}/micro_t4.json" --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+E2E_T1="null"
+E2E_T4="null"
+if [[ -z "${AUTOMC_BENCH_SKIP_E2E:-}" ]]; then
+  elapsed() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", b - a }'; }
+  echo "== end-to-end fig4_search_curves, AUTOMC_THREADS=1 =="
+  start=$(date +%s.%N)
+  AUTOMC_THREADS=1 "${BUILD_DIR}/bench/fig4_search_curves" >/dev/null
+  E2E_T1=$(elapsed "${start}" "$(date +%s.%N)")
+  echo "   ${E2E_T1}s"
+  echo "== end-to-end fig4_search_curves, AUTOMC_THREADS=4 =="
+  start=$(date +%s.%N)
+  AUTOMC_THREADS=4 "${BUILD_DIR}/bench/fig4_search_curves" >/dev/null
+  E2E_T4=$(elapsed "${start}" "$(date +%s.%N)")
+  echo "   ${E2E_T4}s"
+fi
+
+python3 - "${tmpdir}/micro_t1.json" "${tmpdir}/micro_t4.json" \
+    "${E2E_T1}" "${E2E_T4}" "${OUT_JSON}" <<'PY'
+import json, os, sys
+
+t1_path, t4_path, e2e_t1, e2e_t4, out_path = sys.argv[1:6]
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = {
+            "real_ms": b["real_time"] / 1e6
+            if b.get("time_unit") == "ns"
+            else b["real_time"],
+            "items_per_second": b.get("items_per_second"),
+        }
+    return out
+
+t1 = load(t1_path)
+t4 = load(t4_path)
+
+def entry(new_name, ref_name):
+    """Speedup of the production kernel vs the retained serial reference."""
+    row = {}
+    for label, table in (("t1", t1), ("t4", t4)):
+        if new_name in table:
+            row[f"{label}_ms"] = table[new_name]["real_ms"]
+            ips = table[new_name]["items_per_second"]
+            if ips:
+                row[f"{label}_gflops"] = ips / 1e9
+    if ref_name in t1:
+        row["ref_ms"] = t1[ref_name]["real_ms"]
+        ips = t1[ref_name]["items_per_second"]
+        if ips:
+            row["ref_gflops"] = ips / 1e9
+        for label in ("t1", "t4"):
+            if f"{label}_ms" in row:
+                row[f"speedup_{label}"] = row["ref_ms"] / row[f"{label}_ms"]
+    return row
+
+report = {
+    "machine": {"nproc": os.cpu_count()},
+    "note": (
+        "ref_* rows are the retained pre-change serial kernels compiled in "
+        "the same binary; t1/t4 are the production kernels under "
+        "AUTOMC_THREADS=1/4. This machine has nproc cores; thread speedups "
+        "only materialize with >1 core."
+    ),
+    "gemm": {
+        f"n{n}": entry(f"BM_MatMul/{n}", f"BM_MatMulRef/{n}")
+        for n in (32, 64, 128, 256)
+    },
+    "matrix_multiply_double": {
+        f"n{n}": entry(f"BM_MatrixMultiply/{n}", None) for n in (64, 128)
+    },
+    "conv_forward": {
+        f"c{c}": entry(f"BM_Conv2dForward/{c}", f"BM_Conv2dForwardRef/{c}")
+        for c in (8, 16, 32)
+    },
+    "conv_backward": {
+        f"c{c}": entry(f"BM_Conv2dBackward/{c}", f"BM_Conv2dBackwardRef/{c}")
+        for c in (8, 16)
+    },
+    "fmo_predict": {"all": entry("BM_FmoPredict", None)},
+    "parallel_for_overhead": {
+        f"n{n}": entry(f"BM_ParallelForOverhead/{n}", None)
+        for n in (1024, 65536, 1048576)
+    },
+    "end_to_end_search": {},
+}
+if e2e_t1 != "null":
+    report["end_to_end_search"] = {
+        "fig4_search_curves_t1_s": float(e2e_t1),
+        "fig4_search_curves_t4_s": float(e2e_t4),
+        "speedup_t4_vs_t1": float(e2e_t1) / float(e2e_t4),
+    }
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY

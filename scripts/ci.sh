@@ -2,8 +2,10 @@
 # Tier-1 verification: configure, build, run the full test suite.
 #
 # Usage:
-#   scripts/ci.sh                      # plain Release build + ctest
+#   scripts/ci.sh                      # plain Release build + ctest, run at
+#                                      # AUTOMC_THREADS=1 and AUTOMC_THREADS=4
 #   AUTOMC_SANITIZE=address,undefined scripts/ci.sh
+#   AUTOMC_SANITIZE=thread scripts/ci.sh
 #                                      # additional sanitizer build + ctest
 #
 # Exits non-zero on the first failing step.
@@ -16,7 +18,14 @@ run_suite() {
   shift
   cmake -B "${build_dir}" -S . "$@"
   cmake --build "${build_dir}" -j
-  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+  # The whole suite runs twice: serial and with a 4-lane pool. Results must
+  # be identical (the determinism contract in DESIGN.md); the second pass
+  # also shakes out races under sanitizers.
+  for threads in 1 4; do
+    echo "-- ctest, AUTOMC_THREADS=${threads} --"
+    AUTOMC_THREADS="${threads}" \
+      ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+  done
 }
 
 echo "== tier-1: release build + tests =="

@@ -4,11 +4,31 @@
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.h"
+
 namespace automc {
 namespace nn {
 
 using tensor::ConvGeometry;
 using tensor::Tensor;
+
+namespace {
+
+// Chunk size for element-wise activation kernels: big enough that the pool
+// dispatch amortizes, independent of the thread count so chunk boundaries
+// (and therefore results) are reproducible.
+constexpr int64_t kElemwiseGrain = 1 << 13;
+
+// Per-channel loops (BatchNorm) get a grain derived from the per-channel
+// work so tiny maps stay serial.
+int64_t ChannelGrain(int64_t channels, int64_t work_per_channel) {
+  int64_t per_chunk = (1 << 14) / std::max<int64_t>(1, work_per_channel);
+  if (per_chunk < 1) per_chunk = 1;
+  if (per_chunk > channels && channels > 0) per_chunk = channels;
+  return per_chunk;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Conv2d
@@ -39,6 +59,7 @@ Tensor Conv2d::Forward(const Tensor& x, bool training) {
   AUTOMC_CHECK(oh > 0 && ow > 0) << "conv output collapsed: " << x.ShapeString();
 
   int64_t ckk = in_c_ * kernel_ * kernel_;
+  int64_t p = oh * ow;
   Tensor wmat = weight_.value.Reshaped({out_c_, ckk});
   Tensor y({n, out_c_, oh, ow});
 
@@ -47,21 +68,29 @@ Tensor Conv2d::Forward(const Tensor& x, bool training) {
     cols_.assign(static_cast<size_t>(n), Tensor());
     x_shape_ = x.shape();
   }
-  Tensor cols({ckk, oh * ow});
-  for (int64_t i = 0; i < n; ++i) {
-    tensor::Im2Col(x.data() + i * in_c_ * h * w, g, &cols);
-    Tensor yi = tensor::MatMul(wmat, cols);  // [out_c, oh*ow]
-    float* dst = y.data() + i * out_c_ * oh * ow;
-    const float* src = yi.data();
-    for (int64_t f = 0; f < out_c_; ++f) {
-      float b = has_bias_ ? bias_.value[f] : 0.0f;
-      for (int64_t p = 0; p < oh * ow; ++p) {
-        dst[f * oh * ow + p] = src[f * oh * ow + p] + b;
+  // Intra-batch data parallelism: one im2col + GEMM per sample, each
+  // writing a disjoint slice of y (and of the cols_ cache). With a single
+  // sample the loop collapses and the GEMM parallelizes internally instead.
+  const float* xd = x.data();
+  const float* wd = wmat.data();
+  const float* bd = has_bias_ ? bias_.value.data() : nullptr;
+  float* yd = y.data();
+  int64_t out_c = out_c_, in_c = in_c_;
+  automc::ParallelFor(n, 1, [&, xd, wd, bd, yd](int64_t s0, int64_t s1) {
+    Tensor cols({ckk, p});  // per-chunk scratch, reused across its samples
+    for (int64_t i = s0; i < s1; ++i) {
+      tensor::Im2Col(xd + i * in_c * h * w, g, &cols);
+      float* dst = yd + i * out_c * p;
+      if (bd != nullptr) {
+        for (int64_t f = 0; f < out_c; ++f) {
+          std::fill(dst + f * p, dst + (f + 1) * p, bd[f]);
+        }
       }
+      tensor::GemmAccumRaw(wd, cols.data(), dst, out_c, ckk, p);
+      if (cached_) cols_[static_cast<size_t>(i)] = cols;
     }
-    if (training) cols_[static_cast<size_t>(i)] = cols;
-  }
-  flops_last_ = n * out_c_ * ckk * oh * ow;
+  });
+  flops_last_ = n * out_c_ * ckk * p;
   return y;
 }
 
@@ -74,33 +103,54 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
   AUTOMC_CHECK_EQ(grad_out.size(1), out_c_);
 
   int64_t ckk = in_c_ * kernel_ * kernel_;
+  int64_t p = oh * ow;
   Tensor wmat = weight_.value.Reshaped({out_c_, ckk});
-  Tensor dwmat({out_c_, ckk});
   Tensor dx(x_shape_);
 
-  for (int64_t i = 0; i < n; ++i) {
-    // View of this sample's output gradient as [out_c, oh*ow].
-    Tensor dyi({out_c_, oh * ow});
-    const float* src = grad_out.data() + i * out_c_ * oh * ow;
-    std::copy(src, src + out_c_ * oh * ow, dyi.data());
-
-    const Tensor& cols = cols_[static_cast<size_t>(i)];
-    // dW += dY * cols^T
-    Tensor dw_i = tensor::MatMulTransposeB(dyi, cols);
-    dwmat.AddInPlace(dw_i);
-    // dcols = W^T * dY
-    Tensor dcols = tensor::MatMulTransposeA(wmat, dyi);
-    tensor::Col2Im(dcols, g, dx.data() + i * in_c_ * h * w);
-
-    if (has_bias_) {
-      for (int64_t f = 0; f < out_c_; ++f) {
-        double s = 0.0;
-        for (int64_t p = 0; p < oh * ow; ++p) s += dyi[f * oh * ow + p];
-        bias_.grad[f] += static_cast<float>(s);
+  // Per-sample parallel backward. dx slices are disjoint; the shared dW and
+  // db gradients go through per-sample partials that are reduced in sample
+  // order below, so the reduction order is independent of the thread count.
+  int64_t chunks = automc::ThreadPool::NumChunks(n, 1);
+  std::vector<Tensor> dw_part(static_cast<size_t>(chunks));
+  std::vector<Tensor> db_part(static_cast<size_t>(chunks));
+  const float* gd = grad_out.data();
+  const float* wd = wmat.data();
+  float* dxd = dx.data();
+  int64_t out_c = out_c_, in_c = in_c_;
+  bool has_bias = has_bias_;
+  automc::ParallelFor(n, 1, [&, gd, wd, dxd](int64_t s0, int64_t s1,
+                                             int64_t chunk) {
+    Tensor dwp({out_c, ckk});
+    Tensor dbp({has_bias ? out_c : 0});
+    Tensor dcols({ckk, p});
+    for (int64_t i = s0; i < s1; ++i) {
+      const float* dyi = gd + i * out_c * p;  // [out_c, p] slice
+      const Tensor& cols = cols_[static_cast<size_t>(i)];
+      // dW += dY * cols^T
+      tensor::GemmTransposeBRaw(dyi, cols.data(), dwp.data(), out_c, p, ckk);
+      // dcols = W^T * dY
+      dcols.Fill(0.0f);
+      tensor::GemmTransposeARaw(wd, dyi, dcols.data(), ckk, out_c, p);
+      tensor::Col2Im(dcols, g, dxd + i * in_c * h * w);
+      if (has_bias) {
+        for (int64_t f = 0; f < out_c; ++f) {
+          double s = 0.0;
+          for (int64_t q = 0; q < p; ++q) s += dyi[f * p + q];
+          dbp[f] += static_cast<float>(s);
+        }
       }
     }
-  }
+    dw_part[static_cast<size_t>(chunk)] = std::move(dwp);
+    db_part[static_cast<size_t>(chunk)] = std::move(dbp);
+  });
+  // Ordered reduction (ascending sample index), bit-identical for any
+  // thread count.
+  Tensor dwmat({out_c_, ckk});
+  for (const Tensor& part : dw_part) dwmat.AddInPlace(part);
   weight_.grad.AddInPlace(dwmat.Reshaped(weight_.value.shape()));
+  if (has_bias_) {
+    for (const Tensor& part : db_part) bias_.grad.AddInPlace(part);
+  }
   cached_ = false;
   cols_.clear();
   return dx;
@@ -253,55 +303,71 @@ Tensor BatchNorm2d::Forward(const Tensor& x, bool training) {
   int64_t hw = h * w;
   Tensor y(x.shape());
 
+  // Channels are independent, so both modes parallelize per channel:
+  // batch statistics, running-stat updates, and the normalized outputs for
+  // channel c touch only channel-c slices. Per-channel arithmetic order is
+  // unchanged, so results are bit-identical for any thread count.
   if (training) {
     x_shape_ = x.shape();
     x_hat_ = Tensor(x.shape());
     batch_inv_std_ = Tensor({channels_});
     int64_t m = n * hw;
-    for (int64_t c = 0; c < channels_; ++c) {
-      double mean = 0.0;
-      for (int64_t i = 0; i < n; ++i) {
-        const float* p = x.data() + (i * channels_ + c) * hw;
-        for (int64_t k = 0; k < hw; ++k) mean += p[k];
-      }
-      mean /= m;
-      double var = 0.0;
-      for (int64_t i = 0; i < n; ++i) {
-        const float* p = x.data() + (i * channels_ + c) * hw;
-        for (int64_t k = 0; k < hw; ++k) {
-          double d = p[k] - mean;
-          var += d * d;
-        }
-      }
-      var /= m;
-      float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-      batch_inv_std_[c] = inv_std;
-      running_mean_[c] =
-          (1 - momentum_) * running_mean_[c] + momentum_ * static_cast<float>(mean);
-      running_var_[c] =
-          (1 - momentum_) * running_var_[c] + momentum_ * static_cast<float>(var);
-      float g = gamma_.value[c], b = beta_.value[c];
-      for (int64_t i = 0; i < n; ++i) {
-        const float* p = x.data() + (i * channels_ + c) * hw;
-        float* xh = x_hat_.data() + (i * channels_ + c) * hw;
-        float* py = y.data() + (i * channels_ + c) * hw;
-        for (int64_t k = 0; k < hw; ++k) {
-          xh[k] = (p[k] - static_cast<float>(mean)) * inv_std;
-          py[k] = g * xh[k] + b;
-        }
-      }
-    }
+    int64_t channels = channels_;
+    automc::ParallelFor(
+        channels_, ChannelGrain(channels_, 4 * m),
+        [&, channels](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
+            double mean = 0.0;
+            for (int64_t i = 0; i < n; ++i) {
+              const float* p = x.data() + (i * channels + c) * hw;
+              for (int64_t k = 0; k < hw; ++k) mean += p[k];
+            }
+            mean /= m;
+            double var = 0.0;
+            for (int64_t i = 0; i < n; ++i) {
+              const float* p = x.data() + (i * channels + c) * hw;
+              for (int64_t k = 0; k < hw; ++k) {
+                double d = p[k] - mean;
+                var += d * d;
+              }
+            }
+            var /= m;
+            float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+            batch_inv_std_[c] = inv_std;
+            running_mean_[c] = (1 - momentum_) * running_mean_[c] +
+                               momentum_ * static_cast<float>(mean);
+            running_var_[c] = (1 - momentum_) * running_var_[c] +
+                              momentum_ * static_cast<float>(var);
+            float g = gamma_.value[c], b = beta_.value[c];
+            for (int64_t i = 0; i < n; ++i) {
+              const float* p = x.data() + (i * channels + c) * hw;
+              float* xh = x_hat_.data() + (i * channels + c) * hw;
+              float* py = y.data() + (i * channels + c) * hw;
+              for (int64_t k = 0; k < hw; ++k) {
+                xh[k] = (p[k] - static_cast<float>(mean)) * inv_std;
+                py[k] = g * xh[k] + b;
+              }
+            }
+          }
+        });
     trained_forward_ = true;
   } else {
-    for (int64_t c = 0; c < channels_; ++c) {
-      float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
-      float g = gamma_.value[c], b = beta_.value[c], mu = running_mean_[c];
-      for (int64_t i = 0; i < n; ++i) {
-        const float* p = x.data() + (i * channels_ + c) * hw;
-        float* py = y.data() + (i * channels_ + c) * hw;
-        for (int64_t k = 0; k < hw; ++k) py[k] = g * (p[k] - mu) * inv_std + b;
-      }
-    }
+    int64_t channels = channels_;
+    automc::ParallelFor(
+        channels_, ChannelGrain(channels_, 2 * n * hw),
+        [&, channels](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
+            float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+            float g = gamma_.value[c], b = beta_.value[c], mu = running_mean_[c];
+            for (int64_t i = 0; i < n; ++i) {
+              const float* p = x.data() + (i * channels + c) * hw;
+              float* py = y.data() + (i * channels + c) * hw;
+              for (int64_t k = 0; k < hw; ++k) {
+                py[k] = g * (p[k] - mu) * inv_std + b;
+              }
+            }
+          }
+        });
     trained_forward_ = false;
   }
   return y;
@@ -313,32 +379,40 @@ Tensor BatchNorm2d::Backward(const Tensor& grad_out) {
   int64_t hw = h * w;
   int64_t m = n * hw;
   Tensor dx(x_shape_);
-  for (int64_t c = 0; c < channels_; ++c) {
-    double sum_dy = 0.0, sum_dy_xhat = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      const float* dy = grad_out.data() + (i * channels_ + c) * hw;
-      const float* xh = x_hat_.data() + (i * channels_ + c) * hw;
-      for (int64_t k = 0; k < hw; ++k) {
-        sum_dy += dy[k];
-        sum_dy_xhat += static_cast<double>(dy[k]) * xh[k];
-      }
-    }
-    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
-    beta_.grad[c] += static_cast<float>(sum_dy);
-    float g = gamma_.value[c];
-    float inv_std = batch_inv_std_[c];
-    float coef = g * inv_std / static_cast<float>(m);
-    for (int64_t i = 0; i < n; ++i) {
-      const float* dy = grad_out.data() + (i * channels_ + c) * hw;
-      const float* xh = x_hat_.data() + (i * channels_ + c) * hw;
-      float* pdx = dx.data() + (i * channels_ + c) * hw;
-      for (int64_t k = 0; k < hw; ++k) {
-        pdx[k] = coef * (static_cast<float>(m) * dy[k] -
-                         static_cast<float>(sum_dy) -
-                         xh[k] * static_cast<float>(sum_dy_xhat));
-      }
-    }
-  }
+  // Parallel per channel: gamma/beta grads and dx for channel c depend only
+  // on channel-c slices, so writes are disjoint and per-channel order is the
+  // serial order.
+  int64_t channels = channels_;
+  automc::ParallelFor(
+      channels_, ChannelGrain(channels_, 5 * m),
+      [&, channels](int64_t c0, int64_t c1) {
+        for (int64_t c = c0; c < c1; ++c) {
+          double sum_dy = 0.0, sum_dy_xhat = 0.0;
+          for (int64_t i = 0; i < n; ++i) {
+            const float* dy = grad_out.data() + (i * channels + c) * hw;
+            const float* xh = x_hat_.data() + (i * channels + c) * hw;
+            for (int64_t k = 0; k < hw; ++k) {
+              sum_dy += dy[k];
+              sum_dy_xhat += static_cast<double>(dy[k]) * xh[k];
+            }
+          }
+          gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+          beta_.grad[c] += static_cast<float>(sum_dy);
+          float g = gamma_.value[c];
+          float inv_std = batch_inv_std_[c];
+          float coef = g * inv_std / static_cast<float>(m);
+          for (int64_t i = 0; i < n; ++i) {
+            const float* dy = grad_out.data() + (i * channels + c) * hw;
+            const float* xh = x_hat_.data() + (i * channels + c) * hw;
+            float* pdx = dx.data() + (i * channels + c) * hw;
+            for (int64_t k = 0; k < hw; ++k) {
+              pdx[k] = coef * (static_cast<float>(m) * dy[k] -
+                               static_cast<float>(sum_dy) -
+                               xh[k] * static_cast<float>(sum_dy_xhat));
+            }
+          }
+        }
+      });
   trained_forward_ = false;
   x_hat_ = Tensor();
   return dx;
@@ -381,18 +455,28 @@ void BatchNorm2d::KeepChannels(const std::vector<int64_t>& keep) {
 Tensor ReLU::Forward(const Tensor& x, bool training) {
   Tensor y(x.shape());
   if (training) mask_ = Tensor(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    bool pos = x[i] > 0.0f;
-    y[i] = pos ? x[i] : 0.0f;
-    if (training) mask_[i] = pos ? 1.0f : 0.0f;
-  }
+  const float* src = x.data();
+  float* dst = y.data();
+  float* mask = training ? mask_.data() : nullptr;
+  automc::ParallelFor(x.numel(), kElemwiseGrain, [=](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      bool pos = src[i] > 0.0f;
+      dst[i] = pos ? src[i] : 0.0f;
+      if (mask != nullptr) mask[i] = pos ? 1.0f : 0.0f;
+    }
+  });
   return y;
 }
 
 Tensor ReLU::Backward(const Tensor& grad_out) {
   AUTOMC_CHECK(!mask_.empty()) << "ReLU::Backward without training Forward";
   Tensor dx(grad_out.shape());
-  for (int64_t i = 0; i < dx.numel(); ++i) dx[i] = grad_out[i] * mask_[i];
+  const float* g = grad_out.data();
+  const float* mask = mask_.data();
+  float* dst = dx.data();
+  automc::ParallelFor(dx.numel(), kElemwiseGrain, [=](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dst[i] = g[i] * mask[i];
+  });
   mask_ = Tensor();
   return dx;
 }
@@ -438,9 +522,17 @@ float LMAActivation::Eval(float x, int64_t seg) const {
 Tensor LMAActivation::Forward(const Tensor& x, bool training) {
   if (training) x_cache_ = x;
   Tensor y(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    y[i] = Eval(x[i], SegmentOf(x[i]));
-  }
+  // Forward reads only the (shared, immutable here) slope/offset params, so
+  // elementwise chunks are independent. Backward stays serial: every element
+  // accumulates into the same slope/offset gradients.
+  const float* src = x.data();
+  float* dst = y.data();
+  automc::ParallelFor(x.numel(), kElemwiseGrain, [&, src, dst](int64_t b,
+                                                               int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      dst[i] = Eval(src[i], SegmentOf(src[i]));
+    }
+  });
   return y;
 }
 
@@ -490,30 +582,40 @@ Tensor MaxPool2d::Forward(const Tensor& x, bool training) {
     x_shape_ = x.shape();
     argmax_.assign(static_cast<size_t>(n * c * oh * ow), 0);
   }
-  int64_t out_idx = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* xp = x.data() + (i * c + ch) * h * w;
-      for (int64_t oi = 0; oi < oh; ++oi) {
-        for (int64_t oj = 0; oj < ow; ++oj, ++out_idx) {
-          float best = -std::numeric_limits<float>::infinity();
-          int64_t best_idx = 0;
-          for (int64_t ki = 0; ki < kernel_; ++ki) {
-            for (int64_t kj = 0; kj < kernel_; ++kj) {
-              int64_t si = oi * stride_ + ki, sj = oj * stride_ + kj;
-              float v = xp[si * w + sj];
-              if (v > best) {
-                best = v;
-                best_idx = si * w + sj;
+  // Parallel over (sample, channel) maps; each map writes a disjoint
+  // [oh, ow] output slice at a base index computed from the map id, so no
+  // running counter crosses chunk boundaries.
+  int64_t per_map = oh * ow;
+  const float* xd = x.data();
+  float* yd = y.data();
+  int64_t* am = training ? argmax_.data() : nullptr;
+  int64_t kernel = kernel_, stride = stride_;
+  automc::ParallelFor(
+      n * c, ChannelGrain(n * c, per_map * kernel * kernel),
+      [=](int64_t m0, int64_t m1) {
+        for (int64_t map = m0; map < m1; ++map) {
+          const float* xp = xd + map * h * w;
+          int64_t out_idx = map * per_map;
+          for (int64_t oi = 0; oi < oh; ++oi) {
+            for (int64_t oj = 0; oj < ow; ++oj, ++out_idx) {
+              float best = -std::numeric_limits<float>::infinity();
+              int64_t best_idx = 0;
+              for (int64_t ki = 0; ki < kernel; ++ki) {
+                for (int64_t kj = 0; kj < kernel; ++kj) {
+                  int64_t si = oi * stride + ki, sj = oj * stride + kj;
+                  float v = xp[si * w + sj];
+                  if (v > best) {
+                    best = v;
+                    best_idx = si * w + sj;
+                  }
+                }
               }
+              yd[out_idx] = best;
+              if (am != nullptr) am[out_idx] = best_idx;
             }
           }
-          y[out_idx] = best;
-          if (training) argmax_[static_cast<size_t>(out_idx)] = best_idx;
         }
-      }
-    }
-  }
+      });
   return y;
 }
 
@@ -522,15 +624,21 @@ Tensor MaxPool2d::Backward(const Tensor& grad_out) {
   int64_t n = x_shape_[0], c = x_shape_[1], h = x_shape_[2], w = x_shape_[3];
   Tensor dx(x_shape_);
   int64_t per_map = grad_out.size(2) * grad_out.size(3);
-  int64_t out_idx = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      float* dxp = dx.data() + (i * c + ch) * h * w;
-      for (int64_t p = 0; p < per_map; ++p, ++out_idx) {
-        dxp[argmax_[static_cast<size_t>(out_idx)]] += grad_out[out_idx];
-      }
-    }
-  }
+  // Each (sample, channel) map scatters only into its own [h, w] slice of
+  // dx, so maps are independent.
+  const float* gd = grad_out.data();
+  const int64_t* am = argmax_.data();
+  float* dxd = dx.data();
+  automc::ParallelFor(
+      n * c, ChannelGrain(n * c, per_map),
+      [=](int64_t m0, int64_t m1) {
+        for (int64_t map = m0; map < m1; ++map) {
+          float* dxp = dxd + map * h * w;
+          const float* gp = gd + map * per_map;
+          const int64_t* ap = am + map * per_map;
+          for (int64_t p = 0; p < per_map; ++p) dxp[ap[p]] += gp[p];
+        }
+      });
   argmax_.clear();
   return dx;
 }
@@ -544,14 +652,18 @@ Tensor GlobalAvgPool::Forward(const Tensor& x, bool training) {
   if (training) x_shape_ = x.shape();
   Tensor y({n, c, 1, 1});
   float inv = 1.0f / static_cast<float>(h * w);
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* p = x.data() + (i * c + ch) * h * w;
-      double s = 0.0;
-      for (int64_t k = 0; k < h * w; ++k) s += p[k];
-      y[i * c + ch] = static_cast<float>(s) * inv;
-    }
-  }
+  const float* xd = x.data();
+  float* yd = y.data();
+  int64_t hw = h * w;
+  automc::ParallelFor(n * c, ChannelGrain(n * c, hw),
+                      [=](int64_t m0, int64_t m1) {
+                        for (int64_t map = m0; map < m1; ++map) {
+                          const float* p = xd + map * hw;
+                          double s = 0.0;
+                          for (int64_t k = 0; k < hw; ++k) s += p[k];
+                          yd[map] = static_cast<float>(s) * inv;
+                        }
+                      });
   return y;
 }
 
@@ -560,13 +672,17 @@ Tensor GlobalAvgPool::Backward(const Tensor& grad_out) {
   int64_t n = x_shape_[0], c = x_shape_[1], h = x_shape_[2], w = x_shape_[3];
   Tensor dx(x_shape_);
   float inv = 1.0f / static_cast<float>(h * w);
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      float g = grad_out[i * c + ch] * inv;
-      float* p = dx.data() + (i * c + ch) * h * w;
-      for (int64_t k = 0; k < h * w; ++k) p[k] = g;
-    }
-  }
+  const float* gd = grad_out.data();
+  float* dxd = dx.data();
+  int64_t hw = h * w;
+  automc::ParallelFor(n * c, ChannelGrain(n * c, hw),
+                      [=](int64_t m0, int64_t m1) {
+                        for (int64_t map = m0; map < m1; ++map) {
+                          float g = gd[map] * inv;
+                          float* p = dxd + map * hw;
+                          for (int64_t k = 0; k < hw; ++k) p[k] = g;
+                        }
+                      });
   x_shape_.clear();
   return dx;
 }

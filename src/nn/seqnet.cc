@@ -1,6 +1,9 @@
 #include "nn/seqnet.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/thread_pool.h"
 
 namespace automc {
 namespace nn {
@@ -11,17 +14,28 @@ namespace {
 
 float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
-// y = W x (+accumulate into y), W is [out, in], x is [in].
+// y = W x (+accumulate into y), W is [out, in], x is [in]. Rows are
+// independent dot products, so large layers (the RL controller's action head
+// scores every strategy at once) split across the pool; the grain depends
+// only on the shape, and tiny GRU/MLP layers stay single-chunk (serial).
 void MatVec(const Tensor& w, const Tensor& x, Tensor* y) {
   int64_t out = w.size(0), in = w.size(1);
   AUTOMC_CHECK_EQ(x.numel(), in);
   AUTOMC_CHECK_EQ(y->numel(), out);
-  for (int64_t o = 0; o < out; ++o) {
-    const float* row = w.data() + o * in;
-    double s = 0.0;
-    for (int64_t i = 0; i < in; ++i) s += static_cast<double>(row[i]) * x[i];
-    (*y)[o] += static_cast<float>(s);
-  }
+  const float* wd = w.data();
+  const float* xd = x.data();
+  float* yd = y->data();
+  int64_t grain = std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, in));
+  automc::ParallelFor(out, grain, [=](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      const float* row = wd + o * in;
+      double s = 0.0;
+      for (int64_t i = 0; i < in; ++i) {
+        s += static_cast<double>(row[i]) * xd[i];
+      }
+      yd[o] += static_cast<float>(s);
+    }
+  });
 }
 
 // dx += W^T dy.
@@ -75,7 +89,8 @@ std::vector<Param*> GruCell::Params() {
   return {&wz_, &uz_, &bz_, &wr_, &ur_, &br_, &wn_, &un_, &bn_};
 }
 
-Tensor GruCell::Step(const Tensor& x, const Tensor& h_prev, Cache* cache) {
+Tensor GruCell::Step(const Tensor& x, const Tensor& h_prev,
+                     Cache* cache) const {
   AUTOMC_CHECK_EQ(x.numel(), input_dim_);
   AUTOMC_CHECK_EQ(h_prev.numel(), hidden_dim_);
 
@@ -189,7 +204,7 @@ std::vector<Param*> VecMlp::Params() {
   return out;
 }
 
-Tensor VecMlp::Forward(const Tensor& x, Cache* cache) {
+Tensor VecMlp::Forward(const Tensor& x, Cache* cache) const {
   AUTOMC_CHECK_EQ(x.numel(), dims_.front());
   if (cache != nullptr) {
     cache->inputs.clear();

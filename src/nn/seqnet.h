@@ -29,9 +29,10 @@ class GruCell {
     tensor::Tensor x, h_prev, z, r, n;
   };
 
-  // h_t = (1-z)*n + z*h_prev. Fills `cache` when non-null.
+  // h_t = (1-z)*n + z*h_prev. Fills `cache` when non-null. Const (reads
+  // weights only), so concurrent Steps from parallel scoring loops are safe.
   tensor::Tensor Step(const tensor::Tensor& x, const tensor::Tensor& h_prev,
-                      Cache* cache);
+                      Cache* cache) const;
 
   // Given dL/dh_t, accumulates parameter gradients and returns
   // {dL/dx_t, dL/dh_{t-1}}.
@@ -68,7 +69,9 @@ class VecMlp {
     std::vector<tensor::Tensor> pre;
   };
 
-  tensor::Tensor Forward(const tensor::Tensor& x, Cache* cache);
+  // Const (reads weights only); safe to call concurrently with caller-held
+  // caches.
+  tensor::Tensor Forward(const tensor::Tensor& x, Cache* cache) const;
   // Accumulates parameter gradients; returns dL/dx.
   tensor::Tensor Backward(const Cache& cache, const tensor::Tensor& dy);
 

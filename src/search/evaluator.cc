@@ -1,6 +1,7 @@
 #include "search/evaluator.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -24,12 +25,15 @@ SchemeEvaluator::SchemeEvaluator(const SearchSpace* space,
   cache_.emplace("", std::move(root));
 }
 
-std::string SchemeEvaluator::Key(const std::vector<int>& scheme,
-                                 size_t length) {
+std::string SchemeEvaluator::Key(const std::vector<int>& scheme) {
   std::string key;
-  for (size_t i = 0; i < length; ++i) {
-    if (i) key += ",";
-    key += std::to_string(scheme[i]);
+  key.resize(4 * scheme.size());
+  for (size_t i = 0; i < scheme.size(); ++i) {
+    uint32_t v = static_cast<uint32_t>(scheme[i]);
+    key[4 * i + 0] = static_cast<char>(v & 0xff);
+    key[4 * i + 1] = static_cast<char>((v >> 8) & 0xff);
+    key[4 * i + 2] = static_cast<char>((v >> 16) & 0xff);
+    key[4 * i + 3] = static_cast<char>((v >> 24) & 0xff);
   }
   return key;
 }
@@ -62,14 +66,14 @@ void SchemeEvaluator::MaybeEvict() {
   }
 }
 
-void SchemeEvaluator::Insert(const std::string& key,
+void SchemeEvaluator::Insert(std::string_view key,
                              std::unique_ptr<nn::Model> model,
                              const EvalPoint& point) {
   CacheEntry entry;
   entry.model = std::move(model);
   entry.point = point;
   entry.last_used = ++clock_;
-  cache_[key] = std::move(entry);
+  cache_.insert_or_assign(std::string(key), std::move(entry));
   MaybeEvict();
 }
 
@@ -84,16 +88,18 @@ Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
     }
   }
 
-  // Deepest cached prefix.
+  // Deepest cached prefix. The full key is built once; each prefix probe is
+  // an allocation-free string_view lookup.
+  const std::string full_key = Key(scheme);
   size_t start = 0;
   for (size_t len = scheme.size(); len > 0; --len) {
-    auto it = cache_.find(Key(scheme, len));
+    auto it = cache_.find(KeyPrefix(full_key, len));
     if (it != cache_.end()) {
       start = len;
       break;
     }
   }
-  auto base_it = cache_.find(Key(scheme, start));
+  auto base_it = cache_.find(KeyPrefix(full_key, start));
   AUTOMC_CHECK(base_it != cache_.end());
   base_it->second.last_used = ++clock_;
   // The cache-hit metric counts strategy executions the prefix cache
@@ -108,7 +114,7 @@ Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
       if (scheme.empty()) {
         *parent_out = base_point_;
       } else {
-        auto pit = cache_.find(Key(scheme, scheme.size() - 1));
+        auto pit = cache_.find(KeyPrefix(full_key, scheme.size() - 1));
         *parent_out =
             pit != cache_.end() ? pit->second.point : base_point_;
       }
@@ -144,7 +150,7 @@ Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
     AUTOMC_METRIC_COUNT("search.strategy_executions");
     parent = point;
     point = MeasureModel(model.get());
-    Insert(Key(scheme, i + 1), model->Clone(), point);
+    Insert(KeyPrefix(full_key, i + 1), model->Clone(), point);
   }
   if (parent_out != nullptr) *parent_out = parent;
   return point;

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -61,9 +62,16 @@ class SchemeEvaluator {
     int64_t last_used = 0;
   };
 
-  static std::string Key(const std::vector<int>& scheme, size_t length);
+  // Cache keys are fixed-width binary: 4 little-endian bytes per strategy
+  // index. A prefix of the scheme is therefore a byte prefix of the full
+  // key, so Evaluate builds the key once and probes every prefix length
+  // with an allocation-free string_view (the map comparator is transparent).
+  static std::string Key(const std::vector<int>& scheme);
+  static std::string_view KeyPrefix(const std::string& key, size_t length) {
+    return std::string_view(key).substr(0, 4 * length);
+  }
   EvalPoint MeasureModel(nn::Model* model);
-  void Insert(const std::string& key, std::unique_ptr<nn::Model> model,
+  void Insert(std::string_view key, std::unique_ptr<nn::Model> model,
               const EvalPoint& point);
   void MaybeEvict();
 
@@ -72,7 +80,7 @@ class SchemeEvaluator {
   compress::CompressionContext ctx_;
   Options options_;
   EvalPoint base_point_;
-  std::map<std::string, CacheEntry> cache_;
+  std::map<std::string, CacheEntry, std::less<>> cache_;
   int64_t strategy_executions_ = 0;
   int64_t cache_hits_ = 0;
   int64_t clock_ = 0;

@@ -25,7 +25,7 @@ std::vector<nn::Param*> Fmo::Params() {
 
 Tensor Fmo::Forward(const std::vector<Tensor>& sequence,
                     const Tensor& candidate, const Tensor& task,
-                    ForwardCache* cache) {
+                    ForwardCache* cache) const {
   AUTOMC_CHECK_EQ(candidate.numel(), embedding_dim_);
   AUTOMC_CHECK_EQ(task.numel(), task_dim_);
   Tensor h = gru_->InitialState();
@@ -49,7 +49,7 @@ Tensor Fmo::Forward(const std::vector<Tensor>& sequence,
 
 std::pair<double, double> Fmo::Predict(const std::vector<Tensor>& sequence,
                                        const Tensor& candidate,
-                                       const Tensor& task) {
+                                       const Tensor& task) const {
   Tensor out = Forward(sequence, candidate, task, nullptr);
   return {out[0], out[1]};
 }

@@ -34,9 +34,11 @@ class Fmo {
       float lr = 0.001f);
 
   // Predicted (ar_step, pr_step) for appending `candidate` after `sequence`.
+  // Const and cache-free, so the searchers score candidate batches in
+  // parallel with concurrent Predict calls.
   std::pair<double, double> Predict(
       const std::vector<tensor::Tensor>& sequence,
-      const tensor::Tensor& candidate, const tensor::Tensor& task);
+      const tensor::Tensor& candidate, const tensor::Tensor& task) const;
 
   // One Adam step on the mean squared error over the batch; returns the
   // batch loss. Only F_mo's weights are updated (Equation 5 optimizes omega;
@@ -51,7 +53,8 @@ class Fmo {
   };
   tensor::Tensor Forward(const std::vector<tensor::Tensor>& sequence,
                          const tensor::Tensor& candidate,
-                         const tensor::Tensor& task, ForwardCache* cache);
+                         const tensor::Tensor& task,
+                         ForwardCache* cache) const;
   std::vector<nn::Param*> Params();
 
   int64_t embedding_dim_;

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "search/pareto.h"
 
 namespace automc {
@@ -109,6 +110,10 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
     }
 
     // Line 4: S_step — unexplored one-step extensions (subsampled).
+    // Two phases so candidate scoring can fan out: the rng draws stay in a
+    // serial pass (preserving the exact random sequence regardless of the
+    // thread count), then the F_mo forward passes — pure, const, and by far
+    // the dominant cost of a round — run in parallel over the candidate set.
     struct Candidate {
       size_t node;
       int strategy;
@@ -116,26 +121,44 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
       double pred_par;   // PAR_{seq,s}
     };
     std::vector<Candidate> candidates;
+    std::vector<const std::vector<Tensor>*> cand_seq;
+    std::vector<std::vector<Tensor>> seqs;
+    seqs.reserve(h_sub.size());
     for (size_t ni : h_sub) {
       Node& node = nodes[ni];
-      std::vector<Tensor> seq = scheme_embeddings(node.scheme);
+      seqs.push_back(scheme_embeddings(node.scheme));
+      const std::vector<Tensor>& seq = seqs.back();
       for (int c = 0; c < options_.candidates_per_scheme; ++c) {
         int s = static_cast<int>(
             rng.UniformInt(static_cast<int64_t>(space.size())));
         if (node.explored_children.count(s)) continue;
-        // Line 5 scoring (Equation 4).
-        auto [ar_step, pr_step] =
-            fmo.Predict(seq, embeddings_[static_cast<size_t>(s)], task_features_);
         Candidate cand;
         cand.node = ni;
         cand.strategy = s;
-        cand.pred_acc = node.point.acc * (1.0 + ar_step);
-        cand.pred_par =
-            static_cast<double>(node.point.params) * (1.0 - pr_step);
+        cand.pred_acc = 0.0;
+        cand.pred_par = 0.0;
         candidates.push_back(cand);
+        cand_seq.push_back(&seq);
       }
     }
     if (candidates.empty()) break;
+    // Line 5 scoring (Equation 4), parallel over candidates; each writes
+    // only its own slot.
+    automc::ParallelFor(
+        static_cast<int64_t>(candidates.size()), 1,
+        [&](int64_t b, int64_t e) {
+          for (int64_t i = b; i < e; ++i) {
+            Candidate& cand = candidates[static_cast<size_t>(i)];
+            const Node& node = nodes[cand.node];
+            auto [ar_step, pr_step] = fmo.Predict(
+                *cand_seq[static_cast<size_t>(i)],
+                embeddings_[static_cast<size_t>(cand.strategy)],
+                task_features_);
+            cand.pred_acc = node.point.acc * (1.0 + ar_step);
+            cand.pred_par =
+                static_cast<double>(node.point.params) * (1.0 - pr_step);
+          }
+        });
     AUTOMC_METRIC_COUNT("search.progressive.candidates_expanded",
                         static_cast<int64_t>(candidates.size()));
 

@@ -1,9 +1,207 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/thread_pool.h"
 
 namespace automc {
 namespace tensor {
+
+namespace {
+
+// Minimum multiply-adds one ParallelFor chunk should amortize; below this
+// the whole GEMM runs as a single chunk (i.e. serial).
+constexpr int64_t kFlopsPerChunk = 1 << 17;
+
+// Rows per chunk so each chunk carries ~kFlopsPerChunk multiply-adds,
+// rounded up to a multiple of four so the quad-row register-blocked path
+// covers whole chunks. Depends only on the problem shape, never on the
+// thread count.
+int64_t RowGrain(int64_t m, int64_t flops_per_row) {
+  if (flops_per_row <= 0) return m > 0 ? m : 1;
+  int64_t rows = kFlopsPerChunk / flops_per_row;
+  if (rows < 1) rows = 1;
+  rows = (rows + 3) & ~int64_t{3};
+  if (rows > m && m > 0) rows = m;
+  return rows;
+}
+
+}  // namespace
+
+namespace {
+
+// Side of the register tile along n: 4 output rows x kTileN columns of C
+// are held in local accumulators across the entire k loop, so C is loaded
+// and stored once per tile instead of once per (k, row) step, and B rows
+// are shared by four accumulator streams. Every c[i][j] still accumulates
+// its products in ascending-k order, so the result is bit-identical to the
+// plain row-at-a-time loop regardless of tiling — and, because chunk
+// boundaries depend only on (m, grain), identical for every thread count.
+constexpr int64_t kTileN = 16;
+
+// One 4-row band of C += A_rows * B where the four A rows are given as
+// separate pointers (covers both the row-major and transposed-A layouts:
+// the caller chooses how v0..v3 are loaded per k step via `lda`/`stride`).
+// `a0..a3` advance by `astep` per k step.
+inline void QuadBand(const float* a0, const float* a1, const float* a2,
+                     const float* a3, int64_t astep, const float* b,
+                     float* c0, float* c1, float* c2, float* c3, int64_t k,
+                     int64_t n) {
+  int64_t j0 = 0;
+  for (; j0 + kTileN <= n; j0 += kTileN) {
+    float t0[kTileN], t1[kTileN], t2[kTileN], t3[kTileN];
+    for (int64_t j = 0; j < kTileN; ++j) {
+      t0[j] = c0[j0 + j];
+      t1[j] = c1[j0 + j];
+      t2[j] = c2[j0 + j];
+      t3[j] = c3[j0 + j];
+    }
+    const float* p0 = a0;
+    const float* p1 = a1;
+    const float* p2 = a2;
+    const float* p3 = a3;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float v0 = *p0, v1 = *p1, v2 = *p2, v3 = *p3;
+      p0 += astep;
+      p1 += astep;
+      p2 += astep;
+      p3 += astep;
+      const float* __restrict__ brow = b + kk * n + j0;
+      for (int64_t j = 0; j < kTileN; ++j) {
+        float bv = brow[j];
+        t0[j] += v0 * bv;
+        t1[j] += v1 * bv;
+        t2[j] += v2 * bv;
+        t3[j] += v3 * bv;
+      }
+    }
+    for (int64_t j = 0; j < kTileN; ++j) {
+      c0[j0 + j] = t0[j];
+      c1[j0 + j] = t1[j];
+      c2[j0 + j] = t2[j];
+      c3[j0 + j] = t3[j];
+    }
+  }
+  for (; j0 < n; ++j0) {
+    float t0 = c0[j0], t1 = c1[j0], t2 = c2[j0], t3 = c3[j0];
+    const float* p0 = a0;
+    const float* p1 = a1;
+    const float* p2 = a2;
+    const float* p3 = a3;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float bv = b[kk * n + j0];
+      t0 += *p0 * bv;
+      t1 += *p1 * bv;
+      t2 += *p2 * bv;
+      t3 += *p3 * bv;
+      p0 += astep;
+      p1 += astep;
+      p2 += astep;
+      p3 += astep;
+    }
+    c0[j0] = t0;
+    c1[j0] = t1;
+    c2[j0] = t2;
+    c3[j0] = t3;
+  }
+}
+
+}  // namespace
+
+void GemmAccumRaw(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n) {
+  automc::ParallelFor(m, RowGrain(m, k * n), [=](int64_t r0, int64_t r1) {
+    int64_t i = r0;
+    for (; i + 4 <= r1; i += 4) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      QuadBand(arow, arow + k, arow + 2 * k, arow + 3 * k, /*astep=*/1, b,
+               crow, crow + n, crow + 2 * n, crow + 3 * n, k, n);
+    }
+    for (; i < r1; ++i) {
+      float* __restrict__ crow = c + i * n;
+      const float* __restrict__ arow = a + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        float av = arow[kk];
+        if (av == 0.0f) continue;  // pruned filters are exactly zero
+        const float* __restrict__ brow = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void GemmTransposeARaw(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n) {
+  automc::ParallelFor(m, RowGrain(m, k * n), [=](int64_t r0, int64_t r1) {
+    // Same register tile as GemmAccumRaw; A is k x m here, so the four rows
+    // of the band start at a[i..i+3] and advance by m per k step.
+    int64_t i = r0;
+    for (; i + 4 <= r1; i += 4) {
+      const float* acol = a + i;
+      float* crow = c + i * n;
+      QuadBand(acol, acol + 1, acol + 2, acol + 3, /*astep=*/m, b, crow,
+               crow + n, crow + 2 * n, crow + 3 * n, k, n);
+    }
+    for (; i < r1; ++i) {
+      float* __restrict__ crow = c + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        float av = a[kk * m + i];
+        if (av == 0.0f) continue;
+        const float* __restrict__ brow = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void GemmTransposeBRaw(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n) {
+  automc::ParallelFor(m, RowGrain(m, k * n), [=](int64_t r0, int64_t r1) {
+    // Process output rows four at a time so each B row is read once per
+    // quad instead of once per row. Each dot product still walks k in
+    // ascending order with a double accumulator (serial semantics).
+    int64_t i = r0;
+    for (; i + 4 <= r1; i += 4) {
+      const float* a0 = a + i * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      float* c0 = c + i * n;
+      float* c1 = c0 + n;
+      float* c2 = c1 + n;
+      float* c3 = c2 + n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          double bv = brow[kk];
+          s0 += static_cast<double>(a0[kk]) * bv;
+          s1 += static_cast<double>(a1[kk]) * bv;
+          s2 += static_cast<double>(a2[kk]) * bv;
+          s3 += static_cast<double>(a3[kk]) * bv;
+        }
+        c0[j] += static_cast<float>(s0);
+        c1[j] += static_cast<float>(s1);
+        c2[j] += static_cast<float>(s2);
+        c3[j] += static_cast<float>(s3);
+      }
+    }
+    for (; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        double s = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          s += static_cast<double>(arow[kk]) * brow[kk];
+        }
+        crow[j] += static_cast<float>(s);
+      }
+    }
+  });
+}
 
 void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   AUTOMC_CHECK_EQ(a.dim(), 2);
@@ -13,22 +211,7 @@ void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   AUTOMC_CHECK_EQ(b.size(0), k);
   AUTOMC_CHECK_EQ(c->size(0), m);
   AUTOMC_CHECK_EQ(c->size(1), n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c->data();
-  // i-k-j loop order keeps both B and C rows contiguous in the inner loop.
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    const float* arow = pa + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+  GemmAccumRaw(a.data(), b.data(), c->data(), m, k, n);
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -43,21 +226,7 @@ Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
   int64_t k = a.size(0), m = a.size(1), n = b.size(1);
   AUTOMC_CHECK_EQ(b.size(0), k);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+  GemmTransposeARaw(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -67,19 +236,7 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   int64_t m = a.size(0), k = a.size(1), n = b.size(0);
   AUTOMC_CHECK_EQ(b.size(1), k);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double s = 0.0;
-      for (int64_t kk = 0; kk < k; ++kk) s += static_cast<double>(arow[kk]) * brow[kk];
-      crow[j] = static_cast<float>(s);
-    }
-  }
+  GemmTransposeBRaw(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -145,16 +302,22 @@ Tensor LogSoftmax(const Tensor& logits) {
   AUTOMC_CHECK_EQ(logits.dim(), 2);
   int64_t n = logits.size(0), c = logits.size(1);
   Tensor out({n, c});
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = logits.data() + i * c;
-    float* orow = out.data() + i * c;
-    float mx = row[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    double sum = 0.0;
-    for (int64_t j = 0; j < c; ++j) sum += std::exp(static_cast<double>(row[j]) - mx);
-    float lse = mx + static_cast<float>(std::log(sum));
-    for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
-  }
+  const float* src = logits.data();
+  float* dst = out.data();
+  automc::ParallelFor(n, RowGrain(n, 3 * c), [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = src + i * c;
+      float* orow = dst + i * c;
+      float mx = row[0];
+      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      double sum = 0.0;
+      for (int64_t j = 0; j < c; ++j) {
+        sum += std::exp(static_cast<double>(row[j]) - mx);
+      }
+      float lse = mx + static_cast<float>(std::log(sum));
+      for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
+    }
+  });
   return out;
 }
 

@@ -10,6 +10,12 @@ namespace tensor {
 
 // Dense kernels shared by the layer implementations. All output tensors are
 // allocated by the caller-facing functions; shapes are checked.
+//
+// Every GEMM routes through the raw kernels below, which are cache-blocked
+// and run on the shared thread pool (common/thread_pool.h). Parallelism is
+// over disjoint output rows and the per-element accumulation order never
+// depends on the thread count, so results are bit-identical for any
+// AUTOMC_THREADS value.
 
 // c = a * b for 2-D tensors; a is [m,k], b is [k,n], result [m,n].
 Tensor MatMul(const Tensor& a, const Tensor& b);
@@ -19,6 +25,19 @@ void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor* c);
 Tensor MatMulTransposeA(const Tensor& a, const Tensor& b);
 // c = a * b^T with a [m,k], b [n,k] -> [m,n].
 Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
+
+// Raw row-major GEMM kernels over caller-owned buffers. The layer code
+// (Conv2d's im2col path) uses these directly on tensor slices to avoid
+// per-sample copies; the Tensor wrappers above add shape checks.
+// C[m,n] += A[m,k] * B[k,n].
+void GemmAccumRaw(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n);
+// C[m,n] += A[k,m]^T * B[k,n].
+void GemmTransposeARaw(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n);
+// C[m,n] += A[m,k] * B[n,k]^T.
+void GemmTransposeBRaw(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n);
 
 // Geometry of a 2-D convolution / pooling window.
 struct ConvGeometry {
