@@ -4,6 +4,14 @@
 //   automc_cli [--family resnet|vgg] [--depth N] [--dataset c10|c100]
 //              [--gamma F] [--budget N] [--searcher automc|random|evolution|rl]
 //              [--pretrain N] [--seed N] [--save PATH]
+//              [--store PATH] [--checkpoint DIR] [--resume DIR]
+//              [--outcome PATH]
+//
+// Persistence: --store (or $AUTOMC_STORE) keeps every scheme evaluation in a
+// crash-safe log so repeat runs replay them instead of re-executing
+// strategies; --checkpoint writes resumable search state every
+// $AUTOMC_CHECKPOINT_EVERY rounds; --resume DIR continues a killed search
+// from DIR and finishes with the same outcome an uninterrupted run produces.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,7 +27,10 @@
 #include "nn/trainer.h"
 #include "search/evolutionary.h"
 #include "search/random_search.h"
+#include "search/report.h"
 #include "search/rl.h"
+#include "store/checkpoint.h"
+#include "store/experience_store.h"
 
 namespace {
 
@@ -37,6 +48,10 @@ struct CliOptions {
   bool print_summary = false;   // per-layer table after compression
   std::string cifar10_batches;  // comma-separated real CIFAR-10 .bin paths
   std::string cifar100_train;   // real CIFAR-100 train.bin
+  std::string store_path;       // experience store; default $AUTOMC_STORE
+  std::string checkpoint_dir;   // write periodic search checkpoints here
+  std::string resume_dir;       // continue a killed search from here
+  std::string outcome_path;     // save the SearchOutcome (text) here
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
@@ -72,6 +87,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->cifar10_batches = v;
     } else if (arg == "--cifar100" && (v = next())) {
       opts->cifar100_train = v;
+    } else if (arg == "--store" && (v = next())) {
+      opts->store_path = v;
+    } else if (arg == "--checkpoint" && (v = next())) {
+      opts->checkpoint_dir = v;
+    } else if (arg == "--resume" && (v = next())) {
+      opts->resume_dir = v;
+    } else if (arg == "--outcome" && (v = next())) {
+      opts->outcome_path = v;
     } else if (arg == "--help") {
       return false;
     } else {
@@ -89,7 +112,14 @@ void Usage() {
       "c10|c100]\n                  [--gamma F] [--budget N] [--searcher "
       "automc|random|evolution|rl]\n                  [--pretrain N] [--seed "
       "N] [--save PATH]\n                  [--apply \"SCHEME\"] [--cifar10 "
-      "b1.bin,b2.bin] [--cifar100 train.bin]\n");
+      "b1.bin,b2.bin] [--cifar100 train.bin]\n                  [--store "
+      "PATH] [--checkpoint DIR] [--resume DIR] [--outcome PATH]\n"
+      "  --store PATH      persistent evaluation cache (default: "
+      "$AUTOMC_STORE)\n"
+      "  --checkpoint DIR  checkpoint search state every "
+      "$AUTOMC_CHECKPOINT_EVERY rounds\n"
+      "  --resume DIR      continue a killed search from DIR's checkpoint\n"
+      "  --outcome PATH    save the final SearchOutcome as text\n");
 }
 
 }  // namespace
@@ -161,6 +191,43 @@ int main(int argc, char** argv) {
   std::shared_ptr<nn::Model> base;
   search::SearchSpace space = search::SearchSpace::FullTable1();
 
+  // Persistence: the experience store (crash-safe evaluation log, warm-starts
+  // repeat runs) and the checkpointer (kill/resume for long searches).
+  std::unique_ptr<store::ExperienceStore> experience_store;
+  std::string store_path = cli.store_path;
+  if (store_path.empty()) {
+    if (const char* env = std::getenv("AUTOMC_STORE"); env && *env) {
+      store_path = env;
+    }
+  }
+  if (!store_path.empty()) {
+    auto opened = store::ExperienceStore::Open(store_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open experience store: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    experience_store = std::move(opened).value();
+    std::printf("store: %s (%zu records)\n", store_path.c_str(),
+                experience_store->size());
+  }
+  std::unique_ptr<store::SearchCheckpointer> checkpointer;
+  const std::string ckpt_dir =
+      cli.resume_dir.empty() ? cli.checkpoint_dir : cli.resume_dir;
+  if (!ckpt_dir.empty()) {
+    store::SearchCheckpointer::Options copts;
+    copts.dir = ckpt_dir;
+    checkpointer = std::make_unique<store::SearchCheckpointer>(copts);
+    if (!cli.resume_dir.empty()) {
+      if (Status st = checkpointer->LoadPending(); !st.ok()) {
+        std::fprintf(stderr, "resume failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("resuming from %s\n",
+                  checkpointer->checkpoint_path().c_str());
+    }
+  }
+
   if (!cli.apply_scheme.empty()) {
     // No search: parse and apply the given scheme directly.
     auto parsed = compress::ParseScheme(cli.apply_scheme);
@@ -221,6 +288,8 @@ int main(int argc, char** argv) {
     opts.experience.num_tasks = 1;
     opts.experience.strategies_per_task = 10;
     opts.seed = cli.seed;
+    opts.experience_store = experience_store.get();
+    opts.checkpointer = checkpointer.get();
     core::AutoMC automc(opts);
     auto result = automc.Run(task);
     if (!result.ok()) {
@@ -250,6 +319,17 @@ int main(int argc, char** argv) {
     ctx.lr = task.lr;
     ctx.seed = cli.seed + 5;
     search::SchemeEvaluator evaluator(&space, base.get(), ctx, {});
+    if (experience_store != nullptr) {
+      if (Status st = evaluator.AttachStore(experience_store.get());
+          !st.ok()) {
+        std::fprintf(stderr, "cannot attach store: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      experience_store->set_task_features(data::TaskFeatureVector(
+          search_train, base->ParamCount(), base->FlopsPerSample(),
+          evaluator.base_point().acc));
+    }
 
     std::unique_ptr<search::Searcher> searcher;
     if (cli.searcher == "random") {
@@ -267,6 +347,7 @@ int main(int argc, char** argv) {
     scfg.max_strategy_executions = cli.budget;
     scfg.gamma = cli.gamma;
     scfg.seed = cli.seed + 6;
+    scfg.checkpointer = checkpointer.get();
     auto searched = searcher->Search(&evaluator, space, scfg);
     if (!searched.ok()) {
       std::fprintf(stderr, "search failed: %s\n",
@@ -274,6 +355,22 @@ int main(int argc, char** argv) {
       return 1;
     }
     outcome = std::move(searched).value();
+  }
+
+  if (experience_store != nullptr) {
+    std::printf("store: %llu hits, %llu misses, %llu appended\n",
+                static_cast<unsigned long long>(experience_store->hits()),
+                static_cast<unsigned long long>(experience_store->misses()),
+                static_cast<unsigned long long>(experience_store->appends()));
+  }
+  if (!cli.outcome_path.empty()) {
+    if (Status st = search::SaveOutcomeFile(outcome, cli.outcome_path);
+        !st.ok()) {
+      std::fprintf(stderr, "outcome save failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("outcome saved to %s\n", cli.outcome_path.c_str());
   }
 
   std::printf("base: %.1f%% accuracy, %lld params\n",

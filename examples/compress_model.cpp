@@ -4,12 +4,16 @@
 //
 //   ./build/examples/compress_model
 #include <cstdio>
+#include <cstdlib>
 
+#include "common/metrics.h"
 #include "compress/compressor.h"
 #include "nn/trainer.h"
 
 int main() {
   using namespace automc;
+  // Honors AUTOMC_METRICS_OUT=<path>: write the metrics snapshot at exit.
+  std::atexit([] { metrics::MetricsRegistry::Global().DumpIfConfigured(); });
 
   // Task + model.
   data::TaskData task = data::MakeCifar10Like(11);

@@ -7,13 +7,17 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
+#include "common/metrics.h"
 #include "kg/embedding.h"
 #include "search/search_space.h"
 
 int main() {
   using namespace automc;
+  // Honors AUTOMC_METRICS_OUT=<path>: write the metrics snapshot at exit.
+  std::atexit([] { metrics::MetricsRegistry::Global().DumpIfConfigured(); });
 
   search::SearchSpace space = search::SearchSpace::FullTable1();
   std::printf("search space: %zu strategies\n", space.size());

@@ -4,8 +4,10 @@
 //
 //   ./build/examples/search_comparison
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
+#include "common/metrics.h"
 #include "core/automc.h"
 #include "nn/trainer.h"
 #include "search/evolutionary.h"
@@ -14,6 +16,8 @@
 
 int main() {
   using namespace automc;
+  // Honors AUTOMC_METRICS_OUT=<path>: write the metrics snapshot at exit.
+  std::atexit([] { metrics::MetricsRegistry::Global().DumpIfConfigured(); });
 
   core::CompressionTask task;
   task.data = data::MakeCifar10Like(3);

@@ -3,13 +3,17 @@
 //
 //   ./build/examples/transfer_scheme
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
+#include "common/metrics.h"
 #include "core/automc.h"
 #include "nn/trainer.h"
 
 int main() {
   using namespace automc;
+  // Honors AUTOMC_METRICS_OUT=<path>: write the metrics snapshot at exit.
+  std::atexit([] { metrics::MetricsRegistry::Global().DumpIfConfigured(); });
 
   core::CompressionTask small_task;
   small_task.data = data::MakeCifar10Like(19);

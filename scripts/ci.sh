@@ -31,6 +31,42 @@ run_suite() {
 echo "== tier-1: release build + tests =="
 run_suite build
 
+echo "== crash-resume smoke =="
+# Kill a checkpointing search with SIGKILL mid-run, resume it, and require
+# the final SearchOutcome to be byte-identical to an uninterrupted reference
+# run (the persistence guarantee in DESIGN.md "Persistence & resume").
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}"' EXIT
+cli=build/examples/automc_cli
+smoke_args=(--searcher evolution --budget 16 --pretrain 1 --family vgg
+            --depth 13 --seed 7)
+
+"${cli}" "${smoke_args[@]}" --outcome "${smoke_dir}/ref.outcome"
+
+AUTOMC_CHECKPOINT_EVERY=1 "${cli}" "${smoke_args[@]}" \
+  --checkpoint "${smoke_dir}" --store "${smoke_dir}/store.bin" \
+  --outcome "${smoke_dir}/victim.outcome" &
+victim=$!
+# Wait for the first checkpoint to land, then kill the search outright.
+while kill -0 "${victim}" 2>/dev/null \
+    && [[ ! -f "${smoke_dir}/checkpoint.bin" ]]; do
+  sleep 0.05
+done
+kill -KILL "${victim}" 2>/dev/null || true
+wait "${victim}" 2>/dev/null || true
+
+if [[ -f "${smoke_dir}/victim.outcome" ]]; then
+  # The victim outran the kill: its (uninterrupted) outcome must still match.
+  diff "${smoke_dir}/ref.outcome" "${smoke_dir}/victim.outcome"
+  echo "crash-resume smoke: victim finished before the kill; outcome matches"
+else
+  AUTOMC_CHECKPOINT_EVERY=1 "${cli}" "${smoke_args[@]}" \
+    --resume "${smoke_dir}" --store "${smoke_dir}/store.bin" \
+    --outcome "${smoke_dir}/resumed.outcome"
+  diff "${smoke_dir}/ref.outcome" "${smoke_dir}/resumed.outcome"
+  echo "crash-resume smoke: resumed outcome is byte-identical"
+fi
+
 if [[ -n "${AUTOMC_SANITIZE:-}" ]]; then
   echo "== sanitizer pass (${AUTOMC_SANITIZE}) =="
   run_suite "build-san" "-DAUTOMC_SANITIZE=${AUTOMC_SANITIZE}" \

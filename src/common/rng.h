@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -54,6 +56,20 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  // Engine-state persistence for checkpoint/resume. mt19937_64 streams its
+  // full 312-word state as decimal integers, so SaveState/LoadState round-trip
+  // the sequence exactly: a restored Rng continues bit-identically.
+  std::string SaveState() const {
+    std::ostringstream os;
+    os << engine_;
+    return os.str();
+  }
+  bool LoadState(const std::string& state) {
+    std::istringstream is(state);
+    is >> engine_;
+    return !is.fail();
+  }
 
  private:
   std::mt19937_64 engine_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bytes.h"
 #include "common/logging.h"
 #include "nn/trainer.h"
 #include "search/rl.h"
@@ -106,6 +107,46 @@ Result<AutoMCResult> AutoMC::Run(const CompressionTask& task) {
       AUTOMC_LOG(Info) << "generated " << experience.size()
                        << " experience records";
     }
+    // Accumulated search experience from earlier runs: every record the
+    // store held when it was opened becomes an extra NN_exp training pair.
+    // The cutoff is pinned in the checkpoint (sticky section) so a resumed
+    // run exports exactly the set its crashed original saw — records the
+    // crashed run appended must not alter the embeddings it learned.
+    if (options_.use_exp && options_.experience_store != nullptr) {
+      uint64_t export_limit =
+          static_cast<uint64_t>(options_.experience_store->loaded_size());
+      if (options_.checkpointer != nullptr) {
+        auto it = options_.checkpointer->pending().find("kg_export_limit");
+        if (it != options_.checkpointer->pending().end()) {
+          ByteReader r(it->second);
+          uint64_t pinned = 0;
+          if (!r.U64(&pinned)) {
+            return Status::InvalidArgument(
+                "corrupted kg_export_limit checkpoint section");
+          }
+          export_limit = pinned;
+        }
+        ByteWriter w;
+        w.U64(export_limit);
+        options_.checkpointer->SetStickySection("kg_export_limit", w.Take());
+      }
+      if (export_limit > 0) {
+        std::vector<store::ExperienceStep> steps =
+            options_.experience_store->ExportSteps(
+                search::SchemeEvaluator::SpaceFingerprint(space),
+                export_limit);
+        for (const store::ExperienceStep& step : steps) {
+          kg::ExperienceRecord rec;
+          rec.strategy_index = static_cast<size_t>(step.strategy);
+          rec.task_features = step.task_features;
+          rec.ar = step.ar_step;
+          rec.pr = step.pr_step;
+          experience.push_back(std::move(rec));
+        }
+        AUTOMC_LOG(Info) << "imported " << steps.size()
+                         << " experience steps from the store";
+      }
+    }
     kg::StrategyEmbeddingLearner learner(space.strategies(), ecfg);
     AUTOMC_RETURN_IF_ERROR(learner.Learn(experience));
     embeddings.reserve(space.size());
@@ -137,13 +178,20 @@ Result<AutoMCResult> AutoMC::Run(const CompressionTask& task) {
   search::SchemeEvaluator evaluator(&space, result.base_model.get(), ctx,
                                     search::SchemeEvaluator::Options{});
 
+  // 7-dim task descriptor of this run: fed to F_mo and attached to every
+  // record this run appends to the store (future runs train NN_exp on them).
+  std::vector<float> feats = data::TaskFeatureVector(
+      search_train, result.base_model->ParamCount(),
+      result.base_model->FlopsPerSample(), evaluator.base_point().acc);
+
+  if (options_.experience_store != nullptr) {
+    AUTOMC_RETURN_IF_ERROR(evaluator.AttachStore(options_.experience_store));
+    options_.experience_store->set_task_features(feats);
+  }
+
   std::unique_ptr<search::Searcher> searcher;
   if (options_.use_progressive) {
-    double base_acc_search = evaluator.base_point().acc;
     tensor::Tensor task_features({data::kTaskFeatureDim});
-    std::vector<float> feats = data::TaskFeatureVector(
-        search_train, result.base_model->ParamCount(),
-        result.base_model->FlopsPerSample(), base_acc_search);
     for (int i = 0; i < data::kTaskFeatureDim; ++i) {
       task_features[i] = feats[static_cast<size_t>(i)];
     }
@@ -172,6 +220,7 @@ Result<AutoMCResult> AutoMC::Run(const CompressionTask& task) {
 
   search::SearchConfig scfg = options_.search;
   scfg.seed = options_.seed + 6;
+  scfg.checkpointer = options_.checkpointer;
   AUTOMC_ASSIGN_OR_RETURN(result.outcome,
                           searcher->Search(&evaluator, space, scfg));
 

@@ -12,6 +12,8 @@
 #include "nn/model.h"
 #include "search/progressive.h"
 #include "search/searcher.h"
+#include "store/checkpoint.h"
+#include "store/experience_store.h"
 
 namespace automc {
 namespace core {
@@ -69,6 +71,14 @@ struct AutoMCOptions {
   bool multi_source = true;  // false => AutoMC-MultipleSource (LeGR only)
   bool use_progressive = true;  // false => AutoMC-ProgressiveSearch (RL)
   uint64_t seed = 1;
+
+  // Non-owning persistence hooks. When `experience_store` is set, the run
+  // serves and records scheme evaluations through it (warm-starting repeat
+  // runs) and exports the records it loaded as extra NN_exp training pairs.
+  // When `checkpointer` is set, the search checkpoints periodically and a
+  // pending checkpoint (loaded by the caller) is resumed transparently.
+  store::ExperienceStore* experience_store = nullptr;
+  store::SearchCheckpointer* checkpointer = nullptr;
 };
 
 struct AutoMCResult {

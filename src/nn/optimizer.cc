@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace automc {
 namespace nn {
@@ -47,6 +48,49 @@ void Adam::Step(const std::vector<Param*>& params) {
       p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Adam::SaveState(const std::vector<Param*>& params, ByteWriter* w) const {
+  w->U32(static_cast<uint32_t>(params.size()));
+  for (const Param* p : params) {
+    auto it = state_.find(const_cast<Param*>(p));
+    if (it == state_.end() || it->second.m.numel() != p->value.numel()) {
+      // No state yet: restore will leave the entry absent and Step() will
+      // lazily create zeros, matching what a fresh optimizer would do.
+      w->I64(-1);
+      continue;
+    }
+    const State& s = it->second;
+    w->I64(s.t);
+    w->Floats(s.m.data(), static_cast<size_t>(s.m.numel()));
+    w->Floats(s.v.data(), static_cast<size_t>(s.v.numel()));
+  }
+}
+
+bool Adam::LoadState(const std::vector<Param*>& params, ByteReader* r) {
+  uint32_t count = 0;
+  if (!r->U32(&count) || count != params.size()) return false;
+  std::unordered_map<Param*, State> restored;
+  for (Param* p : params) {
+    int64_t t = 0;
+    if (!r->I64(&t)) return false;
+    if (t < 0) continue;  // lazily initialized entry
+    std::vector<float> m, v;
+    if (!r->Floats(&m) || !r->Floats(&v)) return false;
+    if (static_cast<int64_t>(m.size()) != p->value.numel() ||
+        static_cast<int64_t>(v.size()) != p->value.numel()) {
+      return false;
+    }
+    State s;
+    s.t = t;
+    s.m = tensor::Tensor::Zeros(p->value.shape());
+    s.v = tensor::Tensor::Zeros(p->value.shape());
+    std::memcpy(s.m.data(), m.data(), m.size() * sizeof(float));
+    std::memcpy(s.v.data(), v.data(), v.size() * sizeof(float));
+    restored[p] = std::move(s);
+  }
+  state_ = std::move(restored);
+  return true;
 }
 
 }  // namespace nn

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytes.h"
 #include "nn/layer.h"
 
 namespace automc {
@@ -35,6 +36,13 @@ class Adam {
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
 
   void Step(const std::vector<Param*>& params);
+
+  // Checkpoint support: serializes/restores the per-parameter moments in
+  // `params` order (bit-exact raw floats). The same ordered list must be
+  // passed to both calls; parameters without state yet are written as empty
+  // and stay lazily initialized after a restore.
+  void SaveState(const std::vector<Param*>& params, ByteWriter* w) const;
+  bool LoadState(const std::vector<Param*>& params, ByteReader* r);
 
  private:
   struct State {

@@ -11,6 +11,26 @@
 namespace automc {
 namespace search {
 
+namespace {
+
+EvalPoint PointFromRecord(const store::EvalRecord& rec) {
+  EvalPoint p;
+  p.acc = rec.acc;
+  p.params = rec.params;
+  p.flops = rec.flops;
+  p.ar = rec.ar;
+  p.pr = rec.pr;
+  p.fr = rec.fr;
+  return p;
+}
+
+bool SamePoint(const EvalPoint& a, const EvalPoint& b) {
+  return a.acc == b.acc && a.params == b.params && a.flops == b.flops &&
+         a.ar == b.ar && a.pr == b.pr && a.fr == b.fr;
+}
+
+}  // namespace
+
 SchemeEvaluator::SchemeEvaluator(const SearchSpace* space,
                                  nn::Model* base_model,
                                  const compress::CompressionContext& ctx,
@@ -23,6 +43,8 @@ SchemeEvaluator::SchemeEvaluator(const SearchSpace* space,
   root.model = base_model_->Clone();
   root.point = base_point_;
   cache_.emplace("", std::move(root));
+  // The root point is given, not searched for: it never charges budget.
+  points_.emplace("", base_point_);
 }
 
 std::string SchemeEvaluator::Key(const std::vector<int>& scheme) {
@@ -36,6 +58,46 @@ std::string SchemeEvaluator::Key(const std::vector<int>& scheme) {
     key[4 * i + 3] = static_cast<char>((v >> 24) & 0xff);
   }
   return key;
+}
+
+uint64_t SchemeEvaluator::SpaceFingerprint(const SearchSpace& space) {
+  uint64_t count = space.size();
+  uint64_t h = store::Fnv1a(&count, sizeof(count));
+  for (size_t i = 0; i < space.size(); ++i) {
+    const std::string s = space.strategy(i).ToString();
+    h = store::Fnv1a(s.data(), s.size(), h);
+  }
+  return h;
+}
+
+uint64_t SchemeEvaluator::ModelFingerprint(nn::Model* model) {
+  const nn::ModelSpec& spec = model->spec();
+  ByteWriter w;
+  w.Str(spec.family);
+  w.I32(spec.depth);
+  w.I32(spec.num_classes);
+  w.I32(spec.base_width);
+  w.I32(spec.in_channels);
+  w.I32(spec.image_size);
+  w.I32(model->weight_bits());
+  uint64_t h = store::Fnv1a(w.str().data(), w.str().size());
+  for (nn::Param* p : model->Params()) {
+    h = store::Fnv1a(p->value.data(),
+                     static_cast<size_t>(p->value.numel()) * sizeof(float), h);
+  }
+  return h;
+}
+
+Status SchemeEvaluator::AttachStore(store::ExperienceStore* experience_store) {
+  AUTOMC_CHECK(experience_store != nullptr);
+  store::Fingerprint fp;
+  fp.space = SpaceFingerprint(*space_);
+  fp.model = ModelFingerprint(base_model_);
+  experience_store->Bind(fp);
+  store_ = experience_store;
+  // Persist the base point so every depth-1 record has a parent in the log
+  // (ExportSteps derives AR/PR steps relative to the parent record).
+  return PersistPoint({}, base_point_);
 }
 
 EvalPoint SchemeEvaluator::MeasureModel(nn::Model* model) {
@@ -77,6 +139,30 @@ void SchemeEvaluator::Insert(std::string_view key,
   MaybeEvict();
 }
 
+void SchemeEvaluator::RecordPoint(std::string_view key,
+                                  const EvalPoint& point) {
+  auto [it, inserted] = points_.emplace(std::string(key), point);
+  (void)it;
+  if (inserted) {
+    ++charged_executions_;
+    AUTOMC_METRIC_COUNT("evaluator.charged_executions");
+  }
+}
+
+Status SchemeEvaluator::PersistPoint(const std::vector<int>& scheme,
+                                     const EvalPoint& point) {
+  if (store_ == nullptr) return Status::OK();
+  store::EvalRecord rec;
+  rec.scheme = scheme;
+  rec.acc = point.acc;
+  rec.params = point.params;
+  rec.flops = point.flops;
+  rec.ar = point.ar;
+  rec.pr = point.pr;
+  rec.fr = point.fr;
+  return store_->Append(rec);
+}
+
 Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
                                             EvalPoint* parent_out) {
   AUTOMC_SCOPED_TIMER("evaluator.eval_ms");
@@ -88,44 +174,96 @@ Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
     }
   }
 
-  // Deepest cached prefix. The full key is built once; each prefix probe is
-  // an allocation-free string_view lookup.
+  // Deepest known point. The full key is built once; each prefix probe is an
+  // allocation-free string_view lookup (points_ keys are prefix-closed, but
+  // scanning deepest-first keeps this robust even if they were not).
+  const size_t n = scheme.size();
   const std::string full_key = Key(scheme);
-  size_t start = 0;
-  for (size_t len = scheme.size(); len > 0; --len) {
-    auto it = cache_.find(KeyPrefix(full_key, len));
-    if (it != cache_.end()) {
-      start = len;
+  size_t p_start = 0;
+  for (size_t len = n; len > 0; --len) {
+    if (points_.find(KeyPrefix(full_key, len)) != points_.end()) {
+      p_start = len;
       break;
     }
   }
-  auto base_it = cache_.find(KeyPrefix(full_key, start));
+
+  if (p_start == n) {
+    // The whole scheme was measured (or store-served) earlier this run.
+    ++cache_hits_;
+    AUTOMC_METRIC_COUNT("evaluator.cache_hits", static_cast<int64_t>(n));
+    if (auto it = cache_.find(full_key); it != cache_.end()) {
+      it->second.last_used = ++clock_;  // keep hot models resident
+    }
+    if (parent_out != nullptr) {
+      *parent_out = n == 0 ? base_point_
+                           : points_.find(KeyPrefix(full_key, n - 1))->second;
+    }
+    return points_.find(full_key)->second;
+  }
+
+  // Path A: the full scheme is persisted. Prefix-closedness of the log means
+  // every intermediate point is too, so the entire evaluation is served from
+  // the store with zero strategy executions. Each novel point still charges
+  // budget so a warm rerun replays the original control flow and terminates.
+  if (store_ != nullptr && store_->Contains(scheme)) {
+    EvalPoint point = points_.find(KeyPrefix(full_key, p_start))->second;
+    EvalPoint parent = point;
+    std::vector<int> prefix(scheme.begin(),
+                            scheme.begin() + static_cast<long>(p_start));
+    bool served = true;
+    for (size_t len = p_start + 1; len <= n; ++len) {
+      prefix.push_back(scheme[len - 1]);
+      const store::EvalRecord* rec = store_->Lookup(prefix);
+      if (rec == nullptr) {
+        // Foreign log without prefix-closedness; execute what's left instead.
+        served = false;
+        break;
+      }
+      parent = point;
+      point = PointFromRecord(*rec);
+      RecordPoint(KeyPrefix(full_key, len), point);
+      ++store_hits_;
+    }
+    if (served) {
+      if (parent_out != nullptr) *parent_out = parent;
+      return point;
+    }
+    // Points recorded above stay valid; recompute the resume depth.
+    for (size_t len = n; len > 0; --len) {
+      if (points_.find(KeyPrefix(full_key, len)) != points_.end()) {
+        p_start = len;
+        break;
+      }
+    }
+  }
+
+  // Path B: execute from the deepest model-bearing prefix. Model snapshots
+  // are a subset of known points, so m_start <= p_start; steps at or below
+  // p_start re-run the compressor (snapshot was evicted) but reuse the known
+  // point without re-measuring or re-charging.
+  size_t m_start = 0;
+  for (size_t len = n; len > 0; --len) {
+    if (cache_.find(KeyPrefix(full_key, len)) != cache_.end()) {
+      m_start = len;
+      break;
+    }
+  }
+  auto base_it = cache_.find(KeyPrefix(full_key, m_start));
   AUTOMC_CHECK(base_it != cache_.end());
   base_it->second.last_used = ++clock_;
   // The cache-hit metric counts strategy executions the prefix cache
   // avoided (a fully cached scheme avoids all of them); misses count the
   // executions that still have to run.
-  AUTOMC_METRIC_COUNT("evaluator.cache_hits", static_cast<int64_t>(start));
+  AUTOMC_METRIC_COUNT("evaluator.cache_hits", static_cast<int64_t>(m_start));
   AUTOMC_METRIC_COUNT("evaluator.cache_misses",
-                      static_cast<int64_t>(scheme.size() - start));
-  if (start == scheme.size()) {
-    ++cache_hits_;
-    if (parent_out != nullptr) {
-      if (scheme.empty()) {
-        *parent_out = base_point_;
-      } else {
-        auto pit = cache_.find(KeyPrefix(full_key, scheme.size() - 1));
-        *parent_out =
-            pit != cache_.end() ? pit->second.point : base_point_;
-      }
-    }
-    return base_it->second.point;
-  }
+                      static_cast<int64_t>(n - m_start));
 
   std::unique_ptr<nn::Model> model = base_it->second.model->Clone();
   EvalPoint point = base_it->second.point;
   EvalPoint parent = point;
-  for (size_t i = start; i < scheme.size(); ++i) {
+  std::vector<int> prefix(scheme.begin(),
+                          scheme.begin() + static_cast<long>(m_start));
+  for (size_t i = m_start; i < n; ++i) {
     const compress::StrategySpec& spec =
         space_->strategy(static_cast<size_t>(scheme[static_cast<size_t>(i)]));
     AUTOMC_ASSIGN_OR_RETURN(std::unique_ptr<compress::Compressor> compressor,
@@ -148,12 +286,79 @@ Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
     }
     ++strategy_executions_;
     AUTOMC_METRIC_COUNT("search.strategy_executions");
+
+    const size_t len = i + 1;
+    prefix.push_back(scheme[i]);
     parent = point;
-    point = MeasureModel(model.get());
-    Insert(KeyPrefix(full_key, i + 1), model->Clone(), point);
+    auto pit = points_.find(KeyPrefix(full_key, len));
+    if (pit != points_.end()) {
+      // Known point whose model snapshot was evicted: the determinism
+      // contract guarantees re-measuring would reproduce it bit-for-bit.
+      point = pit->second;
+    } else {
+      const store::EvalRecord* rec =
+          store_ != nullptr ? store_->Lookup(prefix) : nullptr;
+      if (rec != nullptr) {
+        point = PointFromRecord(*rec);
+        ++store_hits_;
+      } else {
+        point = MeasureModel(model.get());
+        AUTOMC_RETURN_IF_ERROR(PersistPoint(prefix, point));
+      }
+      RecordPoint(KeyPrefix(full_key, len), point);
+    }
+    Insert(KeyPrefix(full_key, len), model->Clone(), point);
   }
   if (parent_out != nullptr) *parent_out = parent;
   return point;
+}
+
+void SchemeEvaluator::SnapshotState(ByteWriter* w) const {
+  w->U64(points_.size());
+  for (const auto& [key, p] : points_) {
+    w->Str(key);
+    w->F64(p.acc);
+    w->I64(p.params);
+    w->I64(p.flops);
+    w->F64(p.ar);
+    w->F64(p.pr);
+    w->F64(p.fr);
+  }
+  w->I64(charged_executions_);
+}
+
+Status SchemeEvaluator::RestoreState(std::string_view blob) {
+  ByteReader r(blob);
+  uint64_t count = 0;
+  if (!r.U64(&count)) {
+    return Status::InvalidArgument("truncated evaluator snapshot");
+  }
+  std::map<std::string, EvalPoint, std::less<>> points;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    EvalPoint p;
+    if (!r.Str(&key) || !r.F64(&p.acc) || !r.I64(&p.params) ||
+        !r.I64(&p.flops) || !r.F64(&p.ar) || !r.F64(&p.pr) || !r.F64(&p.fr)) {
+      return Status::InvalidArgument("truncated evaluator snapshot");
+    }
+    points[std::move(key)] = p;
+  }
+  int64_t charged = 0;
+  if (!r.I64(&charged)) {
+    return Status::InvalidArgument("truncated evaluator snapshot");
+  }
+  auto root = points.find(std::string());
+  if (root == points.end()) {
+    return Status::InvalidArgument("evaluator snapshot lacks the base point");
+  }
+  if (!SamePoint(root->second, base_point_)) {
+    return Status::FailedPrecondition(
+        "checkpoint base point does not match this base model; the "
+        "checkpoint belongs to a different task or seed");
+  }
+  points_ = std::move(points);
+  charged_executions_ = charged;
+  return Status::OK();
 }
 
 }  // namespace search

@@ -7,10 +7,12 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "compress/compressor.h"
 #include "nn/model.h"
 #include "search/search_space.h"
+#include "store/experience_store.h"
 
 namespace automc {
 namespace search {
@@ -27,11 +29,19 @@ struct EvalPoint {
 
 // Evaluates compression schemes (strategy index sequences) against one task.
 //
-// The scheme space is a tree, and the evaluator memoizes the compressed
-// model at every node it has visited: evaluating "seq -> s" after "seq"
-// costs exactly one strategy execution. This prefix cache is the mechanical
-// counterpart of AutoMC's progressive search and is what makes Algorithm 2
-// cheap per round.
+// The scheme space is a tree, and the evaluator memoizes two things at every
+// node it has visited:
+//   * the compressed model snapshot (expensive, LRU-evicted, `cache_`) —
+//     evaluating "seq -> s" right after "seq" costs one strategy execution;
+//   * the measured EvalPoint (tiny, never evicted, `points_`) — re-evaluating
+//     any scheme this run already measured is free, even after its model
+//     snapshot was evicted.
+// The point index also defines the budget unit: `charged_executions()` counts
+// *novel* points this run produced, whether measured by running a compressor
+// or served from an attached ExperienceStore. Searchers spend budget on
+// charged executions, so a warm-started rerun replays the exact same control
+// flow (and terminates) while `strategy_executions()` — real compressor runs
+// — stays at zero.
 class SchemeEvaluator {
  public:
   struct Options {
@@ -50,10 +60,37 @@ class SchemeEvaluator {
   Result<EvalPoint> Evaluate(const std::vector<int>& scheme,
                              EvalPoint* parent_out = nullptr);
 
+  // Connects a persistent evaluation cache. Binds the store to this
+  // evaluator's (search space, base model) fingerprint — records written
+  // under a different space or model can never be served here — and appends
+  // the base-model record so depth-1 store records have a parent. After
+  // attachment, Evaluate consults the store before executing strategies and
+  // appends every fresh measurement.
+  Status AttachStore(store::ExperienceStore* experience_store);
+  store::ExperienceStore* experience_store() const { return store_; }
+
+  // Content fingerprints used to key store records. Space covers every
+  // strategy's rendered spec; model covers the architecture spec, weight
+  // precision, and the raw bytes of every pretrained parameter.
+  static uint64_t SpaceFingerprint(const SearchSpace& space);
+  static uint64_t ModelFingerprint(nn::Model* model);
+
+  // Checkpoint support: the point index + charged-execution count, i.e.
+  // everything a resumed process needs to replay the remaining search with
+  // identical control flow. Restore validates that the snapshot's base point
+  // matches this evaluator's (catching checkpoint-vs-model mismatches).
+  void SnapshotState(ByteWriter* w) const;
+  Status RestoreState(std::string_view blob);
+
   const EvalPoint& base_point() const { return base_point_; }
-  // Number of real compressor executions so far (the search budget unit).
+  // Novel points this run produced — the search budget unit. Store-served
+  // points charge on first sight per run, real executions likewise.
+  int64_t charged_executions() const { return charged_executions_; }
+  // Real compressor runs (zero for a fully warm-started rerun).
   int64_t strategy_executions() const { return strategy_executions_; }
   int64_t cache_hits() const { return cache_hits_; }
+  // Points served from the attached store instead of being measured.
+  int64_t store_hits() const { return store_hits_; }
 
  private:
   struct CacheEntry {
@@ -74,6 +111,10 @@ class SchemeEvaluator {
   void Insert(std::string_view key, std::unique_ptr<nn::Model> model,
               const EvalPoint& point);
   void MaybeEvict();
+  // Registers `point` under `key`, charging budget iff it is new this run.
+  void RecordPoint(std::string_view key, const EvalPoint& point);
+  // Durably persists the point for `scheme` when a store is attached.
+  Status PersistPoint(const std::vector<int>& scheme, const EvalPoint& point);
 
   const SearchSpace* space_;
   nn::Model* base_model_;
@@ -81,8 +122,16 @@ class SchemeEvaluator {
   Options options_;
   EvalPoint base_point_;
   std::map<std::string, CacheEntry, std::less<>> cache_;
+  // Every point measured or store-served this run, keyed like cache_ but
+  // never evicted (points are ~48 bytes; model snapshots are megabytes).
+  // Keys form prefix-closed chains: a point's parent prefix is always
+  // present. models in cache_ are a subset of points_ keys.
+  std::map<std::string, EvalPoint, std::less<>> points_;
+  store::ExperienceStore* store_ = nullptr;
+  int64_t charged_executions_ = 0;
   int64_t strategy_executions_ = 0;
   int64_t cache_hits_ = 0;
+  int64_t store_hits_ = 0;
   int64_t clock_ = 0;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/metrics.h"
 #include "search/pareto.h"
+#include "search/snapshot_util.h"
 
 namespace automc {
 namespace search {
@@ -36,50 +37,109 @@ int Compare(const Individual& a, const Individual& b, double gamma) {
 
 }  // namespace
 
+struct EvolutionarySearcher::State {
+  Rng rng;
+  Archive archive;
+  std::vector<Individual> population;
+  bool initialized = false;  // population build completed
+
+  explicit State(const SearchConfig& config)
+      : rng(config.seed + 1000), archive(config.gamma) {}
+};
+
+EvolutionarySearcher::EvolutionarySearcher() : options_(Options{}) {}
+EvolutionarySearcher::EvolutionarySearcher(Options options)
+    : options_(options) {}
+EvolutionarySearcher::~EvolutionarySearcher() = default;
+
+Status EvolutionarySearcher::Snapshot(std::string* blob) {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("no search in flight");
+  }
+  ByteWriter w;
+  w.Str(state_->rng.SaveState());
+  state_->archive.Snapshot(&w);
+  w.U32(static_cast<uint32_t>(state_->population.size()));
+  for (const Individual& ind : state_->population) {
+    w.Ints(ind.scheme);
+    WritePoint(&w, ind.point);
+  }
+  *blob = w.Take();
+  return Status::OK();
+}
+
+Status EvolutionarySearcher::Restore(std::string_view blob) {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("no search in flight");
+  }
+  ByteReader r(blob);
+  std::string rng_state;
+  uint32_t count = 0;
+  if (!r.Str(&rng_state) || !state_->rng.LoadState(rng_state) ||
+      !state_->archive.Restore(&r) || !r.U32(&count)) {
+    return Status::InvalidArgument("corrupted Evolution searcher snapshot");
+  }
+  std::vector<Individual> population(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r.Ints(&population[i].scheme) || !ReadPoint(&r, &population[i].point)) {
+      return Status::InvalidArgument("corrupted Evolution searcher snapshot");
+    }
+  }
+  state_->population = std::move(population);
+  state_->initialized = true;
+  return Status::OK();
+}
+
 Result<SearchOutcome> EvolutionarySearcher::Search(SchemeEvaluator* evaluator,
                                                    const SearchSpace& space,
                                                    const SearchConfig& config) {
   if (space.size() == 0) return Status::InvalidArgument("empty search space");
-  Rng rng(config.seed + 1000);
-  Archive archive(config.gamma);
+  state_ = std::make_unique<State>(config);
+  AUTOMC_RETURN_IF_ERROR(MaybeRestoreSearch(this, evaluator, config).status());
+  State& s = *state_;
   auto budget_left = [&]() {
-    return evaluator->strategy_executions() < config.max_strategy_executions;
+    return evaluator->charged_executions() < config.max_strategy_executions;
   };
   auto random_strategy = [&]() {
-    return static_cast<int>(rng.UniformInt(static_cast<int64_t>(space.size())));
+    return static_cast<int>(
+        s.rng.UniformInt(static_cast<int64_t>(space.size())));
   };
 
-  // Initial population of short random schemes.
-  std::vector<Individual> population;
-  for (int p = 0; p < options_.population && budget_left(); ++p) {
-    Individual ind;
-    int64_t len = 1 + rng.UniformInt(std::min(3, config.max_length));
-    for (int64_t i = 0; i < len; ++i) ind.scheme.push_back(random_strategy());
-    AUTOMC_ASSIGN_OR_RETURN(ind.point, evaluator->Evaluate(ind.scheme));
-    archive.Record(ind.scheme, ind.point,
-                   static_cast<int>(evaluator->strategy_executions()));
-    population.push_back(std::move(ind));
+  // Initial population of short random schemes (skipped after a resume: the
+  // restored population is the crashed run's).
+  if (!s.initialized) {
+    for (int p = 0; p < options_.population && budget_left(); ++p) {
+      Individual ind;
+      int64_t len = 1 + s.rng.UniformInt(std::min(3, config.max_length));
+      for (int64_t i = 0; i < len; ++i) ind.scheme.push_back(random_strategy());
+      AUTOMC_ASSIGN_OR_RETURN(ind.point, evaluator->Evaluate(ind.scheme));
+      s.archive.Record(ind.scheme, ind.point,
+                       static_cast<int>(evaluator->charged_executions()));
+      s.population.push_back(std::move(ind));
+    }
+    s.initialized = true;
   }
-  if (population.empty()) {
-    return archive.Finalize(static_cast<int>(evaluator->strategy_executions()));
+  if (s.population.empty()) {
+    return s.archive.Finalize(
+        static_cast<int>(evaluator->charged_executions()));
   }
 
   auto tournament = [&]() -> const Individual& {
     const Individual& a =
-        population[static_cast<size_t>(rng.UniformInt(population.size()))];
+        s.population[static_cast<size_t>(s.rng.UniformInt(s.population.size()))];
     const Individual& b =
-        population[static_cast<size_t>(rng.UniformInt(population.size()))];
+        s.population[static_cast<size_t>(s.rng.UniformInt(s.population.size()))];
     return Compare(a, b, config.gamma) >= 0 ? a : b;
   };
 
   while (budget_left()) {
     // Offspring via crossover + mutation.
     std::vector<int> child = tournament().scheme;
-    if (rng.Bernoulli(options_.crossover_prob)) {
+    if (s.rng.Bernoulli(options_.crossover_prob)) {
       const std::vector<int>& other = tournament().scheme;
-      size_t cut_a = static_cast<size_t>(rng.UniformInt(
+      size_t cut_a = static_cast<size_t>(s.rng.UniformInt(
           static_cast<int64_t>(child.size()) + 1));
-      size_t cut_b = static_cast<size_t>(rng.UniformInt(
+      size_t cut_b = static_cast<size_t>(s.rng.UniformInt(
           static_cast<int64_t>(other.size()) + 1));
       std::vector<int> merged(child.begin(),
                               child.begin() + static_cast<int64_t>(cut_a));
@@ -87,16 +147,16 @@ Result<SearchOutcome> EvolutionarySearcher::Search(SchemeEvaluator* evaluator,
                     other.end());
       if (!merged.empty()) child = std::move(merged);
     }
-    if (rng.Bernoulli(options_.mutate_prob) || child.empty()) {
-      int64_t op = rng.UniformInt(3);
+    if (s.rng.Bernoulli(options_.mutate_prob) || child.empty()) {
+      int64_t op = s.rng.UniformInt(3);
       if (op == 0 && static_cast<int>(child.size()) < config.max_length) {
         child.push_back(random_strategy());
       } else if (op == 1 && child.size() > 1) {
         child.erase(child.begin() +
-                    rng.UniformInt(static_cast<int64_t>(child.size())));
+                    s.rng.UniformInt(static_cast<int64_t>(child.size())));
       } else if (!child.empty()) {
         child[static_cast<size_t>(
-            rng.UniformInt(static_cast<int64_t>(child.size())))] =
+            s.rng.UniformInt(static_cast<int64_t>(child.size())))] =
             random_strategy();
       } else {
         child.push_back(random_strategy());
@@ -110,25 +170,26 @@ Result<SearchOutcome> EvolutionarySearcher::Search(SchemeEvaluator* evaluator,
     offspring.scheme = std::move(child);
     AUTOMC_ASSIGN_OR_RETURN(offspring.point,
                             evaluator->Evaluate(offspring.scheme));
-    archive.Record(offspring.scheme, offspring.point,
-                   static_cast<int>(evaluator->strategy_executions()));
+    s.archive.Record(offspring.scheme, offspring.point,
+                     static_cast<int>(evaluator->charged_executions()));
     AUTOMC_METRIC_COUNT("search.evolutionary.rounds");
     AUTOMC_METRIC_COUNT("search.evolutionary.candidates_expanded");
     AUTOMC_METRIC_OBSERVE("search.evolutionary.pareto_front_size",
-                          static_cast<double>(archive.ParetoFrontSize()));
+                          static_cast<double>(s.archive.ParetoFrontSize()));
 
     // Steady-state replacement of the worst member.
     size_t worst = 0;
-    for (size_t i = 1; i < population.size(); ++i) {
-      if (Compare(population[i], population[worst], config.gamma) < 0) {
+    for (size_t i = 1; i < s.population.size(); ++i) {
+      if (Compare(s.population[i], s.population[worst], config.gamma) < 0) {
         worst = i;
       }
     }
-    if (Compare(offspring, population[worst], config.gamma) > 0) {
-      population[worst] = std::move(offspring);
+    if (Compare(offspring, s.population[worst], config.gamma) > 0) {
+      s.population[worst] = std::move(offspring);
     }
+    AUTOMC_RETURN_IF_ERROR(CheckpointRound(this, evaluator, config));
   }
-  return archive.Finalize(static_cast<int>(evaluator->strategy_executions()));
+  return s.archive.Finalize(static_cast<int>(evaluator->charged_executions()));
 }
 
 }  // namespace search

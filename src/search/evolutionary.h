@@ -1,6 +1,8 @@
 #ifndef AUTOMC_SEARCH_EVOLUTIONARY_H_
 #define AUTOMC_SEARCH_EVOLUTIONARY_H_
 
+#include <memory>
+
 #include "search/searcher.h"
 
 namespace automc {
@@ -18,16 +20,21 @@ class EvolutionarySearcher : public Searcher {
     double mutate_prob = 0.9;
   };
 
-  EvolutionarySearcher() : options_(Options{}) {}
-  explicit EvolutionarySearcher(Options options) : options_(options) {}
+  EvolutionarySearcher();
+  explicit EvolutionarySearcher(Options options);
+  ~EvolutionarySearcher() override;
 
   std::string Name() const override { return "Evolution"; }
   Result<SearchOutcome> Search(SchemeEvaluator* evaluator,
                                const SearchSpace& space,
                                const SearchConfig& config) override;
+  Status Snapshot(std::string* blob) override;
+  Status Restore(std::string_view blob) override;
 
  private:
   Options options_;
+  struct State;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace search

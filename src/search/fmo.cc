@@ -82,5 +82,27 @@ double Fmo::TrainBatch(const std::vector<FmoExample>& batch) {
   return total / static_cast<double>(batch.size());
 }
 
+void Fmo::Snapshot(ByteWriter* w) {
+  std::vector<nn::Param*> params = Params();
+  w->U32(static_cast<uint32_t>(params.size()));
+  for (const nn::Param* p : params) {
+    w->Floats(p->value.data(), static_cast<size_t>(p->value.numel()));
+  }
+  optimizer_.SaveState(params, w);
+}
+
+bool Fmo::Restore(ByteReader* r) {
+  std::vector<nn::Param*> params = Params();
+  uint32_t count = 0;
+  if (!r->U32(&count) || count != params.size()) return false;
+  for (nn::Param* p : params) {
+    std::vector<float> data;
+    if (!r->Floats(&data)) return false;
+    if (static_cast<int64_t>(data.size()) != p->value.numel()) return false;
+    std::copy(data.begin(), data.end(), p->value.data());
+  }
+  return optimizer_.LoadState(params, r);
+}
+
 }  // namespace search
 }  // namespace automc

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/rng.h"
 #include "nn/optimizer.h"
 #include "nn/seqnet.h"
@@ -44,6 +45,11 @@ class Fmo {
   // batch loss. Only F_mo's weights are updated (Equation 5 optimizes omega;
   // strategy embeddings stay fixed here).
   double TrainBatch(const std::vector<FmoExample>& batch);
+
+  // Checkpoint support: weights + Adam moments, bit-exact. Restore requires
+  // an Fmo constructed with the same dimensions.
+  void Snapshot(ByteWriter* w);
+  bool Restore(ByteReader* r);
 
  private:
   struct ForwardCache {

@@ -6,6 +6,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "search/pareto.h"
+#include "search/snapshot_util.h"
 
 namespace automc {
 namespace search {
@@ -21,7 +22,40 @@ struct Node {
   std::unordered_set<int> explored_children;
 };
 
+void WriteExample(ByteWriter* w, const FmoExample& ex) {
+  w->U32(static_cast<uint32_t>(ex.sequence.size()));
+  for (const Tensor& t : ex.sequence) WriteTensor(w, t);
+  WriteTensor(w, ex.candidate);
+  WriteTensor(w, ex.task);
+  w->F32(ex.ar_step);
+  w->F32(ex.pr_step);
+}
+
+bool ReadExample(ByteReader* r, FmoExample* ex) {
+  uint32_t n = 0;
+  if (!r->U32(&n)) return false;
+  ex->sequence.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!ReadTensor(r, &ex->sequence[i])) return false;
+  }
+  return ReadTensor(r, &ex->candidate) && ReadTensor(r, &ex->task) &&
+         r->F32(&ex->ar_step) && r->F32(&ex->pr_step);
+}
+
 }  // namespace
+
+struct ProgressiveSearcher::State {
+  Rng rng;
+  Archive archive;
+  Fmo fmo;
+  std::vector<FmoExample> replay;
+  std::vector<Node> nodes;
+
+  State(const SearchConfig& config, int64_t embed_dim, int64_t task_dim)
+      : rng(config.seed + 9000),
+        archive(config.gamma),
+        fmo(embed_dim, task_dim, config.seed + 77) {}
+};
 
 ProgressiveSearcher::ProgressiveSearcher(std::vector<Tensor> embeddings,
                                          Tensor task_features)
@@ -34,6 +68,69 @@ ProgressiveSearcher::ProgressiveSearcher(std::vector<Tensor> embeddings,
       task_features_(std::move(task_features)),
       options_(options) {}
 
+ProgressiveSearcher::~ProgressiveSearcher() = default;
+
+Status ProgressiveSearcher::Snapshot(std::string* blob) {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("no search in flight");
+  }
+  State& s = *state_;
+  ByteWriter w;
+  w.Str(s.rng.SaveState());
+  s.archive.Snapshot(&w);
+  s.fmo.Snapshot(&w);
+  w.U32(static_cast<uint32_t>(s.nodes.size()));
+  for (const Node& node : s.nodes) {
+    w.Ints(node.scheme);
+    WritePoint(&w, node.point);
+    // Sorted for a canonical blob (set semantics are order-free).
+    std::vector<int> children(node.explored_children.begin(),
+                              node.explored_children.end());
+    std::sort(children.begin(), children.end());
+    w.Ints(children);
+  }
+  w.U32(static_cast<uint32_t>(s.replay.size()));
+  for (const FmoExample& ex : s.replay) WriteExample(&w, ex);
+  *blob = w.Take();
+  return Status::OK();
+}
+
+Status ProgressiveSearcher::Restore(std::string_view blob) {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("no search in flight");
+  }
+  State& s = *state_;
+  ByteReader r(blob);
+  std::string rng_state;
+  uint32_t node_count = 0;
+  if (!r.Str(&rng_state) || !s.rng.LoadState(rng_state) ||
+      !s.archive.Restore(&r) || !s.fmo.Restore(&r) || !r.U32(&node_count)) {
+    return Status::InvalidArgument("corrupted AutoMC searcher snapshot");
+  }
+  std::vector<Node> nodes(node_count);
+  for (uint32_t i = 0; i < node_count; ++i) {
+    std::vector<int> children;
+    if (!r.Ints(&nodes[i].scheme) || !ReadPoint(&r, &nodes[i].point) ||
+        !r.Ints(&children)) {
+      return Status::InvalidArgument("corrupted AutoMC searcher snapshot");
+    }
+    nodes[i].explored_children.insert(children.begin(), children.end());
+  }
+  uint32_t replay_count = 0;
+  if (!r.U32(&replay_count)) {
+    return Status::InvalidArgument("corrupted AutoMC searcher snapshot");
+  }
+  std::vector<FmoExample> replay(replay_count);
+  for (uint32_t i = 0; i < replay_count; ++i) {
+    if (!ReadExample(&r, &replay[i])) {
+      return Status::InvalidArgument("corrupted AutoMC searcher snapshot");
+    }
+  }
+  s.nodes = std::move(nodes);
+  s.replay = std::move(replay);
+  return Status::OK();
+}
+
 Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
                                                   const SearchSpace& space,
                                                   const SearchConfig& config) {
@@ -42,45 +139,47 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
     return Status::InvalidArgument(
         "embedding count does not match search space size");
   }
-  Rng rng(config.seed + 9000);
-  Archive archive(config.gamma);
-  Fmo fmo(embeddings_[0].numel(), task_features_.numel(), config.seed + 77);
-  std::vector<FmoExample> replay;
+  state_ = std::make_unique<State>(config, embeddings_[0].numel(),
+                                   task_features_.numel());
+  AUTOMC_ASSIGN_OR_RETURN(bool restored,
+                          MaybeRestoreSearch(this, evaluator, config));
+  State& s = *state_;
 
-  // Warm-start F_mo on measured experience before the first round.
-  if (!warm_start_.empty()) {
-    for (int epoch = 0; epoch < 20; ++epoch) {
-      std::vector<FmoExample> batch;
-      for (int i = 0; i < 16; ++i) {
-        batch.push_back(warm_start_[static_cast<size_t>(
-            rng.UniformInt(static_cast<int64_t>(warm_start_.size())))]);
+  if (!restored) {
+    // Warm-start F_mo on measured experience before the first round. A
+    // resumed run skips this: the restored weights already contain it.
+    if (!warm_start_.empty()) {
+      for (int epoch = 0; epoch < 20; ++epoch) {
+        std::vector<FmoExample> batch;
+        for (int i = 0; i < 16; ++i) {
+          batch.push_back(warm_start_[static_cast<size_t>(
+              s.rng.UniformInt(static_cast<int64_t>(warm_start_.size())))]);
+        }
+        s.fmo.TrainBatch(batch);
       }
-      fmo.TrainBatch(batch);
+      s.replay = warm_start_;
+      if (static_cast<int>(s.replay.size()) > options_.max_replay) {
+        s.replay.resize(static_cast<size_t>(options_.max_replay));
+      }
     }
-    replay = warm_start_;
-    if (static_cast<int>(replay.size()) > options_.max_replay) {
-      replay.resize(static_cast<size_t>(options_.max_replay));
-    }
+    // Line 1: H_scheme starts from the START node (the uncompressed model).
+    s.nodes.push_back(Node{{}, evaluator->base_point(), {}});
   }
-
-  // Line 1: H_scheme starts from the START node (the uncompressed model).
-  std::vector<Node> nodes;
-  nodes.push_back(Node{{}, evaluator->base_point(), {}});
 
   auto scheme_embeddings = [&](const std::vector<int>& scheme) {
     std::vector<Tensor> seq;
     seq.reserve(scheme.size());
-    for (int s : scheme) seq.push_back(embeddings_[static_cast<size_t>(s)]);
+    for (int st : scheme) seq.push_back(embeddings_[static_cast<size_t>(st)]);
     return seq;
   };
 
-  while (evaluator->strategy_executions() < config.max_strategy_executions) {
+  while (evaluator->charged_executions() < config.max_strategy_executions) {
     // Line 3: sample H_sub — all current Pareto-optimal nodes first, then
     // random extras (the paper samples "Pareto-Optimal and evaluated
     // schemes").
     std::vector<size_t> extendable;
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      if (static_cast<int>(nodes[i].scheme.size()) < config.max_length) {
+    for (size_t i = 0; i < s.nodes.size(); ++i) {
+      if (static_cast<int>(s.nodes[i].scheme.size()) < config.max_length) {
         extendable.push_back(i);
       }
     }
@@ -88,22 +187,22 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
     std::vector<std::pair<double, double>> objs;
     objs.reserve(extendable.size());
     for (size_t i : extendable) {
-      objs.push_back({nodes[i].point.acc,
-                      -static_cast<double>(nodes[i].point.params)});
+      objs.push_back({s.nodes[i].point.acc,
+                      -static_cast<double>(s.nodes[i].point.params)});
     }
     std::vector<size_t> h_sub;
     for (size_t fi : ParetoFrontIndices(objs)) h_sub.push_back(extendable[fi]);
     AUTOMC_METRIC_COUNT("search.progressive.rounds");
     AUTOMC_METRIC_OBSERVE("search.progressive.pareto_front_size",
                           static_cast<double>(h_sub.size()));
-    rng.Shuffle(&h_sub);
+    s.rng.Shuffle(&h_sub);
     if (static_cast<int>(h_sub.size()) > options_.sample_schemes) {
       h_sub.resize(static_cast<size_t>(options_.sample_schemes));
     }
     while (static_cast<int>(h_sub.size()) < options_.sample_schemes &&
            h_sub.size() < extendable.size()) {
       size_t pick = extendable[static_cast<size_t>(
-          rng.UniformInt(static_cast<int64_t>(extendable.size())))];
+          s.rng.UniformInt(static_cast<int64_t>(extendable.size())))];
       if (std::find(h_sub.begin(), h_sub.end(), pick) == h_sub.end()) {
         h_sub.push_back(pick);
       }
@@ -125,16 +224,16 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
     std::vector<std::vector<Tensor>> seqs;
     seqs.reserve(h_sub.size());
     for (size_t ni : h_sub) {
-      Node& node = nodes[ni];
+      Node& node = s.nodes[ni];
       seqs.push_back(scheme_embeddings(node.scheme));
       const std::vector<Tensor>& seq = seqs.back();
       for (int c = 0; c < options_.candidates_per_scheme; ++c) {
-        int s = static_cast<int>(
-            rng.UniformInt(static_cast<int64_t>(space.size())));
-        if (node.explored_children.count(s)) continue;
+        int cand_strategy = static_cast<int>(
+            s.rng.UniformInt(static_cast<int64_t>(space.size())));
+        if (node.explored_children.count(cand_strategy)) continue;
         Candidate cand;
         cand.node = ni;
-        cand.strategy = s;
+        cand.strategy = cand_strategy;
         cand.pred_acc = 0.0;
         cand.pred_par = 0.0;
         candidates.push_back(cand);
@@ -149,8 +248,8 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
         [&](int64_t b, int64_t e) {
           for (int64_t i = b; i < e; ++i) {
             Candidate& cand = candidates[static_cast<size_t>(i)];
-            const Node& node = nodes[cand.node];
-            auto [ar_step, pr_step] = fmo.Predict(
+            const Node& node = s.nodes[cand.node];
+            auto [ar_step, pr_step] = s.fmo.Predict(
                 *cand_seq[static_cast<size_t>(i)],
                 embeddings_[static_cast<size_t>(cand.strategy)],
                 task_features_);
@@ -169,7 +268,7 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
       cand_objs.push_back({c.pred_acc, -c.pred_par});
     }
     std::vector<size_t> pareto = ParetoFrontIndices(cand_objs);
-    rng.Shuffle(&pareto);
+    s.rng.Shuffle(&pareto);
     if (static_cast<int>(pareto.size()) > options_.max_evals_per_round) {
       pareto.resize(static_cast<size_t>(options_.max_evals_per_round));
     }
@@ -178,11 +277,11 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
     // costs one strategy execution).
     std::vector<FmoExample> batch;
     for (size_t pi : pareto) {
-      if (evaluator->strategy_executions() >= config.max_strategy_executions) {
+      if (evaluator->charged_executions() >= config.max_strategy_executions) {
         break;
       }
       const Candidate& cand = candidates[pi];
-      Node& parent = nodes[cand.node];
+      Node& parent = s.nodes[cand.node];
       std::vector<int> child_scheme = parent.scheme;
       child_scheme.push_back(cand.strategy);
 
@@ -190,8 +289,8 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
       auto point = evaluator->Evaluate(child_scheme, &parent_point);
       if (!point.ok()) return point.status();
       parent.explored_children.insert(cand.strategy);
-      archive.Record(child_scheme, *point,
-                     static_cast<int>(evaluator->strategy_executions()));
+      s.archive.Record(child_scheme, *point,
+                       static_cast<int>(evaluator->charged_executions()));
 
       // Measured step effects for Equation 5.
       FmoExample ex;
@@ -209,28 +308,29 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
       batch.push_back(ex);
 
       // Line 8: the new scheme joins H_scheme.
-      nodes.push_back(Node{std::move(child_scheme), *point, {}});
+      s.nodes.push_back(Node{std::move(child_scheme), *point, {}});
     }
     if (batch.empty()) continue;
 
     // Line 7: optimize F_mo on fresh transitions plus replay.
     for (const FmoExample& ex : batch) {
-      if (static_cast<int>(replay.size()) < options_.max_replay) {
-        replay.push_back(ex);
+      if (static_cast<int>(s.replay.size()) < options_.max_replay) {
+        s.replay.push_back(ex);
       } else {
-        replay[static_cast<size_t>(
-            rng.UniformInt(static_cast<int64_t>(replay.size())))] = ex;
+        s.replay[static_cast<size_t>(
+            s.rng.UniformInt(static_cast<int64_t>(s.replay.size())))] = ex;
       }
     }
     std::vector<FmoExample> train_batch = batch;
-    for (int extra = 0; extra < 8 && !replay.empty(); ++extra) {
-      train_batch.push_back(replay[static_cast<size_t>(
-          rng.UniformInt(static_cast<int64_t>(replay.size())))]);
+    for (int extra = 0; extra < 8 && !s.replay.empty(); ++extra) {
+      train_batch.push_back(s.replay[static_cast<size_t>(
+          s.rng.UniformInt(static_cast<int64_t>(s.replay.size())))]);
     }
-    fmo.TrainBatch(train_batch);
+    s.fmo.TrainBatch(train_batch);
+    AUTOMC_RETURN_IF_ERROR(CheckpointRound(this, evaluator, config));
   }
 
-  return archive.Finalize(static_cast<int>(evaluator->strategy_executions()));
+  return s.archive.Finalize(static_cast<int>(evaluator->charged_executions()));
 }
 
 }  // namespace search

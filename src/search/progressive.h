@@ -35,6 +35,7 @@ class ProgressiveSearcher : public Searcher {
                       tensor::Tensor task_features);
   ProgressiveSearcher(std::vector<tensor::Tensor> embeddings,
                       tensor::Tensor task_features, Options options);
+  ~ProgressiveSearcher() override;
 
   // Pre-training data for F_mo: measured one-step effects (e.g. derived
   // from the Algorithm-1 experience records). Trained before the first
@@ -48,12 +49,16 @@ class ProgressiveSearcher : public Searcher {
   Result<SearchOutcome> Search(SchemeEvaluator* evaluator,
                                const SearchSpace& space,
                                const SearchConfig& config) override;
+  Status Snapshot(std::string* blob) override;
+  Status Restore(std::string_view blob) override;
 
  private:
   std::vector<tensor::Tensor> embeddings_;
   tensor::Tensor task_features_;
   Options options_;
   std::vector<FmoExample> warm_start_;
+  struct State;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace search

@@ -1,34 +1,73 @@
 #include "search/random_search.h"
 
 #include "common/metrics.h"
+#include "search/snapshot_util.h"
 
 namespace automc {
 namespace search {
+
+struct RandomSearcher::State {
+  Rng rng;
+  Archive archive;
+
+  State(const SearchConfig& config)
+      : rng(config.seed), archive(config.gamma) {}
+};
+
+RandomSearcher::RandomSearcher() = default;
+RandomSearcher::~RandomSearcher() = default;
+
+Status RandomSearcher::Snapshot(std::string* blob) {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("no search in flight");
+  }
+  ByteWriter w;
+  w.Str(state_->rng.SaveState());
+  state_->archive.Snapshot(&w);
+  *blob = w.Take();
+  return Status::OK();
+}
+
+Status RandomSearcher::Restore(std::string_view blob) {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("no search in flight");
+  }
+  ByteReader r(blob);
+  std::string rng_state;
+  if (!r.Str(&rng_state) || !state_->rng.LoadState(rng_state) ||
+      !state_->archive.Restore(&r)) {
+    return Status::InvalidArgument("corrupted Random searcher snapshot");
+  }
+  return Status::OK();
+}
 
 Result<SearchOutcome> RandomSearcher::Search(SchemeEvaluator* evaluator,
                                              const SearchSpace& space,
                                              const SearchConfig& config) {
   if (space.size() == 0) return Status::InvalidArgument("empty search space");
-  Rng rng(config.seed);
-  Archive archive(config.gamma);
+  state_ = std::make_unique<State>(config);
+  AUTOMC_RETURN_IF_ERROR(
+      MaybeRestoreSearch(this, evaluator, config).status());
+  State& s = *state_;
 
-  while (evaluator->strategy_executions() < config.max_strategy_executions) {
-    int64_t length = 1 + rng.UniformInt(config.max_length);
+  while (evaluator->charged_executions() < config.max_strategy_executions) {
+    int64_t length = 1 + s.rng.UniformInt(config.max_length);
     std::vector<int> scheme;
     scheme.reserve(static_cast<size_t>(length));
     for (int64_t i = 0; i < length; ++i) {
-      scheme.push_back(
-          static_cast<int>(rng.UniformInt(static_cast<int64_t>(space.size()))));
+      scheme.push_back(static_cast<int>(
+          s.rng.UniformInt(static_cast<int64_t>(space.size()))));
     }
     AUTOMC_ASSIGN_OR_RETURN(EvalPoint point, evaluator->Evaluate(scheme));
-    archive.Record(scheme, point,
-                   static_cast<int>(evaluator->strategy_executions()));
+    s.archive.Record(scheme, point,
+                     static_cast<int>(evaluator->charged_executions()));
     AUTOMC_METRIC_COUNT("search.random.rounds");
     AUTOMC_METRIC_COUNT("search.random.candidates_expanded");
     AUTOMC_METRIC_OBSERVE("search.random.pareto_front_size",
-                          static_cast<double>(archive.ParetoFrontSize()));
+                          static_cast<double>(s.archive.ParetoFrontSize()));
+    AUTOMC_RETURN_IF_ERROR(CheckpointRound(this, evaluator, config));
   }
-  return archive.Finalize(static_cast<int>(evaluator->strategy_executions()));
+  return s.archive.Finalize(static_cast<int>(evaluator->charged_executions()));
 }
 
 }  // namespace search

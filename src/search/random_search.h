@@ -1,6 +1,8 @@
 #ifndef AUTOMC_SEARCH_RANDOM_SEARCH_H_
 #define AUTOMC_SEARCH_RANDOM_SEARCH_H_
 
+#include <memory>
+
 #include "search/searcher.h"
 
 namespace automc {
@@ -10,10 +12,19 @@ namespace search {
 // uniformly at random until the execution budget is exhausted.
 class RandomSearcher : public Searcher {
  public:
+  RandomSearcher();
+  ~RandomSearcher() override;
+
   std::string Name() const override { return "Random"; }
   Result<SearchOutcome> Search(SchemeEvaluator* evaluator,
                                const SearchSpace& space,
                                const SearchConfig& config) override;
+  Status Snapshot(std::string* blob) override;
+  Status Restore(std::string_view blob) override;
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace search

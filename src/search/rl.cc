@@ -6,11 +6,82 @@
 #include "common/metrics.h"
 #include "nn/optimizer.h"
 #include "nn/seqnet.h"
+#include "search/snapshot_util.h"
 
 namespace automc {
 namespace search {
 
 using tensor::Tensor;
+
+struct RlSearcher::State {
+  Rng rng;
+  Archive archive;
+  nn::GruCell gru;
+  nn::VecMlp head;
+  nn::Param embeddings;
+  nn::Adam optimizer;
+  double baseline = 0.0;
+  bool baseline_init = false;
+
+  State(const Options& options, const SearchConfig& config,
+        int64_t num_actions)
+      : rng(config.seed + 5000),
+        archive(config.gamma),
+        gru(options.action_embedding_dim, options.hidden_dim, &rng),
+        head({options.hidden_dim, num_actions + 1}, &rng),
+        embeddings(Tensor::Randn({num_actions + 1,
+                                  options.action_embedding_dim},
+                                 &rng, 0.1f)),
+        optimizer(options.lr) {}
+
+  // Stable ordering shared by Step(), Snapshot() and Restore().
+  std::vector<nn::Param*> AllParams() {
+    std::vector<nn::Param*> params = gru.Params();
+    for (nn::Param* p : head.Params()) params.push_back(p);
+    params.push_back(&embeddings);
+    return params;
+  }
+};
+
+RlSearcher::RlSearcher() : options_(Options{}) {}
+RlSearcher::RlSearcher(Options options) : options_(options) {}
+RlSearcher::~RlSearcher() = default;
+
+Status RlSearcher::Snapshot(std::string* blob) {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("no search in flight");
+  }
+  State& s = *state_;
+  ByteWriter w;
+  w.Str(s.rng.SaveState());
+  s.archive.Snapshot(&w);
+  std::vector<nn::Param*> params = s.AllParams();
+  WriteParamValues(&w, params);
+  s.optimizer.SaveState(params, &w);
+  w.F64(s.baseline);
+  w.U32(s.baseline_init ? 1 : 0);
+  *blob = w.Take();
+  return Status::OK();
+}
+
+Status RlSearcher::Restore(std::string_view blob) {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("no search in flight");
+  }
+  State& s = *state_;
+  ByteReader r(blob);
+  std::string rng_state;
+  std::vector<nn::Param*> params = s.AllParams();
+  uint32_t baseline_init = 0;
+  if (!r.Str(&rng_state) || !s.rng.LoadState(rng_state) ||
+      !s.archive.Restore(&r) || !ReadParamValues(&r, params) ||
+      !s.optimizer.LoadState(params, &r) || !r.F64(&s.baseline) ||
+      !r.U32(&baseline_init)) {
+    return Status::InvalidArgument("corrupted RL searcher snapshot");
+  }
+  s.baseline_init = baseline_init != 0;
+  return Status::OK();
+}
 
 Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
                                          const SearchSpace& space,
@@ -20,34 +91,19 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
   const int64_t stop_action = num_actions;  // last logit = STOP
   const int64_t start_token = num_actions;  // embedding row for <start>
 
-  Rng rng(config.seed + 5000);
-  Archive archive(config.gamma);
-
-  nn::GruCell gru(options_.action_embedding_dim, options_.hidden_dim, &rng);
-  nn::VecMlp head({options_.hidden_dim, num_actions + 1}, &rng);
-  nn::Param embeddings(Tensor::Randn(
-      {num_actions + 1, options_.action_embedding_dim}, &rng, 0.1f));
-  nn::Adam optimizer(options_.lr);
-
-  auto all_params = [&]() {
-    std::vector<nn::Param*> params = gru.Params();
-    for (nn::Param* p : head.Params()) params.push_back(p);
-    params.push_back(&embeddings);
-    return params;
-  };
+  state_ = std::make_unique<State>(options_, config, num_actions);
+  AUTOMC_RETURN_IF_ERROR(MaybeRestoreSearch(this, evaluator, config).status());
+  State& s = *state_;
 
   auto embedding_of = [&](int64_t row) {
     Tensor e({options_.action_embedding_dim});
     const float* src =
-        embeddings.value.data() + row * options_.action_embedding_dim;
+        s.embeddings.value.data() + row * options_.action_embedding_dim;
     std::copy(src, src + options_.action_embedding_dim, e.data());
     return e;
   };
 
-  double baseline = 0.0;
-  bool baseline_init = false;
-
-  while (evaluator->strategy_executions() < config.max_strategy_executions) {
+  while (evaluator->charged_executions() < config.max_strategy_executions) {
     // ---- Sample one episode (scheme) from the controller. ----
     struct Step {
       nn::GruCell::Cache gru_cache;
@@ -58,14 +114,14 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
     };
     std::vector<Step> steps;
     std::vector<int> scheme;
-    Tensor h = gru.InitialState();
+    Tensor h = s.gru.InitialState();
     int64_t input_row = start_token;
     for (int t = 0; t < config.max_length; ++t) {
       Step step;
       step.input_row = input_row;
       Tensor x = embedding_of(input_row);
-      h = gru.Step(x, h, &step.gru_cache);
-      Tensor logits = head.Forward(h, &step.head_cache);
+      h = s.gru.Step(x, h, &step.gru_cache);
+      Tensor logits = s.head.Forward(h, &step.head_cache);
       // Mask STOP on the first step: empty schemes are useless.
       bool mask_stop = (t == 0);
       float mx = -1e30f;
@@ -83,7 +139,7 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
       }
       for (auto& p : step.probs) p = static_cast<float>(p / z);
       // Sample.
-      double u = rng.Uniform();
+      double u = s.rng.Uniform();
       int64_t action = mask_stop ? 0 : stop_action;
       double acc = 0.0;
       for (int64_t a = 0; a <= num_actions; ++a) {
@@ -103,24 +159,24 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
 
     // ---- Evaluate and compute the reward. ----
     AUTOMC_ASSIGN_OR_RETURN(EvalPoint point, evaluator->Evaluate(scheme));
-    archive.Record(scheme, point,
-                   static_cast<int>(evaluator->strategy_executions()));
+    s.archive.Record(scheme, point,
+                     static_cast<int>(evaluator->charged_executions()));
     AUTOMC_METRIC_COUNT("search.rl.rounds");
     AUTOMC_METRIC_COUNT("search.rl.candidates_expanded");
     AUTOMC_METRIC_OBSERVE("search.rl.pareto_front_size",
-                          static_cast<double>(archive.ParetoFrontSize()));
+                          static_cast<double>(s.archive.ParetoFrontSize()));
     double reward =
         point.acc - options_.infeasibility_penalty *
                         std::max(0.0, config.gamma - point.pr);
-    if (!baseline_init) {
-      baseline = reward;
-      baseline_init = true;
+    if (!s.baseline_init) {
+      s.baseline = reward;
+      s.baseline_init = true;
     }
-    double advantage = reward - baseline;
-    baseline = 0.9 * baseline + 0.1 * reward;
+    double advantage = reward - s.baseline;
+    s.baseline = 0.9 * s.baseline + 0.1 * reward;
 
     // ---- REINFORCE update: minimize -advantage * sum_t log pi(a_t). ----
-    for (nn::Param* p : all_params()) p->ZeroGrad();
+    for (nn::Param* p : s.AllParams()) p->ZeroGrad();
     Tensor dh_next({options_.hidden_dim});  // gradient flowing from t+1
     for (size_t t = steps.size(); t-- > 0;) {
       Step& step = steps[t];
@@ -130,20 +186,21 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
                      step.probs[static_cast<size_t>(a)];
       }
       dlogits[step.action] -= static_cast<float>(advantage);
-      Tensor dh = head.Backward(step.head_cache, dlogits);
+      Tensor dh = s.head.Backward(step.head_cache, dlogits);
       dh.AddInPlace(dh_next);
-      auto [dx, dh_prev] = gru.BackwardStep(step.gru_cache, dh);
+      auto [dx, dh_prev] = s.gru.BackwardStep(step.gru_cache, dh);
       // Accumulate into the input embedding row.
-      float* grow = embeddings.grad.data() +
+      float* grow = s.embeddings.grad.data() +
                     step.input_row * options_.action_embedding_dim;
       for (int64_t i = 0; i < options_.action_embedding_dim; ++i) {
         grow[i] += dx[i];
       }
       dh_next = std::move(dh_prev);
     }
-    optimizer.Step(all_params());
+    s.optimizer.Step(s.AllParams());
+    AUTOMC_RETURN_IF_ERROR(CheckpointRound(this, evaluator, config));
   }
-  return archive.Finalize(static_cast<int>(evaluator->strategy_executions()));
+  return s.archive.Finalize(static_cast<int>(evaluator->charged_executions()));
 }
 
 }  // namespace search

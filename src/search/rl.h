@@ -1,6 +1,8 @@
 #ifndef AUTOMC_SEARCH_RL_H_
 #define AUTOMC_SEARCH_RL_H_
 
+#include <memory>
+
 #include "search/searcher.h"
 
 namespace automc {
@@ -20,16 +22,21 @@ class RlSearcher : public Searcher {
     double infeasibility_penalty = 1.0;
   };
 
-  RlSearcher() : options_(Options{}) {}
-  explicit RlSearcher(Options options) : options_(options) {}
+  RlSearcher();
+  explicit RlSearcher(Options options);
+  ~RlSearcher() override;
 
   std::string Name() const override { return "RL"; }
   Result<SearchOutcome> Search(SchemeEvaluator* evaluator,
                                const SearchSpace& space,
                                const SearchConfig& config) override;
+  Status Snapshot(std::string* blob) override;
+  Status Restore(std::string_view blob) override;
 
  private:
   Options options_;
+  struct State;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace search

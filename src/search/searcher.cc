@@ -1,8 +1,11 @@
 #include "search/searcher.h"
 
 #include <algorithm>
+#include <map>
 
+#include "common/metrics.h"
 #include "search/pareto.h"
+#include "search/snapshot_util.h"
 
 namespace automc {
 namespace search {
@@ -62,6 +65,99 @@ SearchOutcome Archive::Finalize(int executions) const {
     out.pareto_points.push_back(points_[i]);
   }
   return out;
+}
+
+void Archive::Snapshot(ByteWriter* w) const {
+  w->U64(schemes_.size());
+  for (size_t i = 0; i < schemes_.size(); ++i) {
+    w->Ints(schemes_[i]);
+    WritePoint(w, points_[i]);
+  }
+  w->U64(history_.size());
+  for (const HistoryPoint& h : history_) {
+    w->I32(h.executions);
+    w->F64(h.best_acc);
+    w->F64(h.best_acc_any);
+  }
+  w->F64(best_feasible_acc_);
+  w->F64(best_any_acc_);
+}
+
+bool Archive::Restore(ByteReader* r) {
+  uint64_t n = 0;
+  if (!r->U64(&n)) return false;
+  std::vector<std::vector<int>> schemes(n);
+  std::vector<EvalPoint> points(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!r->Ints(&schemes[i]) || !ReadPoint(r, &points[i])) return false;
+  }
+  uint64_t hn = 0;
+  if (!r->U64(&hn)) return false;
+  std::vector<HistoryPoint> history(hn);
+  for (uint64_t i = 0; i < hn; ++i) {
+    if (!r->I32(&history[i].executions) || !r->F64(&history[i].best_acc) ||
+        !r->F64(&history[i].best_acc_any)) {
+      return false;
+    }
+  }
+  double feasible = 0.0, any = 0.0;
+  if (!r->F64(&feasible) || !r->F64(&any)) return false;
+  schemes_ = std::move(schemes);
+  points_ = std::move(points);
+  history_ = std::move(history);
+  best_feasible_acc_ = feasible;
+  best_any_acc_ = any;
+  return true;
+}
+
+namespace {
+
+// Identity blob stored alongside every checkpoint: a resume must use the
+// same searcher and an identical budget/length/gamma/seed, or the replayed
+// control flow would not match the crashed run's.
+std::string ConfigBlob(const Searcher& searcher, const SearchConfig& config) {
+  ByteWriter w;
+  w.Str(searcher.Name());
+  w.I32(config.max_strategy_executions);
+  w.I32(config.max_length);
+  w.F64(config.gamma);
+  w.U64(config.seed);
+  return w.Take();
+}
+
+}  // namespace
+
+Result<bool> MaybeRestoreSearch(Searcher* searcher, SchemeEvaluator* evaluator,
+                                const SearchConfig& config) {
+  store::SearchCheckpointer* cp = config.checkpointer;
+  if (cp == nullptr || !cp->has_pending()) return false;
+  AUTOMC_ASSIGN_OR_RETURN(std::string cfg, cp->TakePending("config"));
+  if (cfg != ConfigBlob(*searcher, config)) {
+    return Status::FailedPrecondition(
+        "checkpoint was written by a different searcher or search config; "
+        "resume with the original settings");
+  }
+  AUTOMC_ASSIGN_OR_RETURN(std::string eval_blob, cp->TakePending("evaluator"));
+  AUTOMC_RETURN_IF_ERROR(evaluator->RestoreState(eval_blob));
+  AUTOMC_ASSIGN_OR_RETURN(std::string blob, cp->TakePending("searcher"));
+  AUTOMC_RETURN_IF_ERROR(searcher->Restore(blob));
+  AUTOMC_METRIC_COUNT("checkpoint.restores");
+  return true;
+}
+
+Status CheckpointRound(Searcher* searcher, SchemeEvaluator* evaluator,
+                       const SearchConfig& config) {
+  store::SearchCheckpointer* cp = config.checkpointer;
+  if (cp == nullptr || !cp->ShouldCheckpoint()) return Status::OK();
+  std::map<std::string, std::string> sections;
+  sections["config"] = ConfigBlob(*searcher, config);
+  ByteWriter ew;
+  evaluator->SnapshotState(&ew);
+  sections["evaluator"] = ew.Take();
+  std::string sblob;
+  AUTOMC_RETURN_IF_ERROR(searcher->Snapshot(&sblob));
+  sections["searcher"] = std::move(sblob);
+  return cp->Write(std::move(sections));
 }
 
 }  // namespace search

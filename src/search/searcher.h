@@ -2,22 +2,32 @@
 #define AUTOMC_SEARCH_SEARCHER_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "search/evaluator.h"
 #include "search/search_space.h"
+#include "store/checkpoint.h"
 
 namespace automc {
 namespace search {
 
 // Budget and constraints shared by all search strategies. The budget unit
-// is real strategy executions (compressor runs), the dominant cost.
+// is charged executions — novel evaluation points produced this run, whether
+// measured by a real compressor run or served from a persistent store (see
+// SchemeEvaluator::charged_executions). Without a store the two coincide.
 struct SearchConfig {
   int max_strategy_executions = 50;
   int max_length = 5;    // L of Section 3.2
   double gamma = 0.3;    // target parameter reduction rate
   uint64_t seed = 1;
+  // Non-owning. When set, Search() first restores any pending checkpoint
+  // (continuing a killed run) and then persists its state every N-th round;
+  // the determinism contract makes the resumed outcome bit-identical to an
+  // uninterrupted run.
+  store::SearchCheckpointer* checkpointer = nullptr;
 };
 
 // Best-so-far curve sample (drives the Figure 4 reproduction).
@@ -53,6 +63,10 @@ class Archive {
   // Best accuracy among feasible (pr >= gamma) schemes so far; -1 if none.
   double best_feasible_acc() const { return best_feasible_acc_; }
 
+  // Checkpoint support (everything but gamma, which comes from the config).
+  void Snapshot(ByteWriter* w) const;
+  bool Restore(ByteReader* r);
+
  private:
   double gamma_;
   std::vector<std::vector<int>> schemes_;
@@ -69,7 +83,31 @@ class Searcher {
   virtual Result<SearchOutcome> Search(SchemeEvaluator* evaluator,
                                        const SearchSpace& space,
                                        const SearchConfig& config) = 0;
+
+  // Checkpoint interface: serialize/restore the searcher's in-flight state
+  // (RNG stream, archive, learned parameters, ...). Only meaningful while a
+  // Search() is active; every concrete searcher in this repo implements it.
+  virtual Status Snapshot(std::string* blob) {
+    (void)blob;
+    return Status::Unimplemented(Name() + " does not support checkpointing");
+  }
+  virtual Status Restore(std::string_view blob) {
+    (void)blob;
+    return Status::Unimplemented(Name() + " does not support checkpointing");
+  }
 };
+
+// Consumes a pending checkpoint into `searcher` + `evaluator` if
+// config.checkpointer holds one. Validates that the checkpoint was produced
+// by the same searcher and an identical config (resuming under different
+// settings would silently diverge). Returns true when state was restored.
+Result<bool> MaybeRestoreSearch(Searcher* searcher, SchemeEvaluator* evaluator,
+                                const SearchConfig& config);
+
+// Round tick: atomically persists searcher + evaluator state when the
+// checkpointer says this round is due. No-op without a checkpointer.
+Status CheckpointRound(Searcher* searcher, SchemeEvaluator* evaluator,
+                       const SearchConfig& config);
 
 }  // namespace search
 }  // namespace automc

@@ -1,0 +1,73 @@
+#ifndef AUTOMC_SEARCH_SNAPSHOT_UTIL_H_
+#define AUTOMC_SEARCH_SNAPSHOT_UTIL_H_
+
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+#include "nn/layer.h"
+#include "search/evaluator.h"
+#include "tensor/tensor.h"
+
+namespace automc {
+namespace search {
+
+// Bit-exact (de)serialization building blocks shared by the searchers'
+// Snapshot()/Restore() implementations. Readers return false on any underrun
+// or shape mismatch so a damaged checkpoint surfaces as a clean error.
+
+inline void WritePoint(ByteWriter* w, const EvalPoint& p) {
+  w->F64(p.acc);
+  w->I64(p.params);
+  w->I64(p.flops);
+  w->F64(p.ar);
+  w->F64(p.pr);
+  w->F64(p.fr);
+}
+
+inline bool ReadPoint(ByteReader* r, EvalPoint* p) {
+  return r->F64(&p->acc) && r->I64(&p->params) && r->I64(&p->flops) &&
+         r->F64(&p->ar) && r->F64(&p->pr) && r->F64(&p->fr);
+}
+
+// 1-D tensors only (strategy embeddings, task features): numel + raw floats.
+inline void WriteTensor(ByteWriter* w, const tensor::Tensor& t) {
+  w->Floats(t.data(), static_cast<size_t>(t.numel()));
+}
+
+inline bool ReadTensor(ByteReader* r, tensor::Tensor* t) {
+  std::vector<float> data;
+  if (!r->Floats(&data)) return false;
+  tensor::Tensor out({static_cast<int64_t>(data.size())});
+  std::memcpy(out.data(), data.data(), data.size() * sizeof(float));
+  *t = std::move(out);
+  return true;
+}
+
+// Parameter *values* in the given order; shapes are fixed by construction,
+// so restore validates element counts and copies in place.
+inline void WriteParamValues(ByteWriter* w,
+                             const std::vector<nn::Param*>& params) {
+  w->U32(static_cast<uint32_t>(params.size()));
+  for (const nn::Param* p : params) {
+    w->Floats(p->value.data(), static_cast<size_t>(p->value.numel()));
+  }
+}
+
+inline bool ReadParamValues(ByteReader* r,
+                            const std::vector<nn::Param*>& params) {
+  uint32_t count = 0;
+  if (!r->U32(&count) || count != params.size()) return false;
+  for (nn::Param* p : params) {
+    std::vector<float> data;
+    if (!r->Floats(&data)) return false;
+    if (static_cast<int64_t>(data.size()) != p->value.numel()) return false;
+    std::memcpy(p->value.data(), data.data(), data.size() * sizeof(float));
+  }
+  return true;
+}
+
+}  // namespace search
+}  // namespace automc
+
+#endif  // AUTOMC_SEARCH_SNAPSHOT_UTIL_H_

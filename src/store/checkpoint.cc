@@ -1,0 +1,146 @@
+#include "store/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "common/metrics.h"
+
+namespace automc {
+namespace store {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'M', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+
+int EveryFromEnv() {
+  const char* env = std::getenv("AUTOMC_CHECKPOINT_EVERY");
+  if (env == nullptr || *env == '\0') return 1;
+  int v = std::atoi(env);
+  return v > 0 ? v : 1;
+}
+
+}  // namespace
+
+SearchCheckpointer::SearchCheckpointer(Options options)
+    : options_(std::move(options)) {
+  every_ = options_.every_rounds > 0 ? options_.every_rounds : EveryFromEnv();
+}
+
+std::string SearchCheckpointer::checkpoint_path() const {
+  return options_.dir + "/checkpoint.bin";
+}
+
+Status SearchCheckpointer::LoadPending() {
+  std::ifstream in(checkpoint_path(), std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("no checkpoint at " + checkpoint_path());
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < 12 || std::memcmp(data.data(), kMagic, 4) != 0) {
+    return Status::InvalidArgument(checkpoint_path() +
+                                   " is not a checkpoint file");
+  }
+  uint32_t version = 0, crc = 0;
+  std::memcpy(&version, data.data() + 4, sizeof(version));
+  std::memcpy(&crc, data.data() + 8, sizeof(crc));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  std::string_view body(data.data() + 12, data.size() - 12);
+  if (Crc32(body) != crc) {
+    return Status::InvalidArgument("checkpoint failed CRC validation: " +
+                                   checkpoint_path());
+  }
+  ByteReader r(body);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return Status::InvalidArgument("truncated checkpoint");
+  std::map<std::string, std::string> sections;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name, blob;
+    if (!r.Str(&name) || !r.Str(&blob)) {
+      return Status::InvalidArgument("truncated checkpoint section");
+    }
+    sections[std::move(name)] = std::move(blob);
+  }
+  pending_ = std::move(sections);
+  return Status::OK();
+}
+
+Result<std::string> SearchCheckpointer::TakePending(
+    const std::string& section) {
+  auto it = pending_.find(section);
+  if (it == pending_.end()) {
+    return Status::NotFound("checkpoint has no '" + section + "' section");
+  }
+  std::string blob = std::move(it->second);
+  pending_.erase(it);
+  return blob;
+}
+
+void SearchCheckpointer::SetStickySection(const std::string& name,
+                                          std::string blob) {
+  sticky_[name] = std::move(blob);
+}
+
+bool SearchCheckpointer::ShouldCheckpoint() {
+  ++round_;
+  return round_ % every_ == 0;
+}
+
+Status SearchCheckpointer::Write(std::map<std::string, std::string> sections) {
+  if (options_.abort_after_writes > 0 &&
+      writes_ >= options_.abort_after_writes) {
+    return Status::Internal("checkpointer fault injection: simulated crash");
+  }
+  for (const auto& [name, blob] : sticky_) sections[name] = blob;
+
+  ByteWriter body;
+  body.U32(static_cast<uint32_t>(sections.size()));
+  for (const auto& [name, blob] : sections) {
+    body.Str(name);
+    body.Str(blob);
+  }
+
+  ByteWriter file;
+  file.Raw(kMagic, 4);
+  file.U32(kVersion);
+  file.U32(Crc32(body.str()));
+  file.Raw(body.str().data(), body.str().size());
+
+  const std::string tmp = checkpoint_path() + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::NotFound("cannot write checkpoint: " + tmp + ": " +
+                              std::strerror(errno));
+    }
+    const std::string& bytes = file.str();
+    bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+              std::fflush(f) == 0;
+    if (ok) ::fsync(fileno(f));
+    std::fclose(f);
+    if (!ok) {
+      std::remove(tmp.c_str());
+      return Status::Internal("short write on " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), checkpoint_path().c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename checkpoint into place: " +
+                            std::string(std::strerror(errno)));
+  }
+  ++writes_;
+  AUTOMC_METRIC_COUNT("checkpoint.writes");
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace automc

@@ -1,0 +1,237 @@
+#include "store/experience_store.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace automc {
+namespace store {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'M', 'X', 'P'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 8;
+// A record holds one scheme + one measurement; anything past this is a
+// corrupted length field, not a real record.
+constexpr uint32_t kMaxPayload = 1u << 20;
+
+std::string EncodePayload(const Fingerprint& fp, const EvalRecord& rec) {
+  ByteWriter w;
+  w.U64(fp.space);
+  w.U64(fp.model);
+  w.Ints(rec.scheme);
+  w.F64(rec.acc);
+  w.I64(rec.params);
+  w.I64(rec.flops);
+  w.F64(rec.ar);
+  w.F64(rec.pr);
+  w.F64(rec.fr);
+  w.Floats(rec.task_features.data(), rec.task_features.size());
+  return w.Take();
+}
+
+bool DecodePayload(std::string_view payload, Fingerprint* fp,
+                   EvalRecord* rec) {
+  ByteReader r(payload);
+  return r.U64(&fp->space) && r.U64(&fp->model) && r.Ints(&rec->scheme) &&
+         r.F64(&rec->acc) && r.I64(&rec->params) && r.I64(&rec->flops) &&
+         r.F64(&rec->ar) && r.F64(&rec->pr) && r.F64(&rec->fr) &&
+         r.Floats(&rec->task_features) && r.Done();
+}
+
+}  // namespace
+
+uint64_t Fnv1a(const void* data, size_t n, uint64_t seed) {
+  uint64_t h = seed;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ExperienceStore::~ExperienceStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string ExperienceStore::IndexKey(const Fingerprint& fp,
+                                      const std::vector<int>& scheme) {
+  ByteWriter w;
+  w.U64(fp.space);
+  w.U64(fp.model);
+  for (int s : scheme) w.I32(s);
+  return w.Take();
+}
+
+Result<std::unique_ptr<ExperienceStore>> ExperienceStore::Open(
+    const std::string& path) {
+  auto store = std::unique_ptr<ExperienceStore>(new ExperienceStore());
+  store->path_ = path;
+  AUTOMC_RETURN_IF_ERROR(store->ReplayLog());
+
+  store->file_ = std::fopen(path.c_str(), "ab");
+  if (store->file_ == nullptr) {
+    return Status::NotFound("cannot open store for append: " + path + ": " +
+                            std::strerror(errno));
+  }
+  AUTOMC_METRIC_COUNT("store.recovered", store->recovered_);
+  AUTOMC_METRIC_COUNT("store.truncated_bytes", store->truncated_bytes_);
+  return store;
+}
+
+Status ExperienceStore::ReplayLog() {
+  std::string data;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in.is_open()) {
+      data.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+      if (in.bad()) return Status::Internal("read failure on " + path_);
+    }
+  }
+
+  size_t valid_end = 0;
+  if (data.size() >= kHeaderSize) {
+    uint32_t version = 0;
+    std::memcpy(&version, data.data() + 4, sizeof(version));
+    if (std::memcmp(data.data(), kMagic, 4) != 0 || version != kVersion) {
+      // A foreign or future-format file: refuse rather than destroy it.
+      return Status::InvalidArgument(path_ + " is not a v1 experience store");
+    }
+    valid_end = kHeaderSize;
+
+    size_t pos = kHeaderSize;
+    while (pos + 8 <= data.size()) {
+      uint32_t len = 0, crc = 0;
+      std::memcpy(&len, data.data() + pos, sizeof(len));
+      std::memcpy(&crc, data.data() + pos + 4, sizeof(crc));
+      if (len > kMaxPayload || pos + 8 + len > data.size()) break;  // torn
+      std::string_view payload(data.data() + pos + 8, len);
+      if (Crc32(payload) != crc) break;  // torn or corrupted
+      Fingerprint fp;
+      EvalRecord rec;
+      if (!DecodePayload(payload, &fp, &rec)) break;
+      auto [it, inserted] =
+          index_.insert_or_assign(IndexKey(fp, rec.scheme), std::move(rec));
+      if (inserted) order_.emplace_back(fp, &it->second);
+      ++recovered_;
+      pos += 8 + len;
+      valid_end = pos;
+    }
+    truncated_bytes_ = static_cast<int64_t>(data.size() - valid_end);
+  } else if (!data.empty()) {
+    // Torn header (crash during creation): nothing recoverable.
+    truncated_bytes_ = static_cast<int64_t>(data.size());
+  }
+
+  if (truncated_bytes_ > 0) {
+    AUTOMC_LOG(Warning) << "experience store " << path_ << ": dropping "
+                        << truncated_bytes_ << " torn trailing bytes ("
+                        << recovered_ << " records recovered)";
+  }
+
+  // Rewrite the header when the file is new/torn-at-birth, else chop the
+  // torn tail so the append handle continues from the last valid record.
+  std::error_code ec;
+  if (valid_end == 0) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return Status::NotFound("cannot create " + path_);
+    out.write(kMagic, 4);
+    uint32_t version = kVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    if (!out.good()) return Status::Internal("cannot write header: " + path_);
+  } else if (valid_end < data.size()) {
+    std::filesystem::resize_file(path_, valid_end, ec);
+    if (ec) return Status::Internal("cannot truncate " + path_);
+  }
+  return Status::OK();
+}
+
+const EvalRecord* ExperienceStore::Lookup(const std::vector<int>& scheme) {
+  auto it = index_.find(IndexKey(bound_, scheme));
+  if (it == index_.end()) {
+    ++misses_;
+    AUTOMC_METRIC_COUNT("store.misses");
+    return nullptr;
+  }
+  ++hits_;
+  AUTOMC_METRIC_COUNT("store.hits");
+  return &it->second;
+}
+
+bool ExperienceStore::Contains(const std::vector<int>& scheme) const {
+  return index_.count(IndexKey(bound_, scheme)) > 0;
+}
+
+Status ExperienceStore::Append(const EvalRecord& record) {
+  std::string key = IndexKey(bound_, record.scheme);
+  if (index_.count(key) > 0) return Status::OK();  // determinism: no change
+
+  EvalRecord stored = record;
+  stored.task_features = task_features_;
+  AUTOMC_RETURN_IF_ERROR(WriteRecord(bound_, stored));
+
+  auto [it, inserted] = index_.insert_or_assign(key, std::move(stored));
+  if (inserted) order_.emplace_back(bound_, &it->second);
+  ++appends_;
+  AUTOMC_METRIC_COUNT("store.appends");
+  return Status::OK();
+}
+
+Status ExperienceStore::WriteRecord(const Fingerprint& fp,
+                                    const EvalRecord& record) {
+  std::string payload = EncodePayload(fp, record);
+  ByteWriter frame;
+  frame.U32(static_cast<uint32_t>(payload.size()));
+  frame.U32(Crc32(payload));
+  frame.Raw(payload.data(), payload.size());
+  const std::string& bytes = frame.str();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size() ||
+      std::fflush(file_) != 0) {
+    return Status::Internal("append failed on " + path_);
+  }
+  // One fsync per append: appends are measured in strategy executions
+  // (seconds each), so full durability costs nothing by comparison.
+  ::fsync(fileno(file_));
+  return Status::OK();
+}
+
+std::vector<ExperienceStep> ExperienceStore::ExportSteps(
+    uint64_t space_fp, uint64_t limit_records) const {
+  std::vector<ExperienceStep> steps;
+  size_t n = order_.size();
+  if (limit_records > 0 && limit_records < n) {
+    n = static_cast<size_t>(limit_records);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const auto& [fp, rec] = order_[i];
+    if (fp.space != space_fp || rec->scheme.empty()) continue;
+    if (rec->task_features.empty()) continue;  // no task context recorded
+    std::vector<int> parent_scheme(rec->scheme.begin(),
+                                   rec->scheme.end() - 1);
+    auto pit = index_.find(IndexKey(fp, parent_scheme));
+    if (pit == index_.end()) continue;
+    const EvalRecord& parent = pit->second;
+    if (parent.acc <= 0.0 || parent.params <= 0) continue;
+    ExperienceStep step;
+    step.strategy = rec->scheme.back();
+    step.task_features = rec->task_features;
+    step.ar_step = static_cast<float>(rec->acc / parent.acc - 1.0);
+    step.pr_step = static_cast<float>(
+        1.0 - static_cast<double>(rec->params) / parent.params);
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+}  // namespace store
+}  // namespace automc
