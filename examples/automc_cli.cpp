@@ -3,7 +3,7 @@
 //
 //   automc_cli [--family resnet|vgg] [--depth N] [--dataset c10|c100]
 //              [--gamma F] [--budget N] [--searcher automc|random|evolution|rl]
-//              [--pretrain N] [--seed N] [--save PATH]
+//              [--eval-batch N] [--pretrain N] [--seed N] [--save PATH]
 //              [--store PATH] [--checkpoint DIR] [--resume DIR]
 //              [--outcome PATH]
 //
@@ -40,6 +40,8 @@ struct CliOptions {
   std::string dataset = "c10";
   double gamma = 0.3;
   int budget = 12;
+  // Candidates per evaluation round; 0 = $AUTOMC_EVAL_BATCH (default 4).
+  int eval_batch = 0;
   std::string searcher = "automc";
   int pretrain = 8;
   uint64_t seed = 1;
@@ -71,6 +73,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->gamma = std::atof(v);
     } else if (arg == "--budget" && (v = next())) {
       opts->budget = std::atoi(v);
+    } else if (arg == "--eval-batch" && (v = next())) {
+      opts->eval_batch = std::atoi(v);
     } else if (arg == "--searcher" && (v = next())) {
       opts->searcher = v;
     } else if (arg == "--pretrain" && (v = next())) {
@@ -119,7 +123,9 @@ void Usage() {
       "  --checkpoint DIR  checkpoint search state every "
       "$AUTOMC_CHECKPOINT_EVERY rounds\n"
       "  --resume DIR      continue a killed search from DIR's checkpoint\n"
-      "  --outcome PATH    save the final SearchOutcome as text\n");
+      "  --outcome PATH    save the final SearchOutcome as text\n"
+      "  --eval-batch N    candidate schemes per parallel evaluation round\n"
+      "                    (default: $AUTOMC_EVAL_BATCH, else 4)\n");
 }
 
 }  // namespace
@@ -284,6 +290,7 @@ int main(int argc, char** argv) {
     core::AutoMCOptions opts;
     opts.search.max_strategy_executions = cli.budget;
     opts.search.gamma = cli.gamma;
+    if (cli.eval_batch >= 1) opts.search.eval_batch = cli.eval_batch;
     opts.embedding.train_epochs = 8;
     opts.experience.num_tasks = 1;
     opts.experience.strategies_per_task = 10;
@@ -347,6 +354,7 @@ int main(int argc, char** argv) {
     scfg.max_strategy_executions = cli.budget;
     scfg.gamma = cli.gamma;
     scfg.seed = cli.seed + 6;
+    if (cli.eval_batch >= 1) scfg.eval_batch = cli.eval_batch;
     scfg.checkpointer = checkpointer.get();
     auto searched = searcher->Search(&evaluator, space, scfg);
     if (!searched.ok()) {

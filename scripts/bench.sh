@@ -18,7 +18,7 @@ OUT_JSON="BENCH_kernels.json"
 FILTER='BM_MatMul|BM_MatMulRef|BM_MatrixMultiply|BM_Conv2dForward|BM_Conv2dForwardRef|BM_Conv2dBackward|BM_Conv2dBackwardRef|BM_ParallelForOverhead|BM_FmoPredict'
 
 cmake -B "${BUILD_DIR}" -S . >/dev/null
-cmake --build "${BUILD_DIR}" -j --target micro_substrate fig4_search_curves >/dev/null
+cmake --build "${BUILD_DIR}" -j --target micro_substrate fig4_search_curves batch_eval >/dev/null
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -134,4 +134,41 @@ with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path}")
+PY
+
+# Batched scheme evaluation: one 16-candidate round, serial Evaluate loop vs
+# EvaluateBatch, at both thread counts. The binary exits non-zero unless the
+# two runs are bit-identical, so a BENCH_eval.json always describes a
+# result-preserving speedup (or, on a single-core machine, the overhead).
+echo "== batch_eval, AUTOMC_THREADS=1 =="
+AUTOMC_THREADS=1 "${BUILD_DIR}/bench/batch_eval" | tee "${tmpdir}/eval_t1.json"
+echo "== batch_eval, AUTOMC_THREADS=4 =="
+AUTOMC_THREADS=4 "${BUILD_DIR}/bench/batch_eval" | tee "${tmpdir}/eval_t4.json"
+
+python3 - "${tmpdir}/eval_t1.json" "${tmpdir}/eval_t4.json" BENCH_eval.json <<'PY'
+import json, os, sys
+
+t1_path, t4_path, out_path = sys.argv[1:4]
+with open(t1_path) as f:
+    t1 = json.load(f)
+with open(t4_path) as f:
+    t4 = json.load(f)
+
+report = {
+    "machine": {"nproc": os.cpu_count()},
+    "note": (
+        "One 16-candidate evaluation round: the serial Evaluate loop vs "
+        "EvaluateBatch, which speculates disjoint scheme subtrees on the "
+        "thread pool and commits serially for bit-identical results (the "
+        "binary verifies identity before reporting). Expected speedup "
+        "approaches min(nproc, parallel_subtrees); on a single-core machine "
+        "no thread speedup can materialize and the ratio instead shows the "
+        "snapshot-cloning overhead of the speculative phase."
+    ),
+    "batch_vs_serial": {"t1": t1, "t4": t4},
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_eval.json")
 PY

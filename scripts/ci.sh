@@ -28,6 +28,11 @@ run_suite() {
   done
 }
 
+echo "== doc check =="
+# Dead intra-repo markdown links/anchors and undocumented AUTOMC_* knobs
+# (docs/configuration.md is the authoritative table) fail the build.
+python3 scripts/check_docs.py
+
 echo "== tier-1: release build + tests =="
 run_suite build
 

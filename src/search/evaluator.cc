@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <set>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "nn/trainer.h"
 
@@ -100,7 +103,7 @@ Status SchemeEvaluator::AttachStore(store::ExperienceStore* experience_store) {
   return PersistPoint({}, base_point_);
 }
 
-EvalPoint SchemeEvaluator::MeasureModel(nn::Model* model) {
+EvalPoint SchemeEvaluator::MeasureModel(nn::Model* model) const {
   EvalPoint p;
   p.acc = nn::Trainer::Evaluate(model, *ctx_.test);
   p.params = model->EffectiveParamCount();
@@ -165,6 +168,11 @@ Status SchemeEvaluator::PersistPoint(const std::vector<int>& scheme,
 
 Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
                                             EvalPoint* parent_out) {
+  return EvaluateInternal(scheme, parent_out, nullptr);
+}
+
+Result<EvalPoint> SchemeEvaluator::EvaluateInternal(
+    const std::vector<int>& scheme, EvalPoint* parent_out, SpecMap* spec) {
   AUTOMC_SCOPED_TIMER("evaluator.eval_ms");
   AUTOMC_METRIC_COUNT("evaluator.evaluations");
   for (int idx : scheme) {
@@ -264,30 +272,45 @@ Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
   std::vector<int> prefix(scheme.begin(),
                           scheme.begin() + static_cast<long>(m_start));
   for (size_t i = m_start; i < n; ++i) {
-    const compress::StrategySpec& spec =
-        space_->strategy(static_cast<size_t>(scheme[static_cast<size_t>(i)]));
-    AUTOMC_ASSIGN_OR_RETURN(std::unique_ptr<compress::Compressor> compressor,
-                            compress::CreateCompressor(spec));
-    compress::CompressionContext ctx = ctx_;
-    // Per-node deterministic seed: same scheme prefix -> same result.
-    ctx.seed = ctx_.seed * 1315423911u +
-               static_cast<uint64_t>(scheme[static_cast<size_t>(i)]) * 2654435761u +
-               static_cast<uint64_t>(i);
-    Status st = compressor->Compress(model.get(), ctx, nullptr);
-    if (st.code() == StatusCode::kFailedPrecondition) {
-      // The strategy is inapplicable to this model state (e.g. pruning after
-      // every conv was decomposed and re-decomposition hit its floor). The
-      // scheme is still well-defined: the step is a no-op, which the search
-      // naturally deprioritizes because it brings no improvement.
-      AUTOMC_LOG(Debug) << "strategy " << spec.ToString()
-                        << " inapplicable: " << st.ToString();
-    } else if (!st.ok()) {
-      return st;
+    const size_t len = i + 1;
+    SpecNode* snode = nullptr;
+    if (spec != nullptr) {
+      auto sit = spec->find(KeyPrefix(full_key, len));
+      if (sit != spec->end() && sit->second.model != nullptr) {
+        snode = &sit->second;
+      }
+    }
+    if (snode != nullptr) {
+      // A worker already ran this strategy speculatively. Node models are
+      // pure functions of the scheme prefix (per-node seeding below), so
+      // adopting the snapshot is bit-identical to re-running the compressor.
+      model = std::move(snode->model);
+    } else {
+      const compress::StrategySpec& sspec = space_->strategy(
+          static_cast<size_t>(scheme[static_cast<size_t>(i)]));
+      AUTOMC_ASSIGN_OR_RETURN(std::unique_ptr<compress::Compressor> compressor,
+                              compress::CreateCompressor(sspec));
+      compress::CompressionContext ctx = ctx_;
+      // Per-node deterministic seed: same scheme prefix -> same result.
+      ctx.seed = ctx_.seed * 1315423911u +
+                 static_cast<uint64_t>(scheme[static_cast<size_t>(i)]) * 2654435761u +
+                 static_cast<uint64_t>(i);
+      Status st = compressor->Compress(model.get(), ctx, nullptr);
+      if (st.code() == StatusCode::kFailedPrecondition) {
+        // The strategy is inapplicable to this model state (e.g. pruning
+        // after every conv was decomposed and re-decomposition hit its
+        // floor). The scheme is still well-defined: the step is a no-op,
+        // which the search naturally deprioritizes because it brings no
+        // improvement.
+        AUTOMC_LOG(Debug) << "strategy " << sspec.ToString()
+                          << " inapplicable: " << st.ToString();
+      } else if (!st.ok()) {
+        return st;
+      }
     }
     ++strategy_executions_;
     AUTOMC_METRIC_COUNT("search.strategy_executions");
 
-    const size_t len = i + 1;
     prefix.push_back(scheme[i]);
     parent = point;
     auto pit = points_.find(KeyPrefix(full_key, len));
@@ -301,6 +324,9 @@ Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
       if (rec != nullptr) {
         point = PointFromRecord(*rec);
         ++store_hits_;
+      } else if (snode != nullptr && snode->measured) {
+        point = snode->point;
+        AUTOMC_RETURN_IF_ERROR(PersistPoint(prefix, point));
       } else {
         point = MeasureModel(model.get());
         AUTOMC_RETURN_IF_ERROR(PersistPoint(prefix, point));
@@ -311,6 +337,202 @@ Result<EvalPoint> SchemeEvaluator::Evaluate(const std::vector<int>& scheme,
   }
   if (parent_out != nullptr) *parent_out = parent;
   return point;
+}
+
+void SchemeEvaluator::SpeculateChain(
+    const std::vector<const std::vector<int>*>& members,
+    std::vector<std::pair<std::string, SpecNode>>* out) const {
+  std::map<std::string, size_t, std::less<>> done;  // node key -> index in out
+  std::set<std::string, std::less<>> failed;
+  for (const std::vector<int>* mp : members) {
+    const std::vector<int>& scheme = *mp;
+    const size_t n = scheme.size();
+    const std::string key = Key(scheme);
+
+    // Deepest available model: a node this chain already produced, else the
+    // deepest cached snapshot (frozen for the whole speculative phase).
+    size_t start = 0;
+    const nn::Model* base = nullptr;
+    for (size_t len = n; len > 0 && base == nullptr; --len) {
+      const std::string_view pk = KeyPrefix(key, len);
+      if (auto dit = done.find(pk); dit != done.end()) {
+        start = len;
+        base = (*out)[dit->second].second.model.get();
+      } else if (auto cit = cache_.find(pk); cit != cache_.end()) {
+        start = len;
+        base = cit->second.model.get();
+      }
+    }
+    if (base == nullptr) base = cache_.find(std::string_view())->second.model.get();
+
+    std::unique_ptr<nn::Model> model;
+    std::vector<int> prefix(scheme.begin(),
+                            scheme.begin() + static_cast<long>(start));
+    for (size_t len = start + 1; len <= n; ++len) {
+      const std::string_view pk = KeyPrefix(key, len);
+      if (failed.find(pk) != failed.end()) break;
+      if (model == nullptr) model = base->Clone();
+      const int strategy = scheme[len - 1];
+      Status st;
+      auto compressor =
+          compress::CreateCompressor(space_->strategy(static_cast<size_t>(strategy)));
+      if (compressor.ok()) {
+        compress::CompressionContext ctx = ctx_;
+        // Same per-node seed as the serial path: the node's model is a pure
+        // function of the scheme prefix, so the commit can adopt it.
+        ctx.seed = ctx_.seed * 1315423911u +
+                   static_cast<uint64_t>(strategy) * 2654435761u +
+                   static_cast<uint64_t>(len - 1);
+        st = (*compressor)->Compress(model.get(), ctx, nullptr);
+      } else {
+        st = compressor.status();
+      }
+      if (!st.ok() && st.code() != StatusCode::kFailedPrecondition) {
+        // Record nothing for this node: the commit phase re-executes it
+        // serially and surfaces the error at the right scheme index.
+        failed.emplace(pk);
+        break;
+      }
+      prefix.push_back(strategy);
+
+      SpecNode node;
+      if (auto pit = points_.find(pk); pit != points_.end()) {
+        node.point = pit->second;
+      } else {
+        const store::EvalRecord* rec =
+            store_ != nullptr ? store_->Peek(prefix) : nullptr;
+        if (rec != nullptr) {
+          node.point = PointFromRecord(*rec);
+        } else {
+          node.point = MeasureModel(model.get());
+          node.measured = true;
+        }
+      }
+      node.model = model->Clone();
+      out->emplace_back(std::string(pk), std::move(node));
+      done.emplace(out->back().first, out->size() - 1);
+    }
+  }
+}
+
+Result<BatchEval> SchemeEvaluator::EvaluateBatch(
+    const std::vector<std::vector<int>>& schemes, int64_t charged_limit) {
+  AUTOMC_SCOPED_TIMER("eval.batch_ms");
+  AUTOMC_METRIC_OBSERVE("eval.batch_size", static_cast<double>(schemes.size()));
+
+  // ---- Phase 1: plan (serial). ----
+  // Predict each scheme's charged cost — the prefixes neither in points_ nor
+  // claimed by an earlier batch member; commit-time charging records exactly
+  // that set — to truncate at charged_limit precisely where the serial
+  // loop's per-iteration check would. Schemes that will run compressors are
+  // grouped into chains by their entry node (first node past the deepest
+  // cached prefix): two schemes share an executed node iff they share the
+  // entry node, so chains partition the speculative work and disjoint
+  // subtrees fan out in parallel.
+  struct Chain {
+    std::vector<const std::vector<int>*> members;  // ascending submission order
+  };
+  std::vector<Chain> chains;
+  std::map<std::string, size_t, std::less<>> chain_of_entry;
+  std::set<std::string, std::less<>> pending;
+  size_t accepted = schemes.size();
+  int64_t predicted_charged = charged_executions_;
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    const std::vector<int>& scheme = schemes[s];
+    if (charged_limit >= 0 && predicted_charged >= charged_limit) {
+      accepted = s;
+      break;
+    }
+    bool valid = true;
+    for (int idx : scheme) {
+      if (idx < 0 || static_cast<size_t>(idx) >= space_->size()) valid = false;
+    }
+    if (!valid) {
+      // The commit loop stops with the serial loop's error at index s;
+      // speculating past it would be wasted work.
+      accepted = s + 1;
+      break;
+    }
+    const std::string key = Key(scheme);
+    int64_t novel = 0;
+    for (size_t len = 1; len <= scheme.size(); ++len) {
+      const std::string_view pk = KeyPrefix(key, len);
+      if (points_.find(pk) != points_.end()) continue;
+      if (pending.find(pk) != pending.end()) continue;
+      ++novel;
+      pending.emplace(pk);
+    }
+    predicted_charged += novel;
+    // No speculation needed: fully-known schemes replay from points_, and
+    // store-resident ones replay through the store-serving path, both
+    // without running a compressor.
+    if (novel == 0) continue;
+    if (store_ != nullptr && store_->Contains(scheme)) continue;
+    size_t entry_len = 0;
+    for (size_t len = scheme.size(); len > 0; --len) {
+      if (cache_.find(KeyPrefix(key, len)) != cache_.end()) {
+        entry_len = len;
+        break;
+      }
+    }
+    const std::string entry(KeyPrefix(key, entry_len + 1));
+    auto [it, inserted] = chain_of_entry.emplace(entry, chains.size());
+    if (inserted) chains.emplace_back();
+    chains[it->second].members.push_back(&scheme);
+  }
+
+  // ---- Phase 2: speculate (parallel over chains). ----
+  SpecMap spec;
+  if (!chains.empty()) {
+    AUTOMC_METRIC_OBSERVE("eval.parallel_subtrees",
+                          static_cast<double>(chains.size()));
+    std::vector<std::vector<std::pair<std::string, SpecNode>>> produced(
+        chains.size());
+    automc::ParallelFor(
+        static_cast<int64_t>(chains.size()), 1,
+        [&](int64_t b, int64_t e) {
+          for (int64_t c = b; c < e; ++c) {
+            SpeculateChain(chains[static_cast<size_t>(c)].members,
+                           &produced[static_cast<size_t>(c)]);
+          }
+        });
+    for (auto& nodes : produced) {
+      for (auto& [key, node] : nodes) {
+        spec.emplace(std::move(key), std::move(node));
+      }
+    }
+  }
+
+  // ---- Phase 3: commit (serial, ascending submission order). ----
+  BatchEval out;
+  out.points.reserve(accepted);
+  for (size_t s = 0; s < accepted; ++s) {
+    EvalPoint parent;
+    AUTOMC_ASSIGN_OR_RETURN(EvalPoint point,
+                            EvaluateInternal(schemes[s], &parent, &spec));
+    out.points.push_back(point);
+    out.parents.push_back(parent);
+    out.charged_after.push_back(charged_executions_);
+  }
+  return out;
+}
+
+uint64_t SchemeEvaluator::CacheDigest() const {
+  auto mix = [](uint64_t h, const void* data, size_t bytes) {
+    return store::Fnv1a(data, bytes, h);
+  };
+  uint64_t h = store::Fnv1a(&clock_, sizeof(clock_));
+  for (const auto& [key, entry] : cache_) {
+    h = mix(h, key.data(), key.size());
+    h = mix(h, &entry.last_used, sizeof(entry.last_used));
+    h = mix(h, &entry.point.acc, sizeof(entry.point.acc));
+    h = mix(h, &entry.point.params, sizeof(entry.point.params));
+    h = mix(h, &entry.point.flops, sizeof(entry.point.flops));
+    h = mix(h, &entry.point.ar, sizeof(entry.point.ar));
+    h = mix(h, &entry.point.pr, sizeof(entry.point.pr));
+    h = mix(h, &entry.point.fr, sizeof(entry.point.fr));
+  }
+  return h;
 }
 
 void SchemeEvaluator::SnapshotState(ByteWriter* w) const {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -25,6 +26,19 @@ struct EvalPoint {
   double ar = 0.0;  // accuracy increase rate vs base
   double pr = 0.0;  // parameter reduction rate vs base
   double fr = 0.0;  // FLOPs reduction rate vs base
+};
+
+// Result of SchemeEvaluator::EvaluateBatch: parallel arrays over the
+// *evaluated* prefix of the submitted batch (the charged-budget truncation
+// can make them shorter than the input).
+struct BatchEval {
+  std::vector<EvalPoint> points;
+  // Point of each scheme's immediate prefix (what Evaluate's `parent_out`
+  // would have produced).
+  std::vector<EvalPoint> parents;
+  // charged_executions() right after scheme i committed — what a serial
+  // Evaluate loop would have observed between iterations i and i+1.
+  std::vector<int64_t> charged_after;
 };
 
 // Evaluates compression schemes (strategy index sequences) against one task.
@@ -60,6 +74,34 @@ class SchemeEvaluator {
   Result<EvalPoint> Evaluate(const std::vector<int>& scheme,
                              EvalPoint* parent_out = nullptr);
 
+  // Evaluates a round of candidate schemes, fanning independent subtrees out
+  // across the global thread pool, with results bit-identical to the serial
+  // loop
+  //     for (s : schemes) if (charged_executions() < charged_limit) Evaluate(s);
+  // at any AUTOMC_THREADS value. Three phases:
+  //   1. plan (serial): predict each scheme's novel points, truncate the
+  //      batch at `charged_limit` (< 0 disables), and group schemes by their
+  //      deepest shared *unmaterialized* prefix — schemes that would execute
+  //      overlapping tree nodes land in one serial chain so every strategy
+  //      executes at most once;
+  //   2. speculate (parallel): each chain clones its model snapshot and
+  //      executes its strategies; per-node deterministic seeding makes every
+  //      node's model and point a pure function of the scheme prefix, so
+  //      speculative results are exact regardless of commit order;
+  //   3. commit (serial, ascending submission order): replay the serial
+  //      Evaluate algorithm, consuming speculative nodes instead of running
+  //      compressors. All shared-state mutation (LRU ticks and evictions,
+  //      point charging, store appends, counters) happens here, which is what
+  //      makes cache contents, eviction order, charged-execution accounting,
+  //      and store bytes independent of the thread count. A mispredicted
+  //      node (e.g. evicted mid-commit) falls back to inline execution; a
+  //      worker error is re-hit serially so it surfaces at the same scheme
+  //      index a serial loop would have reported.
+  // On error, earlier schemes have already committed (exactly like a serial
+  // loop that failed partway); the batch's results are not returned.
+  Result<BatchEval> EvaluateBatch(const std::vector<std::vector<int>>& schemes,
+                                  int64_t charged_limit = -1);
+
   // Connects a persistent evaluation cache. Binds the store to this
   // evaluator's (search space, base model) fingerprint — records written
   // under a different space or model can never be served here — and appends
@@ -92,12 +134,29 @@ class SchemeEvaluator {
   // Points served from the attached store instead of being measured.
   int64_t store_hits() const { return store_hits_; }
 
+  // Order-sensitive digest of the model cache (keys, points, LRU clock per
+  // entry). Two evaluators with equal digests would evict identically from
+  // here on; the batch-equivalence tests compare it against a serial run.
+  uint64_t CacheDigest() const;
+
  private:
   struct CacheEntry {
     std::unique_ptr<nn::Model> model;
     EvalPoint point;
     int64_t last_used = 0;
   };
+
+  // One speculatively executed tree node, produced by a worker chain and
+  // consumed (at most once) by the serial commit phase.
+  struct SpecNode {
+    std::unique_ptr<nn::Model> model;
+    EvalPoint point;
+    // True when the worker measured the point itself (vs reusing a known
+    // point or a store record, which the commit re-derives with the serial
+    // code path so counters stay exact).
+    bool measured = false;
+  };
+  using SpecMap = std::map<std::string, SpecNode, std::less<>>;
 
   // Cache keys are fixed-width binary: 4 little-endian bytes per strategy
   // index. A prefix of the scheme is therefore a byte prefix of the full
@@ -107,7 +166,18 @@ class SchemeEvaluator {
   static std::string_view KeyPrefix(const std::string& key, size_t length) {
     return std::string_view(key).substr(0, 4 * length);
   }
-  EvalPoint MeasureModel(nn::Model* model);
+  EvalPoint MeasureModel(nn::Model* model) const;
+  // Phase-2 worker body of EvaluateBatch: executes one chain's schemes in
+  // submission order against private model clones, emitting (key, SpecNode)
+  // pairs. Reads shared state (cache_, points_, the store index via Peek)
+  // but never mutates it — the commit phase owns all mutation.
+  void SpeculateChain(const std::vector<const std::vector<int>*>& members,
+                      std::vector<std::pair<std::string, SpecNode>>* out) const;
+  // The serial evaluation algorithm. With `spec` non-null, path-B steps
+  // whose node has a speculative model adopt it instead of running the
+  // compressor; every observable side effect is unchanged either way.
+  Result<EvalPoint> EvaluateInternal(const std::vector<int>& scheme,
+                                     EvalPoint* parent_out, SpecMap* spec);
   void Insert(std::string_view key, std::unique_ptr<nn::Model> model,
               const EvalPoint& point);
   void MaybeEvict();

@@ -106,15 +106,27 @@ Result<SearchOutcome> EvolutionarySearcher::Search(SchemeEvaluator* evaluator,
   };
 
   // Initial population of short random schemes (skipped after a resume: the
-  // restored population is the crashed run's).
+  // restored population is the crashed run's). Drawn serially, evaluated as
+  // one batch; the budget truncation drops the same tail individuals the
+  // old per-individual check would have.
   if (!s.initialized) {
-    for (int p = 0; p < options_.population && budget_left(); ++p) {
-      Individual ind;
+    std::vector<std::vector<int>> init;
+    init.reserve(static_cast<size_t>(options_.population));
+    for (int p = 0; p < options_.population; ++p) {
+      std::vector<int> scheme;
       int64_t len = 1 + s.rng.UniformInt(std::min(3, config.max_length));
-      for (int64_t i = 0; i < len; ++i) ind.scheme.push_back(random_strategy());
-      AUTOMC_ASSIGN_OR_RETURN(ind.point, evaluator->Evaluate(ind.scheme));
+      for (int64_t i = 0; i < len; ++i) scheme.push_back(random_strategy());
+      init.push_back(std::move(scheme));
+    }
+    AUTOMC_ASSIGN_OR_RETURN(
+        BatchEval batch,
+        evaluator->EvaluateBatch(init, config.max_strategy_executions));
+    for (size_t i = 0; i < batch.points.size(); ++i) {
+      Individual ind;
+      ind.scheme = std::move(init[i]);
+      ind.point = batch.points[i];
       s.archive.Record(ind.scheme, ind.point,
-                       static_cast<int>(evaluator->charged_executions()));
+                       static_cast<int>(batch.charged_after[i]));
       s.population.push_back(std::move(ind));
     }
     s.initialized = true;
@@ -132,8 +144,8 @@ Result<SearchOutcome> EvolutionarySearcher::Search(SchemeEvaluator* evaluator,
     return Compare(a, b, config.gamma) >= 0 ? a : b;
   };
 
-  while (budget_left()) {
-    // Offspring via crossover + mutation.
+  // One offspring via crossover + mutation against the current population.
+  auto breed = [&]() {
     std::vector<int> child = tournament().scheme;
     if (s.rng.Bernoulli(options_.crossover_prob)) {
       const std::vector<int>& other = tournament().scheme;
@@ -165,28 +177,42 @@ Result<SearchOutcome> EvolutionarySearcher::Search(SchemeEvaluator* evaluator,
     if (static_cast<int>(child.size()) > config.max_length) {
       child.resize(static_cast<size_t>(config.max_length));
     }
+    return child;
+  };
 
-    Individual offspring;
-    offspring.scheme = std::move(child);
-    AUTOMC_ASSIGN_OR_RETURN(offspring.point,
-                            evaluator->Evaluate(offspring.scheme));
-    s.archive.Record(offspring.scheme, offspring.point,
-                     static_cast<int>(evaluator->charged_executions()));
-    AUTOMC_METRIC_COUNT("search.evolutionary.rounds");
-    AUTOMC_METRIC_COUNT("search.evolutionary.candidates_expanded");
-    AUTOMC_METRIC_OBSERVE("search.evolutionary.pareto_front_size",
-                          static_cast<double>(s.archive.ParetoFrontSize()));
+  while (budget_left()) {
+    // Generational round: breed eval_batch offspring from the population as
+    // it stands at the top of the round (replacement happens only after the
+    // whole batch evaluated), submit them as one batch, then fold survivors
+    // back in ascending submission order.
+    std::vector<std::vector<int>> round;
+    round.reserve(static_cast<size_t>(config.eval_batch));
+    for (int b = 0; b < config.eval_batch; ++b) round.push_back(breed());
+    AUTOMC_ASSIGN_OR_RETURN(
+        BatchEval batch,
+        evaluator->EvaluateBatch(round, config.max_strategy_executions));
+    for (size_t i = 0; i < batch.points.size(); ++i) {
+      Individual offspring;
+      offspring.scheme = std::move(round[i]);
+      offspring.point = batch.points[i];
+      s.archive.Record(offspring.scheme, offspring.point,
+                       static_cast<int>(batch.charged_after[i]));
+      AUTOMC_METRIC_COUNT("search.evolutionary.candidates_expanded");
 
-    // Steady-state replacement of the worst member.
-    size_t worst = 0;
-    for (size_t i = 1; i < s.population.size(); ++i) {
-      if (Compare(s.population[i], s.population[worst], config.gamma) < 0) {
-        worst = i;
+      // Replacement of the worst member, in submission order.
+      size_t worst = 0;
+      for (size_t j = 1; j < s.population.size(); ++j) {
+        if (Compare(s.population[j], s.population[worst], config.gamma) < 0) {
+          worst = j;
+        }
+      }
+      if (Compare(offspring, s.population[worst], config.gamma) > 0) {
+        s.population[worst] = std::move(offspring);
       }
     }
-    if (Compare(offspring, s.population[worst], config.gamma) > 0) {
-      s.population[worst] = std::move(offspring);
-    }
+    AUTOMC_METRIC_COUNT("search.evolutionary.rounds");
+    AUTOMC_METRIC_OBSERVE("search.evolutionary.pareto_front_size",
+                          static_cast<double>(s.archive.ParetoFrontSize()));
     AUTOMC_RETURN_IF_ERROR(CheckpointRound(this, evaluator, config));
   }
   return s.archive.Finalize(static_cast<int>(evaluator->charged_executions()));

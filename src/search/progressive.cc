@@ -273,24 +273,32 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
       pareto.resize(static_cast<size_t>(options_.max_evals_per_round));
     }
 
-    // Line 6: evaluate the selected extensions (prefix-cached, so each
-    // costs one strategy execution).
-    std::vector<FmoExample> batch;
+    // Line 6: evaluate the selected extensions as one batch (prefix-cached,
+    // so each costs one strategy execution; siblings of distinct parents fan
+    // out across the pool). The charged-budget truncation inside
+    // EvaluateBatch reproduces the old per-candidate check, so the round is
+    // trajectory-identical to the serial loop.
+    std::vector<std::vector<int>> round;
+    round.reserve(pareto.size());
     for (size_t pi : pareto) {
-      if (evaluator->charged_executions() >= config.max_strategy_executions) {
-        break;
-      }
       const Candidate& cand = candidates[pi];
-      Node& parent = s.nodes[cand.node];
-      std::vector<int> child_scheme = parent.scheme;
+      std::vector<int> child_scheme = s.nodes[cand.node].scheme;
       child_scheme.push_back(cand.strategy);
+      round.push_back(std::move(child_scheme));
+    }
+    AUTOMC_ASSIGN_OR_RETURN(
+        BatchEval evald,
+        evaluator->EvaluateBatch(round, config.max_strategy_executions));
 
-      EvalPoint parent_point;
-      auto point = evaluator->Evaluate(child_scheme, &parent_point);
-      if (!point.ok()) return point.status();
+    std::vector<FmoExample> batch;
+    for (size_t i = 0; i < evald.points.size(); ++i) {
+      const Candidate& cand = candidates[pareto[i]];
+      Node& parent = s.nodes[cand.node];
+      const EvalPoint& point = evald.points[i];
+      const EvalPoint& parent_point = evald.parents[i];
       parent.explored_children.insert(cand.strategy);
-      s.archive.Record(child_scheme, *point,
-                       static_cast<int>(evaluator->charged_executions()));
+      s.archive.Record(round[i], point,
+                       static_cast<int>(evald.charged_after[i]));
 
       // Measured step effects for Equation 5.
       FmoExample ex;
@@ -298,17 +306,17 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
       ex.candidate = embeddings_[static_cast<size_t>(cand.strategy)];
       ex.task = task_features_;
       ex.ar_step = parent_point.acc > 0
-                       ? static_cast<float>(point->acc / parent_point.acc - 1.0)
+                       ? static_cast<float>(point.acc / parent_point.acc - 1.0)
                        : 0.0f;
       ex.pr_step = parent_point.params > 0
                        ? static_cast<float>(
-                             1.0 - static_cast<double>(point->params) /
+                             1.0 - static_cast<double>(point.params) /
                                        parent_point.params)
                        : 0.0f;
       batch.push_back(ex);
 
       // Line 8: the new scheme joins H_scheme.
-      s.nodes.push_back(Node{std::move(child_scheme), *point, {}});
+      s.nodes.push_back(Node{std::move(round[i]), point, {}});
     }
     if (batch.empty()) continue;
 

@@ -51,18 +51,32 @@ Result<SearchOutcome> RandomSearcher::Search(SchemeEvaluator* evaluator,
   State& s = *state_;
 
   while (evaluator->charged_executions() < config.max_strategy_executions) {
-    int64_t length = 1 + s.rng.UniformInt(config.max_length);
-    std::vector<int> scheme;
-    scheme.reserve(static_cast<size_t>(length));
-    for (int64_t i = 0; i < length; ++i) {
-      scheme.push_back(static_cast<int>(
-          s.rng.UniformInt(static_cast<int64_t>(space.size()))));
+    // Serial phase: all RNG draws for the round happen before the fan-out,
+    // so the sampled stream is independent of the thread count. Draws never
+    // depend on results, so any eval_batch yields the same evaluated
+    // sequence as the old one-at-a-time loop (the batch truncates at the
+    // budget exactly where the per-candidate check did).
+    std::vector<std::vector<int>> round;
+    round.reserve(static_cast<size_t>(config.eval_batch));
+    for (int b = 0; b < config.eval_batch; ++b) {
+      int64_t length = 1 + s.rng.UniformInt(config.max_length);
+      std::vector<int> scheme;
+      scheme.reserve(static_cast<size_t>(length));
+      for (int64_t i = 0; i < length; ++i) {
+        scheme.push_back(static_cast<int>(
+            s.rng.UniformInt(static_cast<int64_t>(space.size()))));
+      }
+      round.push_back(std::move(scheme));
     }
-    AUTOMC_ASSIGN_OR_RETURN(EvalPoint point, evaluator->Evaluate(scheme));
-    s.archive.Record(scheme, point,
-                     static_cast<int>(evaluator->charged_executions()));
+    AUTOMC_ASSIGN_OR_RETURN(
+        BatchEval batch,
+        evaluator->EvaluateBatch(round, config.max_strategy_executions));
+    for (size_t i = 0; i < batch.points.size(); ++i) {
+      s.archive.Record(round[i], batch.points[i],
+                       static_cast<int>(batch.charged_after[i]));
+      AUTOMC_METRIC_COUNT("search.random.candidates_expanded");
+    }
     AUTOMC_METRIC_COUNT("search.random.rounds");
-    AUTOMC_METRIC_COUNT("search.random.candidates_expanded");
     AUTOMC_METRIC_OBSERVE("search.random.pareto_front_size",
                           static_cast<double>(s.archive.ParetoFrontSize()));
     AUTOMC_RETURN_IF_ERROR(CheckpointRound(this, evaluator, config));

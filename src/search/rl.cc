@@ -103,17 +103,21 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
     return e;
   };
 
-  while (evaluator->charged_executions() < config.max_strategy_executions) {
-    // ---- Sample one episode (scheme) from the controller. ----
-    struct Step {
-      nn::GruCell::Cache gru_cache;
-      nn::VecMlp::Cache head_cache;
-      std::vector<float> probs;  // softmax over actions (after masking)
-      int64_t action = 0;
-      int64_t input_row = 0;  // embedding row fed at this step
-    };
+  struct Step {
+    nn::GruCell::Cache gru_cache;
+    nn::VecMlp::Cache head_cache;
+    std::vector<float> probs;  // softmax over actions (after masking)
+    int64_t action = 0;
+    int64_t input_row = 0;  // embedding row fed at this step
+  };
+  struct Episode {
     std::vector<Step> steps;
     std::vector<int> scheme;
+  };
+
+  // Samples one episode (scheme) from the current controller weights.
+  auto rollout = [&]() {
+    Episode ep;
     Tensor h = s.gru.InitialState();
     int64_t input_row = start_token;
     for (int t = 0; t < config.max_length; ++t) {
@@ -150,21 +154,17 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
         }
       }
       step.action = action;
-      steps.push_back(std::move(step));
+      ep.steps.push_back(std::move(step));
       if (action == stop_action) break;
-      scheme.push_back(static_cast<int>(action));
+      ep.scheme.push_back(static_cast<int>(action));
       input_row = action;
     }
-    if (scheme.empty()) continue;
+    return ep;
+  };
 
-    // ---- Evaluate and compute the reward. ----
-    AUTOMC_ASSIGN_OR_RETURN(EvalPoint point, evaluator->Evaluate(scheme));
-    s.archive.Record(scheme, point,
-                     static_cast<int>(evaluator->charged_executions()));
-    AUTOMC_METRIC_COUNT("search.rl.rounds");
-    AUTOMC_METRIC_COUNT("search.rl.candidates_expanded");
-    AUTOMC_METRIC_OBSERVE("search.rl.pareto_front_size",
-                          static_cast<double>(s.archive.ParetoFrontSize()));
+  // REINFORCE update for one evaluated episode:
+  // minimize -advantage * sum_t log pi(a_t).
+  auto reinforce = [&](const Episode& ep, const EvalPoint& point) {
     double reward =
         point.acc - options_.infeasibility_penalty *
                         std::max(0.0, config.gamma - point.pr);
@@ -175,11 +175,10 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
     double advantage = reward - s.baseline;
     s.baseline = 0.9 * s.baseline + 0.1 * reward;
 
-    // ---- REINFORCE update: minimize -advantage * sum_t log pi(a_t). ----
     for (nn::Param* p : s.AllParams()) p->ZeroGrad();
     Tensor dh_next({options_.hidden_dim});  // gradient flowing from t+1
-    for (size_t t = steps.size(); t-- > 0;) {
-      Step& step = steps[t];
+    for (size_t t = ep.steps.size(); t-- > 0;) {
+      const Step& step = ep.steps[t];
       Tensor dlogits({num_actions + 1});
       for (int64_t a = 0; a <= num_actions; ++a) {
         dlogits[a] = static_cast<float>(advantage) *
@@ -198,6 +197,35 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
       dh_next = std::move(dh_prev);
     }
     s.optimizer.Step(s.AllParams());
+  };
+
+  while (evaluator->charged_executions() < config.max_strategy_executions) {
+    // Serial phase: sample eval_batch episodes from the policy as frozen at
+    // the top of the round (the forward caches sampled here stay valid for
+    // the gradient step because the weights only move after the batch).
+    // Episodes that emitted an empty scheme are dropped, as before.
+    std::vector<Episode> episodes;
+    std::vector<std::vector<int>> round;
+    for (int b = 0; b < config.eval_batch; ++b) {
+      Episode ep = rollout();
+      if (ep.scheme.empty()) continue;
+      round.push_back(ep.scheme);
+      episodes.push_back(std::move(ep));
+    }
+    if (round.empty()) continue;
+
+    AUTOMC_ASSIGN_OR_RETURN(
+        BatchEval batch,
+        evaluator->EvaluateBatch(round, config.max_strategy_executions));
+    for (size_t i = 0; i < batch.points.size(); ++i) {
+      s.archive.Record(episodes[i].scheme, batch.points[i],
+                       static_cast<int>(batch.charged_after[i]));
+      AUTOMC_METRIC_COUNT("search.rl.candidates_expanded");
+      reinforce(episodes[i], batch.points[i]);
+    }
+    AUTOMC_METRIC_COUNT("search.rl.rounds");
+    AUTOMC_METRIC_OBSERVE("search.rl.pareto_front_size",
+                          static_cast<double>(s.archive.ParetoFrontSize()));
     AUTOMC_RETURN_IF_ERROR(CheckpointRound(this, evaluator, config));
   }
   return s.archive.Finalize(static_cast<int>(evaluator->charged_executions()));

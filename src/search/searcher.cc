@@ -1,6 +1,7 @@
 #include "search/searcher.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 
 #include "common/metrics.h"
@@ -9,6 +10,18 @@
 
 namespace automc {
 namespace search {
+
+int DefaultEvalBatch() {
+  static const int value = [] {
+    const char* env = std::getenv("AUTOMC_EVAL_BATCH");
+    if (env != nullptr && *env != '\0') {
+      int v = std::atoi(env);
+      if (v >= 1) return v;
+    }
+    return 4;
+  }();
+  return value;
+}
 
 void Archive::Record(const std::vector<int>& scheme, const EvalPoint& point,
                      int executions_so_far) {
@@ -122,6 +135,9 @@ std::string ConfigBlob(const Searcher& searcher, const SearchConfig& config) {
   w.I32(config.max_length);
   w.F64(config.gamma);
   w.U64(config.seed);
+  // The round size shapes the evolutionary/RL candidate streams, so a
+  // resume under a different eval_batch would silently diverge.
+  w.I32(config.eval_batch);
   return w.Take();
 }
 

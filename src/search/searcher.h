@@ -18,11 +18,21 @@ namespace search {
 // is charged executions — novel evaluation points produced this run, whether
 // measured by a real compressor run or served from a persistent store (see
 // SchemeEvaluator::charged_executions). Without a store the two coincide.
+// Default round size for batched candidate evaluation: $AUTOMC_EVAL_BATCH
+// (clamped to >= 1) when set, else 4. Read once per process.
+int DefaultEvalBatch();
+
 struct SearchConfig {
   int max_strategy_executions = 50;
   int max_length = 5;    // L of Section 3.2
   double gamma = 0.3;    // target parameter reduction rate
   uint64_t seed = 1;
+  // Candidate schemes submitted per SchemeEvaluator::EvaluateBatch round.
+  // Any value yields identical results for a fixed trajectory, but the
+  // evolutionary and RL searchers *generate* their candidates per round
+  // (frozen-population offspring, frozen-policy rollouts), so this knob is
+  // part of the trajectory and of the checkpoint identity blob.
+  int eval_batch = DefaultEvalBatch();
   // Non-owning. When set, Search() first restores any pending checkpoint
   // (continuing a killed run) and then persists its state every N-th round;
   // the determinism contract makes the resumed outcome bit-identical to an

@@ -168,6 +168,11 @@ const EvalRecord* ExperienceStore::Lookup(const std::vector<int>& scheme) {
   return &it->second;
 }
 
+const EvalRecord* ExperienceStore::Peek(const std::vector<int>& scheme) const {
+  auto it = index_.find(IndexKey(bound_, scheme));
+  return it == index_.end() ? nullptr : &it->second;
+}
+
 bool ExperienceStore::Contains(const std::vector<int>& scheme) const {
   return index_.count(IndexKey(bound_, scheme)) > 0;
 }

@@ -85,6 +85,10 @@ class ExperienceStore {
   // Returns the record for `scheme` under the bound fingerprint, or nullptr.
   // Counts store.hits / store.misses.
   const EvalRecord* Lookup(const std::vector<int>& scheme);
+  // Lookup without touching the hit/miss counters. Safe to call from worker
+  // threads while no writer is active (speculative batch evaluation probes
+  // the index concurrently; the accounted Lookup happens later, serially).
+  const EvalRecord* Peek(const std::vector<int>& scheme) const;
   // True without touching the hit/miss counters (existence probes).
   bool Contains(const std::vector<int>& scheme) const;
 

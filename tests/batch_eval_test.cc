@@ -1,0 +1,318 @@
+// Bitwise equivalence of SchemeEvaluator::EvaluateBatch against the serial
+// Evaluate loop it replaces: points, parent points, charged-budget traces,
+// cache digests, checkpoint snapshots, counters, and the experience-store
+// file bytes must all match exactly — at AUTOMC_THREADS=1 and 4, across
+// overlapping-prefix batches, duplicate schemes, mid-batch budget
+// exhaustion, mid-batch errors, and eviction-heavy tiny caches.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "gtest/gtest.h"
+#include "nn/trainer.h"
+#include "search/evaluator.h"
+#include "search/search_space.h"
+#include "store/experience_store.h"
+#include "test_util.h"
+
+namespace automc {
+namespace search {
+namespace {
+
+namespace fs = std::filesystem;
+using automc::testing::PoolGuard;
+using automc::testing::ScopedTempDir;
+
+struct BatchFixture {
+  data::TaskData task;
+  std::unique_ptr<nn::Model> model;
+  compress::CompressionContext ctx;
+  SearchSpace space = SearchSpace::SingleMethod("NS");
+
+  BatchFixture() {
+    data::SyntheticTaskConfig cfg;
+    cfg.num_classes = 3;
+    cfg.train_per_class = 12;
+    cfg.test_per_class = 4;
+    cfg.seed = 41;
+    task = MakeSyntheticTask(cfg);
+
+    nn::ModelSpec spec;
+    spec.family = "vgg";
+    spec.depth = 13;
+    spec.num_classes = 3;
+    spec.base_width = 4;
+    Rng rng(5);
+    model = std::move(nn::BuildModel(spec, &rng)).value();
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 12;
+    nn::Trainer trainer(tc);
+    AUTOMC_CHECK(trainer.Fit(model.get(), task.train).ok());
+
+    ctx.train = &task.train;
+    ctx.test = &task.test;
+    ctx.pretrain_epochs = 1;
+    ctx.batch_size = 12;
+    ctx.seed = 3;
+  }
+
+  SchemeEvaluator MakeEvaluator(SchemeEvaluator::Options opts = {}) {
+    return SchemeEvaluator(&space, model.get(), ctx, opts);
+  }
+};
+
+std::string StateBlob(const SchemeEvaluator& ev) {
+  ByteWriter w;
+  ev.SnapshotState(&w);
+  return w.Take();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void ExpectPointEq(const EvalPoint& a, const EvalPoint& b,
+                   const std::string& what) {
+  EXPECT_EQ(a.acc, b.acc) << what;
+  EXPECT_EQ(a.params, b.params) << what;
+  EXPECT_EQ(a.flops, b.flops) << what;
+  EXPECT_EQ(a.ar, b.ar) << what;
+  EXPECT_EQ(a.pr, b.pr) << what;
+  EXPECT_EQ(a.fr, b.fr) << what;
+}
+
+// The contract being tested, stated as code: EvaluateBatch(schemes, limit)
+// must leave the evaluator in the exact state this loop does, and return
+// exactly the points/parents/budget trace this loop observes.
+struct SerialTrace {
+  std::vector<EvalPoint> points;
+  std::vector<EvalPoint> parents;
+  std::vector<int64_t> charged_after;
+  Status error = Status::OK();
+};
+
+SerialTrace SerialReference(SchemeEvaluator* ev,
+                            const std::vector<std::vector<int>>& schemes,
+                            int64_t charged_limit) {
+  SerialTrace trace;
+  for (const auto& scheme : schemes) {
+    if (charged_limit >= 0 && ev->charged_executions() >= charged_limit) break;
+    EvalPoint parent;
+    Result<EvalPoint> point = ev->Evaluate(scheme, &parent);
+    if (!point.ok()) {
+      trace.error = point.status();
+      break;
+    }
+    trace.points.push_back(*point);
+    trace.parents.push_back(parent);
+    trace.charged_after.push_back(ev->charged_executions());
+  }
+  return trace;
+}
+
+void ExpectSameState(const SchemeEvaluator& serial,
+                     const SchemeEvaluator& batch, const std::string& what) {
+  EXPECT_EQ(serial.charged_executions(), batch.charged_executions()) << what;
+  EXPECT_EQ(serial.strategy_executions(), batch.strategy_executions()) << what;
+  EXPECT_EQ(serial.cache_hits(), batch.cache_hits()) << what;
+  EXPECT_EQ(serial.store_hits(), batch.store_hits()) << what;
+  EXPECT_EQ(serial.CacheDigest(), batch.CacheDigest()) << what;
+  EXPECT_EQ(StateBlob(serial), StateBlob(batch)) << what;
+}
+
+// Runs the serial loop and EvaluateBatch on two fresh evaluators and demands
+// bit-identical results and end states.
+void CheckEquivalence(BatchFixture* f,
+                      const std::vector<std::vector<int>>& schemes,
+                      int64_t charged_limit, int threads,
+                      SchemeEvaluator::Options opts = {}) {
+  PoolGuard pool(threads);
+  const std::string what =
+      "threads=" + std::to_string(threads) +
+      " limit=" + std::to_string(charged_limit);
+
+  SchemeEvaluator serial = f->MakeEvaluator(opts);
+  SerialTrace ref = SerialReference(&serial, schemes, charged_limit);
+  ASSERT_TRUE(ref.error.ok()) << ref.error.ToString();
+
+  SchemeEvaluator parallel = f->MakeEvaluator(opts);
+  Result<BatchEval> got = parallel.EvaluateBatch(schemes, charged_limit);
+  ASSERT_TRUE(got.ok()) << what << ": " << got.status().ToString();
+
+  ASSERT_EQ(got->points.size(), ref.points.size()) << what;
+  ASSERT_EQ(got->parents.size(), ref.parents.size()) << what;
+  ASSERT_EQ(got->charged_after.size(), ref.charged_after.size()) << what;
+  for (size_t i = 0; i < ref.points.size(); ++i) {
+    const std::string at = what + " scheme#" + std::to_string(i);
+    ExpectPointEq(got->points[i], ref.points[i], at);
+    ExpectPointEq(got->parents[i], ref.parents[i], at + " (parent)");
+    EXPECT_EQ(got->charged_after[i], ref.charged_after[i]) << at;
+  }
+  ExpectSameState(serial, parallel, what);
+}
+
+// Disjoint subtrees: the planner should fan these out as parallel chains.
+TEST(BatchEvalTest, DisjointSchemesMatchSerial) {
+  BatchFixture f;
+  const std::vector<std::vector<int>> schemes = {{0}, {1}, {2, 3}, {4}};
+  for (int threads : {1, 4}) CheckEquivalence(&f, schemes, -1, threads);
+}
+
+// Overlapping prefixes: {0}, {0,1}, {0,1,2} must execute each tree node
+// exactly once (one chain), while {3} runs beside them.
+TEST(BatchEvalTest, OverlappingPrefixesMatchSerial) {
+  BatchFixture f;
+  const std::vector<std::vector<int>> schemes = {
+      {0}, {0, 1}, {0, 1, 2}, {0, 2}, {3}};
+  for (int threads : {1, 4}) {
+    CheckEquivalence(&f, schemes, -1, threads);
+    // Strategy executions equal the number of distinct tree nodes — no
+    // duplicate compressor runs across the shared prefixes.
+    PoolGuard pool(threads);
+    SchemeEvaluator ev = f.MakeEvaluator();
+    ASSERT_TRUE(ev.EvaluateBatch(schemes).ok());
+    EXPECT_EQ(ev.strategy_executions(), 5);  // 0, 01, 012, 02, 3
+  }
+}
+
+TEST(BatchEvalTest, DuplicateSchemesMatchSerial) {
+  BatchFixture f;
+  const std::vector<std::vector<int>> schemes = {{2}, {2}, {0, 1}, {2}, {0, 1}};
+  for (int threads : {1, 4}) CheckEquivalence(&f, schemes, -1, threads);
+}
+
+TEST(BatchEvalTest, SecondBatchReusesFirstBatchState) {
+  BatchFixture f;
+  for (int threads : {1, 4}) {
+    PoolGuard pool(threads);
+    SchemeEvaluator serial = f.MakeEvaluator();
+    SchemeEvaluator parallel = f.MakeEvaluator();
+    const std::vector<std::vector<int>> first = {{0}, {1, 2}};
+    const std::vector<std::vector<int>> second = {{0, 3}, {1, 2, 0}, {1}};
+    SerialTrace r1 = SerialReference(&serial, first, -1);
+    SerialTrace r2 = SerialReference(&serial, second, -1);
+    ASSERT_TRUE(r1.error.ok() && r2.error.ok());
+    ASSERT_TRUE(parallel.EvaluateBatch(first).ok());
+    Result<BatchEval> got = parallel.EvaluateBatch(second);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->points.size(), r2.points.size());
+    for (size_t i = 0; i < r2.points.size(); ++i) {
+      ExpectPointEq(got->points[i], r2.points[i], "second batch");
+    }
+    ExpectSameState(serial, parallel, "after second batch");
+  }
+}
+
+// Budget exhaustion mid-batch: the evaluated prefix must stop exactly where
+// the serial loop's per-candidate `charged < limit` check stops it.
+TEST(BatchEvalTest, BudgetTruncationMatchesSerial) {
+  BatchFixture f;
+  const std::vector<std::vector<int>> schemes = {{0, 1}, {2}, {3, 4}, {1}};
+  // Each scheme charges its novel nodes; sweep limits so the cut lands at
+  // every position, including 0 (nothing runs) and past the end.
+  for (int64_t limit : {0, 1, 2, 3, 4, 5, 99}) {
+    CheckEquivalence(&f, schemes, limit, 4);
+  }
+}
+
+// A scheme with an out-of-range strategy index mid-batch: the batch must
+// commit everything before it, then surface the same error a serial loop
+// hits, leaving the evaluator in the serial loop's exact error-time state.
+TEST(BatchEvalTest, MidBatchErrorMatchesSerialPrefix) {
+  BatchFixture f;
+  const int bad = static_cast<int>(f.space.size());  // one past the end
+  const std::vector<std::vector<int>> schemes = {{0}, {1, bad}, {2}};
+  for (int threads : {1, 4}) {
+    PoolGuard pool(threads);
+    SchemeEvaluator serial = f.MakeEvaluator();
+    SerialTrace ref = SerialReference(&serial, schemes, -1);
+    ASSERT_FALSE(ref.error.ok());
+    ASSERT_EQ(ref.points.size(), 1u);  // only {0} landed
+
+    SchemeEvaluator parallel = f.MakeEvaluator();
+    Result<BatchEval> got = parallel.EvaluateBatch(schemes);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), ref.error.code());
+    ExpectSameState(serial, parallel,
+                    "threads=" + std::to_string(threads) + " after error");
+  }
+}
+
+// A one-entry model cache forces evictions between chains, so the commit
+// phase sees speculative nodes whose cached ancestors are long gone. The
+// fallback (inline re-execution) must keep results and eviction order
+// bit-identical to serial.
+TEST(BatchEvalTest, TinyCacheEvictionsMatchSerial) {
+  BatchFixture f;
+  SchemeEvaluator::Options opts;
+  opts.max_cached_models = 1;
+  const std::vector<std::vector<int>> schemes = {
+      {0}, {0, 1}, {2}, {0, 1, 3}, {2, 4}};
+  for (int threads : {1, 4}) CheckEquivalence(&f, schemes, -1, threads, opts);
+}
+
+// With an attached store, the log file a batch run writes must be byte-for-
+// byte the file a serial run writes (same records, same order), and a warm
+// second batch over the same schemes must charge without executing.
+TEST(BatchEvalTest, StoreBytesMatchSerial) {
+  BatchFixture f;
+  ScopedTempDir dir("batch_store");
+  const std::vector<std::vector<int>> schemes = {{0}, {0, 2}, {4}, {0, 2, 1}};
+
+  const std::string serial_path = dir.File("serial.bin");
+  {
+    auto store = store::ExperienceStore::Open(serial_path);
+    ASSERT_TRUE(store.ok());
+    SchemeEvaluator ev = f.MakeEvaluator();
+    ASSERT_TRUE(ev.AttachStore(store->get()).ok());
+    SerialTrace ref = SerialReference(&ev, schemes, -1);
+    ASSERT_TRUE(ref.error.ok());
+  }
+
+  const std::string batch_path = dir.File("batch.bin");
+  int64_t batch_charged = 0;
+  {
+    PoolGuard pool(4);
+    auto store = store::ExperienceStore::Open(batch_path);
+    ASSERT_TRUE(store.ok());
+    SchemeEvaluator ev = f.MakeEvaluator();
+    ASSERT_TRUE(ev.AttachStore(store->get()).ok());
+    ASSERT_TRUE(ev.EvaluateBatch(schemes).ok());
+    batch_charged = ev.charged_executions();
+  }
+  EXPECT_EQ(ReadFileBytes(serial_path), ReadFileBytes(batch_path));
+
+  // Warm rerun against the batch-written store: everything store-served.
+  {
+    PoolGuard pool(4);
+    auto store = store::ExperienceStore::Open(batch_path);
+    ASSERT_TRUE(store.ok());
+    SchemeEvaluator warm = f.MakeEvaluator();
+    ASSERT_TRUE(warm.AttachStore(store->get()).ok());
+    ASSERT_TRUE(warm.EvaluateBatch(schemes).ok());
+    EXPECT_EQ(warm.strategy_executions(), 0);
+    EXPECT_EQ(warm.charged_executions(), batch_charged);
+    EXPECT_EQ((*store)->appends(), 0);
+  }
+}
+
+TEST(BatchEvalTest, EmptyBatchIsANoOp) {
+  BatchFixture f;
+  SchemeEvaluator ev = f.MakeEvaluator();
+  Result<BatchEval> got = ev.EvaluateBatch({});
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->points.empty());
+  EXPECT_EQ(ev.charged_executions(), 0);
+  EXPECT_EQ(ev.strategy_executions(), 0);
+}
+
+}  // namespace
+}  // namespace search
+}  // namespace automc

@@ -21,19 +21,14 @@
 #include "search/search_space.h"
 #include "store/checkpoint.h"
 #include "store/experience_store.h"
+#include "test_util.h"
 
 namespace automc {
 namespace search {
 namespace {
 
 namespace fs = std::filesystem;
-
-fs::path TempDir(const std::string& name) {
-  fs::path dir = fs::temp_directory_path() / ("automc_resume_test_" + name);
-  fs::remove_all(dir);
-  fs::create_directories(dir);
-  return dir;
-}
+using automc::testing::ScopedTempDir;
 
 struct ResumeFixture {
   data::TaskData task;
@@ -112,6 +107,9 @@ SearchConfig BaseConfig(const std::string& kind) {
   cfg.max_length = 3;
   cfg.gamma = 0.3;
   cfg.seed = 11;
+  // Small rounds keep the searchers checkpointing often enough that the
+  // abort_after_writes=1 fault below fires within the tiny budget.
+  cfg.eval_batch = 2;
   return cfg;
 }
 
@@ -129,8 +127,8 @@ void CheckKillResumeIdentity(const std::string& kind) {
     reference = OutcomeString(*out);
   }
 
-  fs::path dir = TempDir(kind);
-  const std::string store_path = (dir / "store.bin").string();
+  ScopedTempDir dir(kind);
+  const std::string store_path = dir.File("store.bin");
 
   // Victim: checkpoints every round; the fault injection kills the process
   // at the second checkpoint write, leaving round 1's checkpoint and every
@@ -139,7 +137,7 @@ void CheckKillResumeIdentity(const std::string& kind) {
     auto store = store::ExperienceStore::Open(store_path);
     ASSERT_TRUE(store.ok()) << store.status().ToString();
     store::SearchCheckpointer::Options copts;
-    copts.dir = dir.string();
+    copts.dir = dir.path().string();
     copts.every_rounds = 1;
     copts.abort_after_writes = 1;
     store::SearchCheckpointer ckpt(copts);
@@ -163,7 +161,7 @@ void CheckKillResumeIdentity(const std::string& kind) {
     auto store = store::ExperienceStore::Open(store_path);
     ASSERT_TRUE(store.ok()) << store.status().ToString();
     store::SearchCheckpointer::Options copts;
-    copts.dir = dir.string();
+    copts.dir = dir.path().string();
     copts.every_rounds = 1;
     store::SearchCheckpointer ckpt(copts);
     ASSERT_TRUE(ckpt.LoadPending().ok());
@@ -200,11 +198,11 @@ TEST(ResumeTest, AutoMCKillResumeIsByteIdentical) {
 TEST(ResumeTest, MismatchedConfigOrSearcherIsRejected) {
   ResumeFixture f;
   SearchConfig cfg = BaseConfig("random");
-  fs::path dir = TempDir("mismatch");
+  ScopedTempDir dir("mismatch");
 
   {
     store::SearchCheckpointer::Options copts;
-    copts.dir = dir.string();
+    copts.dir = dir.path().string();
     copts.every_rounds = 1;
     copts.abort_after_writes = 1;
     store::SearchCheckpointer ckpt(copts);
@@ -217,7 +215,7 @@ TEST(ResumeTest, MismatchedConfigOrSearcherIsRejected) {
 
   auto resume_with = [&](std::unique_ptr<Searcher> searcher,
                          SearchConfig rcfg) {
-    store::SearchCheckpointer ckpt({dir.string()});
+    store::SearchCheckpointer ckpt({dir.path().string()});
     AUTOMC_CHECK(ckpt.LoadPending().ok());
     rcfg.checkpointer = &ckpt;
     SchemeEvaluator ev(&f.space, f.model.get(), f.ctx, {});
@@ -244,11 +242,11 @@ TEST(ResumeTest, MismatchedConfigOrSearcherIsRejected) {
 TEST(ResumeTest, ForeignBasePointIsRejected) {
   ResumeFixture f;
   SearchConfig cfg = BaseConfig("random");
-  fs::path dir = TempDir("foreignbase");
+  ScopedTempDir dir("foreignbase");
 
   {
     store::SearchCheckpointer::Options copts;
-    copts.dir = dir.string();
+    copts.dir = dir.path().string();
     copts.every_rounds = 1;
     copts.abort_after_writes = 1;
     store::SearchCheckpointer ckpt(copts);
@@ -265,7 +263,7 @@ TEST(ResumeTest, ForeignBasePointIsRejected) {
   Rng rng(99);
   std::unique_ptr<nn::Model> other = std::move(nn::BuildModel(spec, &rng)).value();
 
-  store::SearchCheckpointer ckpt({dir.string()});
+  store::SearchCheckpointer ckpt({dir.path().string()});
   ASSERT_TRUE(ckpt.LoadPending().ok());
   SearchConfig rcfg = cfg;
   rcfg.checkpointer = &ckpt;

@@ -16,19 +16,14 @@
 #include "search/search_space.h"
 #include "store/checkpoint.h"
 #include "store/experience_store.h"
+#include "test_util.h"
 
 namespace automc {
 namespace store {
 namespace {
 
 namespace fs = std::filesystem;
-
-fs::path TempDir(const std::string& name) {
-  fs::path dir = fs::temp_directory_path() / ("automc_store_test_" + name);
-  fs::remove_all(dir);
-  fs::create_directories(dir);
-  return dir;
-}
+using automc::testing::ScopedTempDir;
 
 EvalRecord MakeRecord(std::vector<int> scheme, double acc, int64_t params) {
   EvalRecord rec;
@@ -55,8 +50,8 @@ void WriteFileBytes(const fs::path& path, const std::string& bytes) {
 }
 
 TEST(ExperienceStoreTest, RoundTripAcrossReopen) {
-  fs::path dir = TempDir("roundtrip");
-  std::string path = (dir / "store.bin").string();
+  ScopedTempDir dir("roundtrip");
+  std::string path = dir.File("store.bin");
   Fingerprint fp{11, 22};
 
   {
@@ -94,8 +89,8 @@ TEST(ExperienceStoreTest, RoundTripAcrossReopen) {
 }
 
 TEST(ExperienceStoreTest, DuplicateAppendIsNoOp) {
-  fs::path dir = TempDir("dup");
-  std::string path = (dir / "store.bin").string();
+  ScopedTempDir dir("dup");
+  std::string path = dir.File("store.bin");
   auto opened = ExperienceStore::Open(path);
   ASSERT_TRUE(opened.ok());
   auto& st = **opened;
@@ -112,8 +107,8 @@ TEST(ExperienceStoreTest, DuplicateAppendIsNoOp) {
 }
 
 TEST(ExperienceStoreTest, FingerprintChangeInvalidatesRecords) {
-  fs::path dir = TempDir("fp");
-  std::string path = (dir / "store.bin").string();
+  ScopedTempDir dir("fp");
+  std::string path = dir.File("store.bin");
   auto opened = ExperienceStore::Open(path);
   ASSERT_TRUE(opened.ok());
   auto& st = **opened;
@@ -134,8 +129,8 @@ TEST(ExperienceStoreTest, FingerprintChangeInvalidatesRecords) {
 }
 
 TEST(ExperienceStoreTest, RejectsForeignFile) {
-  fs::path dir = TempDir("foreign");
-  std::string path = (dir / "store.bin").string();
+  ScopedTempDir dir("foreign");
+  std::string path = dir.File("store.bin");
   WriteFileBytes(path, "this is definitely not an experience store file");
   auto opened = ExperienceStore::Open(path);
   EXPECT_FALSE(opened.ok());
@@ -145,8 +140,8 @@ TEST(ExperienceStoreTest, RejectsForeignFile) {
 }
 
 TEST(ExperienceStoreTest, TornHeaderStartsFresh) {
-  fs::path dir = TempDir("tornheader");
-  std::string path = (dir / "store.bin").string();
+  ScopedTempDir dir("tornheader");
+  std::string path = dir.File("store.bin");
   WriteFileBytes(path, "AMX");  // crash during creation: 3 of 8 header bytes
   auto opened = ExperienceStore::Open(path);
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
@@ -162,8 +157,8 @@ TEST(ExperienceStoreTest, TornHeaderStartsFresh) {
 // recover exactly the first N-1 records, report the torn tail, and chop
 // the file back so subsequent appends continue from a clean state.
 TEST(ExperienceStoreTest, TruncationAtEveryOffsetRecoversPrefix) {
-  fs::path dir = TempDir("fault");
-  std::string path = (dir / "store.bin").string();
+  ScopedTempDir dir("fault");
+  std::string path = dir.File("store.bin");
   Fingerprint fp{7, 8};
 
   uintmax_t size_before_last = 0;
@@ -182,7 +177,7 @@ TEST(ExperienceStoreTest, TruncationAtEveryOffsetRecoversPrefix) {
   const std::string full = ReadFileBytes(path);
   ASSERT_GT(full.size(), size_before_last);
 
-  std::string victim = (dir / "victim.bin").string();
+  std::string victim = dir.File("victim.bin");
   for (uintmax_t cut = size_before_last; cut < full.size(); ++cut) {
     WriteFileBytes(victim, full.substr(0, cut));
     auto opened = ExperienceStore::Open(victim);
@@ -211,8 +206,8 @@ TEST(ExperienceStoreTest, TruncationAtEveryOffsetRecoversPrefix) {
 }
 
 TEST(ExperienceStoreTest, CorruptedPayloadIsDropped) {
-  fs::path dir = TempDir("corrupt");
-  std::string path = (dir / "store.bin").string();
+  ScopedTempDir dir("corrupt");
+  std::string path = dir.File("store.bin");
   {
     auto opened = ExperienceStore::Open(path);
     ASSERT_TRUE(opened.ok());
@@ -231,8 +226,8 @@ TEST(ExperienceStoreTest, CorruptedPayloadIsDropped) {
 }
 
 TEST(ExperienceStoreTest, ExportStepsDerivesTransitions) {
-  fs::path dir = TempDir("export");
-  std::string path = (dir / "store.bin").string();
+  ScopedTempDir dir("export");
+  std::string path = dir.File("store.bin");
   auto opened = ExperienceStore::Open(path);
   ASSERT_TRUE(opened.ok());
   auto& st = **opened;
@@ -264,8 +259,8 @@ TEST(ExperienceStoreTest, ExportStepsDerivesTransitions) {
 // base model, and store serves every evaluation from the log — zero real
 // strategy executions — while still charging budget identically.
 TEST(ExperienceStoreTest, WarmRerunRunsZeroRealExecutions) {
-  fs::path dir = TempDir("warm");
-  std::string path = (dir / "store.bin").string();
+  ScopedTempDir dir("warm");
+  std::string path = dir.File("store.bin");
 
   data::SyntheticTaskConfig cfg;
   cfg.num_classes = 3;
@@ -332,9 +327,9 @@ TEST(ExperienceStoreTest, WarmRerunRunsZeroRealExecutions) {
 }
 
 TEST(CheckpointTest, WriteLoadRoundTrip) {
-  fs::path dir = TempDir("ckpt");
+  ScopedTempDir dir("ckpt");
   SearchCheckpointer::Options opts;
-  opts.dir = dir.string();
+  opts.dir = dir.path().string();
   SearchCheckpointer writer(opts);
   EXPECT_EQ(writer.LoadPending().code(), StatusCode::kNotFound);
 
@@ -355,9 +350,9 @@ TEST(CheckpointTest, WriteLoadRoundTrip) {
 }
 
 TEST(CheckpointTest, CorruptedCheckpointIsRejected) {
-  fs::path dir = TempDir("ckpt_corrupt");
+  ScopedTempDir dir("ckpt_corrupt");
   SearchCheckpointer::Options opts;
-  opts.dir = dir.string();
+  opts.dir = dir.path().string();
   SearchCheckpointer writer(opts);
   ASSERT_TRUE(writer.Write({{"s", "state"}}).ok());
 
@@ -372,9 +367,9 @@ TEST(CheckpointTest, CorruptedCheckpointIsRejected) {
 }
 
 TEST(CheckpointTest, StickySectionsMergeIntoEveryWrite) {
-  fs::path dir = TempDir("ckpt_sticky");
+  ScopedTempDir dir("ckpt_sticky");
   SearchCheckpointer::Options opts;
-  opts.dir = dir.string();
+  opts.dir = dir.path().string();
   SearchCheckpointer writer(opts);
   writer.SetStickySection("pin", "42");
   ASSERT_TRUE(writer.Write({{"s", "round1"}}).ok());
@@ -387,16 +382,16 @@ TEST(CheckpointTest, StickySectionsMergeIntoEveryWrite) {
 }
 
 TEST(CheckpointTest, FaultInjectionLeavesValidCheckpoint) {
-  fs::path dir = TempDir("ckpt_fault");
+  ScopedTempDir dir("ckpt_fault");
   SearchCheckpointer::Options opts;
-  opts.dir = dir.string();
+  opts.dir = dir.path().string();
   opts.abort_after_writes = 1;
   SearchCheckpointer writer(opts);
   ASSERT_TRUE(writer.Write({{"s", "survives"}}).ok());
   Status st = writer.Write({{"s", "never lands"}});
   EXPECT_EQ(st.code(), StatusCode::kInternal);
 
-  SearchCheckpointer reader({dir.string()});
+  SearchCheckpointer reader({dir.path().string()});
   ASSERT_TRUE(reader.LoadPending().ok());
   EXPECT_EQ(reader.pending().at("s"), "survives");
 }

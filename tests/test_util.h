@@ -1,14 +1,65 @@
 #ifndef AUTOMC_TESTS_TEST_UTIL_H_
 #define AUTOMC_TESTS_TEST_UTIL_H_
 
+#include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <functional>
+#include <string>
 
+#include "common/thread_pool.h"
 #include "gtest/gtest.h"
 #include "tensor/tensor.h"
 
 namespace automc {
 namespace testing {
+
+// RAII temp directory for store/checkpoint artifacts. Every instance gets a
+// unique path (pid + per-process counter), so a test that aborted early in a
+// previous run can never collide with — or leak state into — this one, and
+// the destructor both removes the tree and *asserts* the removal, keeping
+// stray store.bin/checkpoint.bin files out of /tmp and the build dir.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    namespace fs = std::filesystem;
+    path_ = fs::temp_directory_path() /
+            ("automc_test_" + tag + "_" +
+             std::to_string(static_cast<long>(::getpid())) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+
+  ~ScopedTempDir() {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+    EXPECT_FALSE(ec) << "failed to clean " << path_ << ": " << ec.message();
+    EXPECT_FALSE(fs::exists(path_)) << "stray test artifacts left at " << path_;
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+// Rebuilds the global thread pool for the guard's lifetime (and restores the
+// serial pool afterwards). Tests use it to compare results across thread
+// counts; callers must not have a ParallelFor in flight.
+class PoolGuard {
+ public:
+  explicit PoolGuard(int threads) { ThreadPool::ResetGlobal(threads); }
+  ~PoolGuard() { ThreadPool::ResetGlobal(1); }
+};
 
 // Central-difference numeric gradient of a scalar function with respect to
 // the entries of `x`, compared elementwise against `analytic`.
