@@ -1,0 +1,169 @@
+// automc_serve throughput/latency harness. Prints one JSON object:
+//
+//   * status-poll requests/s against a live server, measured both while the
+//     single job slot is idle and while it is busy running a search (control
+//     requests must not queue behind job execution);
+//   * wall-clock latency to drain the same 4-job batch with 1 vs 2 job
+//     slots, with a bit-identity check of every outcome against a direct
+//     in-process RunSearch of the same spec.
+//
+// scripts/bench.sh wraps the output into BENCH_server.json.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/run_spec.h"
+#include "search/report.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+automc::core::RunSpec BenchSpec(uint64_t seed, int budget) {
+  automc::core::RunSpec spec;
+  spec.family = "vgg";
+  spec.depth = 13;
+  spec.dataset = "tiny";
+  spec.searcher = "random";
+  spec.budget = budget;
+  spec.pretrain = 1;
+  spec.eval_batch = 2;
+  spec.seed = seed;
+  return spec;
+}
+
+[[noreturn]] void Die(const std::string& what, const automc::Status& st) {
+  std::fprintf(stderr, "server_throughput: %s: %s\n", what.c_str(),
+               st.ToString().c_str());
+  std::exit(1);
+}
+
+// Synchronous status polls against `socket`, as fast as one connection can
+// issue them, for `seconds`. Returns requests/s.
+double PollRate(const std::string& socket, uint64_t job_id, double seconds) {
+  auto client = automc::server::Client::Connect(socket);
+  if (!client.ok()) Die("connect", client.status());
+  const auto start = Clock::now();
+  long requests = 0;
+  while (SecondsSince(start) < seconds) {
+    auto info = client->JobStatus(job_id);
+    if (!info.ok()) Die("poll", info.status());
+    ++requests;
+  }
+  return static_cast<double>(requests) / SecondsSince(start);
+}
+
+// Runs `specs` through a fresh server with `slots` job slots; returns the
+// drain wall-time. Outcomes are checked bit-identical to direct runs.
+double DrainSeconds(const std::string& dir,
+                    const std::vector<automc::core::RunSpec>& specs,
+                    int slots,
+                    const std::vector<std::string>& direct_bytes) {
+  automc::server::Server::Options opts;
+  opts.socket_path = dir + "/bench.sock";
+  opts.jobs.workdir = dir + "/slots" + std::to_string(slots);
+  opts.jobs.max_concurrent = slots;
+  auto srv = automc::server::Server::Start(opts);
+  if (!srv.ok()) Die("start", srv.status());
+  auto client = automc::server::Client::Connect(opts.socket_path);
+  if (!client.ok()) Die("connect", client.status());
+
+  const auto start = Clock::now();
+  std::vector<uint64_t> ids;
+  for (const auto& spec : specs) {
+    auto id = client->Submit(spec);
+    if (!id.ok()) Die("submit", id.status());
+    ids.push_back(*id);
+  }
+  if (!(*srv)->jobs()->WaitIdle(/*timeout_seconds=*/600.0)) {
+    Die("drain", automc::Status::Internal("jobs did not finish in 600s"));
+  }
+  const double elapsed = SecondsSince(start);
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto bytes = client->FetchOutcomeBytes(ids[i]);
+    if (!bytes.ok()) Die("fetch", bytes.status());
+    if (*bytes != direct_bytes[i]) {
+      Die("identity",
+          automc::Status::Internal("served outcome " + std::to_string(i) +
+                                   " differs from the direct run"));
+    }
+  }
+  (*srv)->Stop();
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  char tmpl[] = "/tmp/automc_srvbench_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "server_throughput: mkdtemp failed\n");
+    return 1;
+  }
+  const std::string dir = tmpl;
+
+  // --- poll rates ---------------------------------------------------------
+  automc::server::Server::Options opts;
+  opts.socket_path = dir + "/poll.sock";
+  opts.jobs.workdir = dir + "/poll";
+  opts.jobs.max_concurrent = 1;
+  auto srv = automc::server::Server::Start(opts);
+  if (!srv.ok()) Die("start", srv.status());
+  auto client = automc::server::Client::Connect(opts.socket_path);
+  if (!client.ok()) Die("connect", client.status());
+
+  // A long-running job keeps the single slot busy for the "busy" phase.
+  auto busy_id = client->Submit(BenchSpec(/*seed=*/5, /*budget=*/100000));
+  if (!busy_id.ok()) Die("submit", busy_id.status());
+  const double busy_rate = PollRate(opts.socket_path, *busy_id, 1.0);
+  if (automc::Status st = client->Cancel(*busy_id); !st.ok()) {
+    Die("cancel", st);
+  }
+  if (!(*srv)->jobs()->WaitIdle(/*timeout_seconds=*/600.0)) {
+    std::fprintf(stderr, "server_throughput: cancel did not land\n");
+    return 1;
+  }
+  const double idle_rate = PollRate(opts.socket_path, *busy_id, 1.0);
+  (*srv)->Stop();
+
+  // --- drain latency, 1 vs 2 slots ----------------------------------------
+  std::vector<automc::core::RunSpec> specs;
+  std::vector<std::string> direct_bytes;
+  for (uint64_t seed : {101, 102, 103, 104}) {
+    specs.push_back(BenchSpec(seed, /*budget=*/4));
+    auto direct = automc::core::RunSearch(specs.back());
+    if (!direct.ok()) Die("direct run", direct.status());
+    direct_bytes.push_back(automc::search::SaveOutcomeBytes(direct->outcome));
+  }
+  const double drain_1 = DrainSeconds(dir, specs, /*slots=*/1, direct_bytes);
+  const double drain_2 = DrainSeconds(dir, specs, /*slots=*/2, direct_bytes);
+
+  std::printf(
+      "{\n"
+      "  \"poll_requests_per_s_idle\": %.0f,\n"
+      "  \"poll_requests_per_s_while_job_running\": %.0f,\n"
+      "  \"drain_4_jobs_1_slot_s\": %.2f,\n"
+      "  \"drain_4_jobs_2_slots_s\": %.2f,\n"
+      "  \"speedup_2_slots\": %.2f,\n"
+      "  \"outcomes_bit_identical_to_direct\": true\n"
+      "}\n",
+      idle_rate, busy_rate, drain_1, drain_2, drain_1 / drain_2);
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return 0;
+}

@@ -1,7 +1,7 @@
 // Command-line driver: run any of the four search strategies on a
 // model/dataset combination and optionally save the best compressed model.
 //
-//   automc_cli [--family resnet|vgg] [--depth N] [--dataset c10|c100]
+//   automc_cli [--family resnet|vgg] [--depth N] [--dataset c10|c100|tiny]
 //              [--gamma F] [--budget N] [--searcher automc|random|evolution|rl]
 //              [--eval-batch N] [--pretrain N] [--seed N] [--save PATH]
 //              [--store PATH] [--checkpoint DIR] [--resume DIR]
@@ -12,23 +12,35 @@
 // strategies; --checkpoint writes resumable search state every
 // $AUTOMC_CHECKPOINT_EVERY rounds; --resume DIR continues a killed search
 // from DIR and finishes with the same outcome an uninterrupted run produces.
+// SIGINT/SIGTERM stop the search cooperatively: the current round finishes,
+// the state is checkpointed (when --checkpoint/--resume is set) and the
+// metrics snapshot is flushed before the clean exit.
+//
+// Client mode for a running automc_serve daemon (--socket or $AUTOMC_SOCKET):
+//   automc_cli --serve-submit <search flags>     queue a search job
+//   automc_cli --serve-status ID | --serve-list  poll job state
+//   automc_cli --serve-result ID [--serve-wait]  fetch a finished outcome
+//   automc_cli --serve-cancel ID                 cooperative cancel
+//   automc_cli --serve-metrics                   server metrics JSON
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/metrics.h"
 #include "compress/scheme_parser.h"
 #include "core/automc.h"
+#include "core/run_spec.h"
 #include "data/cifar.h"
 #include "nn/serialize.h"
 #include "nn/summary.h"
 #include "nn/trainer.h"
-#include "search/evolutionary.h"
-#include "search/random_search.h"
 #include "search/report.h"
-#include "search/rl.h"
+#include "server/protocol.h"
 #include "store/checkpoint.h"
 #include "store/experience_store.h"
 
@@ -54,6 +66,22 @@ struct CliOptions {
   std::string checkpoint_dir;   // write periodic search checkpoints here
   std::string resume_dir;       // continue a killed search from here
   std::string outcome_path;     // save the SearchOutcome (text) here
+
+  // Client mode against a running automc_serve daemon.
+  std::string socket_path;      // default $AUTOMC_SOCKET
+  bool serve_submit = false;
+  bool serve_list = false;
+  bool serve_metrics = false;
+  bool serve_wait = false;      // with --serve-result: poll until terminal
+  long long serve_status_id = -1;
+  long long serve_result_id = -1;
+  long long serve_cancel_id = -1;
+
+  bool serve_mode() const {
+    return serve_submit || serve_list || serve_metrics ||
+           serve_status_id >= 0 || serve_result_id >= 0 ||
+           serve_cancel_id >= 0;
+  }
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
@@ -99,6 +127,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->resume_dir = v;
     } else if (arg == "--outcome" && (v = next())) {
       opts->outcome_path = v;
+    } else if (arg == "--socket" && (v = next())) {
+      opts->socket_path = v;
+    } else if (arg == "--serve-submit") {
+      opts->serve_submit = true;
+    } else if (arg == "--serve-list") {
+      opts->serve_list = true;
+    } else if (arg == "--serve-metrics") {
+      opts->serve_metrics = true;
+    } else if (arg == "--serve-wait") {
+      opts->serve_wait = true;
+    } else if (arg == "--serve-status" && (v = next())) {
+      opts->serve_status_id = std::atoll(v);
+    } else if (arg == "--serve-result" && (v = next())) {
+      opts->serve_result_id = std::atoll(v);
+    } else if (arg == "--serve-cancel" && (v = next())) {
+      opts->serve_cancel_id = std::atoll(v);
     } else if (arg == "--help") {
       return false;
     } else {
@@ -125,7 +169,161 @@ void Usage() {
       "  --resume DIR      continue a killed search from DIR's checkpoint\n"
       "  --outcome PATH    save the final SearchOutcome as text\n"
       "  --eval-batch N    candidate schemes per parallel evaluation round\n"
-      "                    (default: $AUTOMC_EVAL_BATCH, else 4)\n");
+      "                    (default: $AUTOMC_EVAL_BATCH, else 4)\n"
+      "client mode (against automc_serve; --socket PATH or $AUTOMC_SOCKET):\n"
+      "  --serve-submit    queue this search on the server, print the job id\n"
+      "  --serve-status ID / --serve-list   poll job state(s)\n"
+      "  --serve-result ID [--serve-wait]   fetch a finished outcome\n"
+      "  --serve-cancel ID                  cooperative cancel\n"
+      "  --serve-metrics                    print the server metrics JSON\n");
+}
+
+// Cooperative-shutdown hook: SIGINT/SIGTERM ask the running search to stop
+// at its next round (checkpointing first when a checkpointer is attached).
+// StopToken::RequestStop is one lock-free atomic store, so it is safe here.
+automc::search::StopToken g_stop;
+
+void OnStopSignal(int) { g_stop.RequestStop(); }
+
+automc::core::RunSpec SpecFromCli(const CliOptions& cli) {
+  automc::core::RunSpec spec;
+  spec.family = cli.family;
+  spec.depth = cli.depth;
+  spec.dataset = cli.dataset;
+  spec.gamma = cli.gamma;
+  spec.budget = cli.budget;
+  spec.eval_batch = cli.eval_batch;
+  spec.searcher = cli.searcher;
+  spec.pretrain = cli.pretrain;
+  spec.seed = cli.seed;
+  return spec;
+}
+
+void PrintJobInfo(const automc::server::JobInfo& info) {
+  std::printf("job %llu: %s  [%s]",
+              static_cast<unsigned long long>(info.id),
+              automc::server::JobStateName(info.state), info.summary.c_str());
+  if (info.executions >= 0) std::printf("  executions=%d", info.executions);
+  if (!info.error.empty()) std::printf("  error: %s", info.error.c_str());
+  std::printf("\n");
+}
+
+// All --serve-* subcommands; returns the process exit code.
+int RunServeClient(const CliOptions& cli) {
+  using automc::server::Client;
+  std::string path = cli.socket_path;
+  if (path.empty()) {
+    if (const char* env = std::getenv("AUTOMC_SOCKET"); env && *env) {
+      path = env;
+    }
+  }
+  auto client = Client::Connect(path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot reach server: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (cli.serve_submit) {
+    auto id = client->Submit(SpecFromCli(cli));
+    if (!id.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("submitted job %llu\n", static_cast<unsigned long long>(*id));
+    return 0;
+  }
+  if (cli.serve_status_id >= 0) {
+    auto info = client->JobStatus(static_cast<uint64_t>(cli.serve_status_id));
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+      return 1;
+    }
+    PrintJobInfo(*info);
+    return 0;
+  }
+  if (cli.serve_cancel_id >= 0) {
+    if (automc::Status st =
+            client->Cancel(static_cast<uint64_t>(cli.serve_cancel_id));
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("cancel requested for job %lld\n", cli.serve_cancel_id);
+    return 0;
+  }
+  if (cli.serve_list) {
+    auto jobs = client->ListJobs();
+    if (!jobs.ok()) {
+      std::fprintf(stderr, "%s\n", jobs.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& info : *jobs) PrintJobInfo(info);
+    return 0;
+  }
+  if (cli.serve_metrics) {
+    auto json = client->Metrics();
+    if (!json.ok()) {
+      std::fprintf(stderr, "%s\n", json.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+
+  // --serve-result [--serve-wait]
+  const uint64_t id = static_cast<uint64_t>(cli.serve_result_id);
+  for (;;) {
+    auto info = client->JobStatus(id);
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+      return 1;
+    }
+    if (automc::server::JobStateIsTerminal(info->state)) {
+      if (info->state != automc::server::JobState::kDone) {
+        PrintJobInfo(*info);
+        return 1;
+      }
+      break;
+    }
+    if (!cli.serve_wait) {
+      PrintJobInfo(*info);
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  auto bytes = client->FetchOutcomeBytes(id);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "fetch failed: %s\n",
+                 bytes.status().ToString().c_str());
+    return 1;
+  }
+  auto outcome = automc::search::LoadOutcomeBytes(*bytes);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "bad outcome payload: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  if (!cli.outcome_path.empty()) {
+    if (automc::Status st =
+            automc::search::SaveOutcomeFile(*outcome, cli.outcome_path);
+        !st.ok()) {
+      std::fprintf(stderr, "outcome save failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("outcome saved to %s\n", cli.outcome_path.c_str());
+  }
+  std::printf("job %llu: %d executions, %zu pareto points\n",
+              static_cast<unsigned long long>(id), outcome->executions,
+              outcome->pareto_points.size());
+  for (size_t i = 0; i < outcome->pareto_points.size(); ++i) {
+    const auto& p = outcome->pareto_points[i];
+    std::printf("pareto[%zu]: PR %.1f%% Acc %.1f%%\n", i, 100.0 * p.pr,
+                100.0 * p.acc);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -134,8 +332,24 @@ int main(int argc, char** argv) {
   using namespace automc;
   // Honors AUTOMC_METRICS_OUT=<path>: write the metrics snapshot at exit.
   std::atexit([] { metrics::MetricsRegistry::Global().DumpIfConfigured(); });
+  // A server that vanishes mid-request must surface as a Status, not kill
+  // the client with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
   CliOptions cli;
   if (!ParseArgs(argc, argv, &cli)) {
+    Usage();
+    return 2;
+  }
+  if (cli.serve_mode()) return RunServeClient(cli);
+
+  // Local runs stop cooperatively on Ctrl-C / kill: the search checkpoints
+  // (when configured) and the atexit metrics flush still happens.
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+
+  core::RunSpec spec = SpecFromCli(cli);
+  if (Status st = core::ValidateRunSpec(spec); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
     Usage();
     return 2;
   }
@@ -177,17 +391,18 @@ int main(int argc, char** argv) {
     task.model_spec.image_size = 32;
     task.model_spec.base_width = 8;
   } else {
-    task.data = cli.dataset == "c100" ? data::MakeCifar100Like(cli.seed)
-                                      : data::MakeCifar10Like(cli.seed);
-    task.model_spec.base_width = 4;  // real CIFAR branches use width 8
+    // Synthetic datasets (c10/c100/tiny) are fully described by the spec.
+    task = core::MakeTask(spec);
   }
-  task.model_spec.family = cli.family;
-  task.model_spec.depth = cli.depth;
-  task.model_spec.num_classes = task.data.train.num_classes;
-  task.pretrain_epochs = 4;
-  task.base_train_epochs = cli.pretrain;
-  task.search_data_fraction = 0.25;
-  task.seed = cli.seed;
+  if (!cli.cifar10_batches.empty() || !cli.cifar100_train.empty()) {
+    task.model_spec.family = cli.family;
+    task.model_spec.depth = cli.depth;
+    task.model_spec.num_classes = task.data.train.num_classes;
+    task.pretrain_epochs = 4;
+    task.base_train_epochs = cli.pretrain;
+    task.search_data_fraction = 0.25;
+    task.seed = cli.seed;
+  }
 
   std::printf("task: %s-%d on %s, gamma=%.2f, budget=%d, searcher=%s\n",
               cli.family.c_str(), cli.depth, task.data.train.name.c_str(),
@@ -286,84 +501,27 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (cli.searcher == "automc") {
-    core::AutoMCOptions opts;
-    opts.search.max_strategy_executions = cli.budget;
-    opts.search.gamma = cli.gamma;
-    if (cli.eval_batch >= 1) opts.search.eval_batch = cli.eval_batch;
-    opts.embedding.train_epochs = 8;
-    opts.experience.num_tasks = 1;
-    opts.experience.strategies_per_task = 10;
-    opts.seed = cli.seed;
-    opts.experience_store = experience_store.get();
-    opts.checkpointer = checkpointer.get();
-    core::AutoMC automc(opts);
-    auto result = automc.Run(task);
-    if (!result.ok()) {
-      std::fprintf(stderr, "AutoMC failed: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    outcome = std::move(result->outcome);
-    base = result->base_model;
-  } else {
-    auto pretrained = core::PretrainModel(task);
-    if (!pretrained.ok()) {
-      std::fprintf(stderr, "pretraining failed: %s\n",
-                   pretrained.status().ToString().c_str());
-      return 1;
-    }
-    base = std::shared_ptr<nn::Model>(std::move(pretrained).value());
-
-    Rng sub_rng(cli.seed + 4);
-    data::Dataset search_train =
-        task.data.train.Subsample(task.search_data_fraction, &sub_rng);
-    compress::CompressionContext ctx;
-    ctx.train = &search_train;
-    ctx.test = &task.data.test;
-    ctx.pretrain_epochs = task.pretrain_epochs;
-    ctx.batch_size = task.batch_size;
-    ctx.lr = task.lr;
-    ctx.seed = cli.seed + 5;
-    search::SchemeEvaluator evaluator(&space, base.get(), ctx, {});
-    if (experience_store != nullptr) {
-      if (Status st = evaluator.AttachStore(experience_store.get());
-          !st.ok()) {
-        std::fprintf(stderr, "cannot attach store: %s\n",
-                     st.ToString().c_str());
-        return 1;
+  core::RunHooks hooks;
+  hooks.store = experience_store.get();
+  hooks.checkpointer = checkpointer.get();
+  hooks.stop = &g_stop;
+  auto result = core::RunSearch(spec, task, hooks);
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kCancelled) {
+      // Cooperative SIGINT/SIGTERM stop: state is already checkpointed.
+      std::printf("search interrupted: %s\n",
+                  result.status().message().c_str());
+      if (!ckpt_dir.empty()) {
+        std::printf("resume with: --resume %s\n", ckpt_dir.c_str());
       }
-      experience_store->set_task_features(data::TaskFeatureVector(
-          search_train, base->ParamCount(), base->FlopsPerSample(),
-          evaluator.base_point().acc));
+      return 0;
     }
-
-    std::unique_ptr<search::Searcher> searcher;
-    if (cli.searcher == "random") {
-      searcher = std::make_unique<search::RandomSearcher>();
-    } else if (cli.searcher == "evolution") {
-      searcher = std::make_unique<search::EvolutionarySearcher>();
-    } else if (cli.searcher == "rl") {
-      searcher = std::make_unique<search::RlSearcher>();
-    } else {
-      std::fprintf(stderr, "unknown searcher: %s\n", cli.searcher.c_str());
-      Usage();
-      return 2;
-    }
-    search::SearchConfig scfg;
-    scfg.max_strategy_executions = cli.budget;
-    scfg.gamma = cli.gamma;
-    scfg.seed = cli.seed + 6;
-    if (cli.eval_batch >= 1) scfg.eval_batch = cli.eval_batch;
-    scfg.checkpointer = checkpointer.get();
-    auto searched = searcher->Search(&evaluator, space, scfg);
-    if (!searched.ok()) {
-      std::fprintf(stderr, "search failed: %s\n",
-                   searched.status().ToString().c_str());
-      return 1;
-    }
-    outcome = std::move(searched).value();
+    std::fprintf(stderr, "search failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
   }
+  outcome = std::move(result->outcome);
+  base = result->base_model;
 
   if (experience_store != nullptr) {
     std::printf("store: %llu hits, %llu misses, %llu appended\n",

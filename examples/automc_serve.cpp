@@ -1,0 +1,91 @@
+// Search-as-a-service daemon: accepts search jobs over a Unix-domain socket
+// and runs them on a bounded pool of job threads, each job with its own
+// experience store and checkpoint so results stay bit-identical to a direct
+// in-process run of the same RunSpec.
+//
+//   automc_serve --socket PATH --workdir DIR [--jobs N]
+//
+// --socket   the listening socket (default: $AUTOMC_SOCKET)
+// --workdir  durable job state; a restarted server re-queues every job
+//            found QUEUED or RUNNING there and resumes from checkpoints
+// --jobs     concurrent job slots (default: $AUTOMC_SERVER_JOBS, else 1)
+//
+// SIGTERM/SIGINT drain gracefully: in-flight requests get their replies,
+// running jobs checkpoint and re-queue durably, the metrics snapshot is
+// flushed ($AUTOMC_METRICS_OUT), and the process exits 0. Submit jobs and
+// fetch outcomes with the automc_cli --serve-* subcommands.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+automc::server::Server* g_server = nullptr;
+
+void OnStopSignal(int) {
+  // RequestStop is one write(2) to a self-pipe: async-signal-safe.
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: automc_serve --socket PATH --workdir DIR [--jobs N]\n"
+               "  --socket PATH   listening socket (default: $AUTOMC_SOCKET)\n"
+               "  --workdir DIR   durable job state (spec/checkpoint/outcome "
+               "per job)\n"
+               "  --jobs N        concurrent job slots (default: "
+               "$AUTOMC_SERVER_JOBS, else 1)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace automc;
+  std::signal(SIGPIPE, SIG_IGN);
+
+  server::Server::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--socket" && (v = next())) {
+      opts.socket_path = v;
+    } else if (arg == "--workdir" && (v = next())) {
+      opts.jobs.workdir = v;
+    } else if (arg == "--jobs" && (v = next())) {
+      opts.jobs.max_concurrent = std::atoi(v);
+    } else {
+      if (arg != "--help") {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      }
+      Usage();
+      return 2;
+    }
+  }
+
+  auto server = server::Server::Start(std::move(opts));
+  if (!server.ok()) {
+    std::fprintf(stderr, "automc_serve: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  g_server = server->get();
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGINT, OnStopSignal);
+
+  std::printf("automc_serve: listening on %s, %d job slot(s)\n",
+              (*server)->socket_path().c_str(),
+              (*server)->jobs()->max_concurrent());
+  std::fflush(stdout);
+
+  (*server)->Wait();
+  g_server = nullptr;
+  std::printf("automc_serve: drained, exiting\n");
+  return 0;
+}

@@ -18,7 +18,7 @@ OUT_JSON="BENCH_kernels.json"
 FILTER='BM_MatMul|BM_MatMulRef|BM_MatrixMultiply|BM_Conv2dForward|BM_Conv2dForwardRef|BM_Conv2dBackward|BM_Conv2dBackwardRef|BM_ParallelForOverhead|BM_FmoPredict'
 
 cmake -B "${BUILD_DIR}" -S . >/dev/null
-cmake --build "${BUILD_DIR}" -j --target micro_substrate fig4_search_curves batch_eval >/dev/null
+cmake --build "${BUILD_DIR}" -j --target micro_substrate fig4_search_curves batch_eval server_throughput >/dev/null
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -171,4 +171,40 @@ with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 print("wrote BENCH_eval.json")
+PY
+
+# Search-as-a-service: status-poll throughput against a live automc_serve
+# job manager (idle and while a job occupies the only slot), plus the
+# wall-clock to drain a 4-job batch with 1 vs 2 job slots. The binary exits
+# non-zero unless every served outcome is bit-identical to a direct
+# in-process RunSearch of the same spec.
+echo "== server_throughput, AUTOMC_THREADS=1 =="
+AUTOMC_THREADS=1 "${BUILD_DIR}/bench/server_throughput" | tee "${tmpdir}/server.json"
+
+python3 - "${tmpdir}/server.json" BENCH_server.json <<'PY'
+import json, os, sys
+
+in_path, out_path = sys.argv[1:3]
+with open(in_path) as f:
+    measured = json.load(f)
+
+report = {
+    "machine": {"nproc": os.cpu_count()},
+    "note": (
+        "automc_serve over a unix-domain socket: synchronous JobStatus "
+        "round-trips per second from one client connection (idle server vs "
+        "one job running -- control traffic must not queue behind job "
+        "execution), and the wall-clock to drain the same 4 tiny search "
+        "jobs with 1 vs 2 job slots. The harness exits non-zero unless "
+        "every served outcome is bit-identical to a direct in-process "
+        "RunSearch, so a reported speedup is always result-preserving. On "
+        "a single-core machine the 2-slot drain shows contention, not "
+        "speedup."
+    ),
+    "server": measured,
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_server.json")
 PY

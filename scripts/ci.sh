@@ -72,6 +72,41 @@ else
   echo "crash-resume smoke: resumed outcome is byte-identical"
 fi
 
+echo "== server smoke =="
+# Boot the automc_serve daemon, run the same search once directly and once
+# through the socket, require byte-identical outcomes, then SIGTERM the
+# daemon and require a clean drain (exit 0) plus a metrics dump.
+serve_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}" "${serve_dir}"' EXIT
+AUTOMC_METRICS_OUT="${serve_dir}/metrics.json" \
+  build/examples/automc_serve --socket "${serve_dir}/automc.sock" \
+  --workdir "${serve_dir}/jobs" >"${serve_dir}/serve.log" 2>&1 &
+srv=$!
+for _ in $(seq 1 100); do
+  [[ -S "${serve_dir}/automc.sock" ]] && break
+  sleep 0.05
+done
+[[ -S "${serve_dir}/automc.sock" ]]
+
+serve_args=(--searcher random --budget 4 --pretrain 1 --family vgg
+            --depth 13 --dataset tiny --seed 11)
+"${cli}" "${serve_args[@]}" --outcome "${serve_dir}/direct.outcome"
+
+submit_line="$("${cli}" --socket "${serve_dir}/automc.sock" \
+  "${serve_args[@]}" --serve-submit)"
+echo "${submit_line}"
+job_id="${submit_line##* }"
+"${cli}" --socket "${serve_dir}/automc.sock" --serve-result "${job_id}" \
+  --serve-wait --outcome "${serve_dir}/served.outcome" >/dev/null
+
+diff "${serve_dir}/direct.outcome" "${serve_dir}/served.outcome"
+echo "server smoke: served outcome is byte-identical"
+
+kill -TERM "${srv}"
+wait "${srv}"
+[[ -f "${serve_dir}/metrics.json" ]]
+echo "server smoke: daemon drained cleanly and dumped metrics"
+
 if [[ -n "${AUTOMC_SANITIZE:-}" ]]; then
   echo "== sanitizer pass (${AUTOMC_SANITIZE}) =="
   run_suite "build-san" "-DAUTOMC_SANITIZE=${AUTOMC_SANITIZE}" \

@@ -181,6 +181,7 @@ Result<SearchOutcome> EvolutionarySearcher::Search(SchemeEvaluator* evaluator,
   };
 
   while (budget_left()) {
+    AUTOMC_RETURN_IF_ERROR(CheckStop(this, evaluator, config));
     // Generational round: breed eval_batch offspring from the population as
     // it stands at the top of the round (replacement happens only after the
     // whole batch evaluated), submit them as one batch, then fold survivors

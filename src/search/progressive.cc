@@ -174,6 +174,7 @@ Result<SearchOutcome> ProgressiveSearcher::Search(SchemeEvaluator* evaluator,
   };
 
   while (evaluator->charged_executions() < config.max_strategy_executions) {
+    AUTOMC_RETURN_IF_ERROR(CheckStop(this, evaluator, config));
     // Line 3: sample H_sub — all current Pareto-optimal nodes first, then
     // random extras (the paper samples "Pareto-Optimal and evaluated
     // schemes").

@@ -51,6 +51,7 @@ Result<SearchOutcome> RandomSearcher::Search(SchemeEvaluator* evaluator,
   State& s = *state_;
 
   while (evaluator->charged_executions() < config.max_strategy_executions) {
+    AUTOMC_RETURN_IF_ERROR(CheckStop(this, evaluator, config));
     // Serial phase: all RNG draws for the round happen before the fan-out,
     // so the sampled stream is independent of the thread count. Draws never
     // depend on results, so any eval_batch yields the same evaluated

@@ -4,6 +4,9 @@
 #include <istream>
 #include <ostream>
 
+#include "common/bytes.h"
+#include "search/snapshot_util.h"
+
 namespace automc {
 namespace search {
 
@@ -144,6 +147,54 @@ Result<SearchOutcome> LoadOutcomeFile(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) return Status::NotFound("cannot open " + path);
   return LoadOutcome(&in);
+}
+
+std::string SaveOutcomeBytes(const SearchOutcome& outcome) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(outcome.pareto_schemes.size()));
+  for (size_t i = 0; i < outcome.pareto_schemes.size(); ++i) {
+    w.Ints(outcome.pareto_schemes[i]);
+    WritePoint(&w, outcome.pareto_points[i]);
+  }
+  w.U32(static_cast<uint32_t>(outcome.history.size()));
+  for (const HistoryPoint& h : outcome.history) {
+    w.I32(h.executions);
+    w.F64(h.best_acc);
+    w.F64(h.best_acc_any);
+  }
+  w.I32(outcome.executions);
+  return w.Take();
+}
+
+Result<SearchOutcome> LoadOutcomeBytes(std::string_view bytes) {
+  ByteReader r(bytes);
+  SearchOutcome out;
+  uint32_t pareto = 0;
+  if (!r.U32(&pareto)) {
+    return Status::InvalidArgument("truncated outcome bytes");
+  }
+  out.pareto_schemes.resize(pareto);
+  out.pareto_points.resize(pareto);
+  for (uint32_t i = 0; i < pareto; ++i) {
+    if (!r.Ints(&out.pareto_schemes[i]) ||
+        !ReadPoint(&r, &out.pareto_points[i])) {
+      return Status::InvalidArgument("truncated outcome pareto entry");
+    }
+  }
+  uint32_t hist = 0;
+  if (!r.U32(&hist)) return Status::InvalidArgument("truncated outcome bytes");
+  out.history.resize(hist);
+  for (uint32_t i = 0; i < hist; ++i) {
+    HistoryPoint& h = out.history[i];
+    if (!r.I32(&h.executions) || !r.F64(&h.best_acc) ||
+        !r.F64(&h.best_acc_any)) {
+      return Status::InvalidArgument("truncated outcome history entry");
+    }
+  }
+  if (!r.I32(&out.executions) || !r.Done()) {
+    return Status::InvalidArgument("malformed outcome bytes");
+  }
+  return out;
 }
 
 }  // namespace search

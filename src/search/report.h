@@ -3,6 +3,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "search/search_space.h"
@@ -32,6 +33,14 @@ Status SaveOutcome(const SearchOutcome& outcome, std::ostream* out);
 Result<SearchOutcome> LoadOutcome(std::istream* in);
 Status SaveOutcomeFile(const SearchOutcome& outcome, const std::string& path);
 Result<SearchOutcome> LoadOutcomeFile(const std::string& path);
+
+// Bit-exact binary form (little-endian, raw IEEE doubles) used by the
+// server wire protocol (FetchOutcome payloads) and the job manager's
+// durable outcome files. Two SearchOutcomes encode to identical bytes iff
+// they are field-for-field bit-identical, which is what the serve-vs-direct
+// identity tests compare.
+std::string SaveOutcomeBytes(const SearchOutcome& outcome);
+Result<SearchOutcome> LoadOutcomeBytes(std::string_view bytes);
 
 }  // namespace search
 }  // namespace automc

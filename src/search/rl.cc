@@ -200,6 +200,7 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
   };
 
   while (evaluator->charged_executions() < config.max_strategy_executions) {
+    AUTOMC_RETURN_IF_ERROR(CheckStop(this, evaluator, config));
     // Serial phase: sample eval_batch episodes from the policy as frozen at
     // the top of the round (the forward caches sampled here stay valid for
     // the gradient step because the weights only move after the batch).

@@ -161,10 +161,10 @@ Result<bool> MaybeRestoreSearch(Searcher* searcher, SchemeEvaluator* evaluator,
   return true;
 }
 
-Status CheckpointRound(Searcher* searcher, SchemeEvaluator* evaluator,
+namespace {
+
+Status WriteCheckpoint(Searcher* searcher, SchemeEvaluator* evaluator,
                        const SearchConfig& config) {
-  store::SearchCheckpointer* cp = config.checkpointer;
-  if (cp == nullptr || !cp->ShouldCheckpoint()) return Status::OK();
   std::map<std::string, std::string> sections;
   sections["config"] = ConfigBlob(*searcher, config);
   ByteWriter ew;
@@ -173,7 +173,31 @@ Status CheckpointRound(Searcher* searcher, SchemeEvaluator* evaluator,
   std::string sblob;
   AUTOMC_RETURN_IF_ERROR(searcher->Snapshot(&sblob));
   sections["searcher"] = std::move(sblob);
-  return cp->Write(std::move(sections));
+  return config.checkpointer->Write(std::move(sections));
+}
+
+}  // namespace
+
+Status CheckpointRound(Searcher* searcher, SchemeEvaluator* evaluator,
+                       const SearchConfig& config) {
+  store::SearchCheckpointer* cp = config.checkpointer;
+  if (cp == nullptr || !cp->ShouldCheckpoint()) return Status::OK();
+  return WriteCheckpoint(searcher, evaluator, config);
+}
+
+Status CheckStop(Searcher* searcher, SchemeEvaluator* evaluator,
+                 const SearchConfig& config) {
+  if (config.stop == nullptr || !config.stop->stop_requested()) {
+    return Status::OK();
+  }
+  // Persist the state as of the end of the previous round: nothing has
+  // mutated since, so a resume replays the remaining rounds exactly as an
+  // uninterrupted run would have executed them.
+  if (config.checkpointer != nullptr) {
+    AUTOMC_RETURN_IF_ERROR(WriteCheckpoint(searcher, evaluator, config));
+  }
+  AUTOMC_METRIC_COUNT("search.stops");
+  return Status::Cancelled(searcher->Name() + " search stopped");
 }
 
 }  // namespace search

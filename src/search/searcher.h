@@ -1,6 +1,7 @@
 #ifndef AUTOMC_SEARCH_SEARCHER_H_
 #define AUTOMC_SEARCH_SEARCHER_H_
 
+#include <atomic>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,6 +23,22 @@ namespace search {
 // (clamped to >= 1) when set, else 4. Read once per process.
 int DefaultEvalBatch();
 
+// Cooperative cancellation flag. RequestStop() may be called from another
+// thread or — because the flag is a lock-free atomic — from a signal
+// handler; searchers poll it between evaluation rounds and exit with
+// Cancelled after persisting a final checkpoint (when one is configured),
+// so a stopped search resumes exactly where it left off.
+class StopToken {
+ public:
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
 struct SearchConfig {
   int max_strategy_executions = 50;
   int max_length = 5;    // L of Section 3.2
@@ -38,6 +55,9 @@ struct SearchConfig {
   // the determinism contract makes the resumed outcome bit-identical to an
   // uninterrupted run.
   store::SearchCheckpointer* checkpointer = nullptr;
+  // Non-owning. When set, every searcher polls it at the top of each round
+  // (see CheckStop); not part of the checkpoint identity blob.
+  StopToken* stop = nullptr;
 };
 
 // Best-so-far curve sample (drives the Figure 4 reproduction).
@@ -118,6 +138,14 @@ Result<bool> MaybeRestoreSearch(Searcher* searcher, SchemeEvaluator* evaluator,
 // checkpointer says this round is due. No-op without a checkpointer.
 Status CheckpointRound(Searcher* searcher, SchemeEvaluator* evaluator,
                        const SearchConfig& config);
+
+// Cancellation tick, polled by every searcher at the top of each round.
+// When config.stop has been triggered this force-writes a checkpoint
+// (bypassing the cadence, when a checkpointer is configured) and returns
+// Cancelled; a later run resuming from that checkpoint finishes with the
+// outcome an uninterrupted run would have produced. OK otherwise.
+Status CheckStop(Searcher* searcher, SchemeEvaluator* evaluator,
+                 const SearchConfig& config);
 
 }  // namespace search
 }  // namespace automc

@@ -1,0 +1,440 @@
+#include "server/job_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/metrics.h"
+#include "search/report.h"
+#include "store/experience_store.h"
+
+namespace automc {
+namespace server {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// CRC-guarded single-blob files (spec.bin / outcome.bin):
+//   u32 magic | u32 crc32(body) | body
+constexpr uint32_t kSpecMagic = 0x4A434D41;     // "AMCJ"
+constexpr uint32_t kOutcomeMagic = 0x4F434D41;  // "AMCO"
+
+int JobsFromEnv() {
+  const char* env = std::getenv("AUTOMC_SERVER_JOBS");
+  if (env == nullptr || *env == '\0') return 1;
+  int v = std::atoi(env);
+  return v > 0 ? v : 1;
+}
+
+// tmp + fsync + rename, same crash discipline as the checkpointer: a kill
+// at any instant leaves either the old file or the new one.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot write " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+            std::fflush(f) == 0;
+  if (ok) ::fsync(fileno(f));
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " into place: " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+Status WriteGuardedBlob(const std::string& path, uint32_t magic,
+                        std::string_view body) {
+  ByteWriter w;
+  w.U32(magic);
+  w.U32(Crc32(body));
+  w.Raw(body.data(), body.size());
+  return WriteFileAtomic(path, w.str());
+}
+
+Result<std::string> ReadGuardedBlob(const std::string& path, uint32_t magic) {
+  AUTOMC_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  ByteReader r(data);
+  uint32_t got_magic = 0, crc = 0;
+  if (!r.U32(&got_magic) || !r.U32(&crc) || got_magic != magic) {
+    return Status::InvalidArgument(path + " has a bad header");
+  }
+  std::string_view body(data.data() + 8, data.size() - 8);
+  if (Crc32(body) != crc) {
+    return Status::InvalidArgument(path + " failed CRC validation");
+  }
+  return std::string(body);
+}
+
+}  // namespace
+
+JobManager::JobManager(Options options) : options_(std::move(options)) {
+  max_concurrent_ =
+      options_.max_concurrent > 0 ? options_.max_concurrent : JobsFromEnv();
+  if (max_concurrent_ > 64) max_concurrent_ = 64;
+}
+
+Result<std::unique_ptr<JobManager>> JobManager::Open(Options options) {
+  if (options.workdir.empty()) {
+    return Status::InvalidArgument("JobManager needs a workdir");
+  }
+  std::unique_ptr<JobManager> mgr(new JobManager(std::move(options)));
+  std::error_code ec;
+  fs::create_directories(mgr->options_.workdir + "/jobs", ec);
+  if (ec) {
+    return Status::Internal("cannot create " + mgr->options_.workdir +
+                            "/jobs: " + ec.message());
+  }
+  AUTOMC_RETURN_IF_ERROR(mgr->Recover());
+  if (!mgr->options_.start_paused) mgr->StartWorkers();
+  return mgr;
+}
+
+JobManager::~JobManager() { Shutdown(/*drain=*/true); }
+
+std::string JobManager::JobDir(uint64_t id) const {
+  return options_.workdir + "/jobs/" + std::to_string(id);
+}
+
+Status JobManager::PersistState(const Job& job) const {
+  std::string body = JobStateName(job.state);
+  body.push_back('\n');
+  if (!job.error.empty()) {
+    body += job.error;
+    body.push_back('\n');
+  }
+  return WriteFileAtomic(JobDir(job.id) + "/state", body);
+}
+
+JobInfo JobManager::InfoOf(const Job& job) const {
+  JobInfo info;
+  info.id = job.id;
+  info.state = job.state;
+  info.summary = core::RunSpecSummary(job.spec);
+  info.error = job.error;
+  info.executions = job.executions;
+  return info;
+}
+
+Status JobManager::Recover() {
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(options_.workdir + "/jobs", ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.empty() ||
+        name.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const uint64_t id = std::strtoull(name.c_str(), nullptr, 10);
+    if (id == 0) continue;
+
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    Result<std::string> spec_body =
+        ReadGuardedBlob(JobDir(id) + "/spec.bin", kSpecMagic);
+    if (!spec_body.ok()) continue;  // torn Submit: no durable job yet
+    ByteReader r(*spec_body);
+    if (!core::DecodeRunSpec(&r, &job->spec) || !r.Done()) continue;
+
+    // A missing/torn state file can only come from a kill between writing
+    // spec.bin and state — the job was accepted but never started.
+    job->state = JobState::kQueued;
+    if (Result<std::string> state_body = ReadFile(JobDir(id) + "/state");
+        state_body.ok()) {
+      std::string_view body = *state_body;
+      const size_t nl = body.find('\n');
+      const std::string_view head = body.substr(0, nl);
+      JobState parsed;
+      if (ParseJobState(head, &parsed)) {
+        job->state = parsed;
+        if (nl != std::string_view::npos && nl + 1 < body.size()) {
+          std::string_view rest = body.substr(nl + 1);
+          while (!rest.empty() && rest.back() == '\n') rest.remove_suffix(1);
+          job->error = std::string(rest);
+        }
+      }
+    }
+
+    if (job->state == JobState::kDone) {
+      if (Result<std::string> outcome =
+              ReadGuardedBlob(JobDir(id) + "/outcome.bin", kOutcomeMagic);
+          outcome.ok()) {
+        if (Result<search::SearchOutcome> decoded =
+                search::LoadOutcomeBytes(*outcome);
+            decoded.ok()) {
+          job->executions = decoded->executions;
+        }
+      }
+    } else if (!JobStateIsTerminal(job->state)) {
+      // QUEUED and RUNNING both re-enter the queue; a RUNNING job resumes
+      // from its checkpoint inside RunJob.
+      job->state = JobState::kQueued;
+      AUTOMC_RETURN_IF_ERROR(PersistState(*job));
+      queue_.push_back(id);
+      AUTOMC_METRIC_COUNT("server.jobs_recovered");
+    }
+    if (id >= next_id_) next_id_ = id + 1;
+    jobs_[id] = std::move(job);
+  }
+  // directory_iterator ids come back in filesystem order; recovery must
+  // preserve submission order.
+  std::sort(queue_.begin(), queue_.end());
+  return Status::OK();
+}
+
+Result<uint64_t> JobManager::Submit(const core::RunSpec& spec) {
+  AUTOMC_RETURN_IF_ERROR(core::ValidateRunSpec(spec));
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) return Status::FailedPrecondition("server shutting down");
+  if (static_cast<int>(queue_.size()) + active_ >= options_.queue_capacity) {
+    return Status::FailedPrecondition("job queue full");
+  }
+  const uint64_t id = next_id_++;
+
+  std::error_code ec;
+  fs::create_directories(JobDir(id), ec);
+  if (ec) {
+    return Status::Internal("cannot create " + JobDir(id) + ": " +
+                            ec.message());
+  }
+  auto job = std::make_unique<Job>();
+  job->id = id;
+  job->spec = spec;
+  ByteWriter w;
+  core::EncodeRunSpec(spec, &w);
+  AUTOMC_RETURN_IF_ERROR(
+      WriteGuardedBlob(JobDir(id) + "/spec.bin", kSpecMagic, w.str()));
+  AUTOMC_RETURN_IF_ERROR(PersistState(*job));
+
+  jobs_[id] = std::move(job);
+  queue_.push_back(id);
+  AUTOMC_METRIC_COUNT("server.jobs_submitted");
+  cv_.notify_one();
+  return id;
+}
+
+Result<JobInfo> JobManager::Info(uint64_t id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  return InfoOf(*it->second);
+}
+
+std::vector<JobInfo> JobManager::List() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<JobInfo> infos;
+  infos.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) infos.push_back(InfoOf(*job));
+  return infos;
+}
+
+Status JobManager::Cancel(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  Job* job = it->second.get();
+  if (JobStateIsTerminal(job->state)) {
+    return Status::FailedPrecondition("job " + std::to_string(id) +
+                                      " already " + JobStateName(job->state));
+  }
+  if (job->state == JobState::kQueued) {
+    for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+      if (*qit == id) {
+        queue_.erase(qit);
+        break;
+      }
+    }
+    job->state = JobState::kCancelled;
+    AUTOMC_METRIC_COUNT("server.jobs_cancelled");
+    idle_cv_.notify_all();
+    return PersistState(*job);
+  }
+  // RUNNING: cooperative — the searcher notices at its next round.
+  job->cancel_requested = true;
+  job->stop.RequestStop();
+  return Status::OK();
+}
+
+Result<std::string> JobManager::OutcomeBytes(uint64_t id) const {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("no job " + std::to_string(id));
+    }
+    if (it->second->state != JobState::kDone) {
+      return Status::FailedPrecondition(
+          "job " + std::to_string(id) + " is " +
+          JobStateName(it->second->state) + ", not DONE");
+    }
+  }
+  return ReadGuardedBlob(JobDir(id) + "/outcome.bin", kOutcomeMagic);
+}
+
+void JobManager::StartWorkers() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (workers_started_ || stopping_) return;
+  workers_started_ = true;
+  for (int i = 0; i < max_concurrent_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void JobManager::WorkerLoop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      const uint64_t id = queue_.front();
+      queue_.pop_front();
+      job = jobs_[id].get();
+      job->state = JobState::kRunning;
+      ++active_;
+      (void)PersistState(*job);
+    }
+    RunJob(job);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void JobManager::RunJob(Job* job) {
+  const std::string dir = JobDir(job->id);
+
+  core::RunHooks hooks;
+  hooks.stop = &job->stop;
+
+  store::SearchCheckpointer::Options ckpt_opts;
+  ckpt_opts.dir = dir;
+  ckpt_opts.abort_after_writes = options_.crash_after_checkpoints;
+  store::SearchCheckpointer checkpointer(ckpt_opts);
+  if (automc::Status st = checkpointer.LoadPending();
+      !st.ok() && st.code() != StatusCode::kNotFound) {
+    std::unique_lock<std::mutex> lock(mu_);
+    job->state = JobState::kFailed;
+    job->error = "corrupt checkpoint: " + st.message();
+    (void)PersistState(*job);
+    return;
+  }
+  hooks.checkpointer = &checkpointer;
+
+  Result<std::unique_ptr<store::ExperienceStore>> store =
+      store::ExperienceStore::Open(dir + "/store.bin");
+  if (!store.ok()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    job->state = JobState::kFailed;
+    job->error = "cannot open job store: " + store.status().message();
+    (void)PersistState(*job);
+    return;
+  }
+  hooks.store = store->get();
+
+  Result<core::AutoMCResult> result = core::RunSearch(job->spec, hooks);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (result.ok()) {
+    const std::string bytes = search::SaveOutcomeBytes(result->outcome);
+    if (automc::Status st =
+            WriteGuardedBlob(dir + "/outcome.bin", kOutcomeMagic, bytes);
+        !st.ok()) {
+      job->state = JobState::kFailed;
+      job->error = "cannot persist outcome: " + st.message();
+      (void)PersistState(*job);
+      AUTOMC_METRIC_COUNT("server.jobs_failed");
+      return;
+    }
+    job->state = JobState::kDone;
+    job->executions = result->outcome.executions;
+    (void)PersistState(*job);
+    AUTOMC_METRIC_COUNT("server.jobs_done");
+    return;
+  }
+
+  if (result.status().code() == StatusCode::kCancelled) {
+    if (job->cancel_requested) {
+      job->state = JobState::kCancelled;
+      (void)PersistState(*job);
+      AUTOMC_METRIC_COUNT("server.jobs_cancelled");
+    } else {
+      // Drain stop: the search checkpointed itself; park the job durably
+      // QUEUED so the next process picks it up where it left off.
+      job->state = JobState::kQueued;
+      (void)PersistState(*job);
+      AUTOMC_METRIC_COUNT("server.jobs_parked");
+    }
+    return;
+  }
+
+  if (options_.crash_after_checkpoints > 0 &&
+      result.status().code() == StatusCode::kInternal) {
+    // Fault injection tripped: leave the durable state exactly as a SIGKILL
+    // would — RUNNING on disk, a valid checkpoint + store beside it.
+    job->state = JobState::kFailed;
+    job->error = result.status().message();
+    job->simulated_crash = true;
+    return;
+  }
+
+  job->state = JobState::kFailed;
+  job->error = result.status().message();
+  (void)PersistState(*job);
+  AUTOMC_METRIC_COUNT("server.jobs_failed");
+}
+
+bool JobManager::WaitIdle(double timeout_seconds) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [this] { return queue_.empty() && active_ == 0; });
+}
+
+void JobManager::Shutdown(bool drain) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    if (drain) {
+      for (auto& [id, job] : jobs_) {
+        if (job->state == JobState::kRunning) job->stop.RequestStop();
+      }
+    }
+    cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+}  // namespace server
+}  // namespace automc

@@ -1,0 +1,139 @@
+#ifndef AUTOMC_SERVER_JOB_MANAGER_H_
+#define AUTOMC_SERVER_JOB_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/run_spec.h"
+#include "server/protocol.h"
+
+namespace automc {
+namespace server {
+
+// Concurrent search-job executor with a durable lifecycle.
+//
+// Every job owns a directory <workdir>/jobs/<id>/ holding
+//   spec.bin    — the CRC-guarded RunSpec, written before Submit returns;
+//   state       — the current JobState (atomic tmp+rename replace);
+//   store.bin   — the job's private experience store (PR-3);
+//   checkpoint.bin — the job's private search checkpoint (PR-3);
+//   outcome.bin — the CRC-guarded SaveOutcomeBytes payload once DONE.
+// Because the spec and state are durable before any work starts, a process
+// killed at *any* instant loses nothing: Open() re-queues every job found
+// in a non-terminal state, and a re-queued RUNNING job resumes from its
+// checkpoint + store, finishing with the outcome an uninterrupted run
+// produces (the PR-3/PR-4 determinism contract, per job).
+//
+// Concurrency: up to Options::max_concurrent dedicated job threads
+// (default: $AUTOMC_SERVER_JOBS, else 1) pop the bounded FIFO. Each job
+// builds its own evaluator/store/checkpointer, so jobs share only the
+// global thread pool and the metrics registry — nothing that affects
+// results — and concurrent outcomes stay bit-identical to solo runs.
+//
+// Cancellation is cooperative: Cancel() flips the job's StopToken, which
+// the searchers poll between rounds (search::CheckStop). Shutdown(drain:
+// true) does the same to every running job but re-marks them QUEUED
+// instead of CANCELLED, parking the work for the next process.
+class JobManager {
+ public:
+  struct Options {
+    std::string workdir;
+    // Concurrent job threads; 0 reads $AUTOMC_SERVER_JOBS (invalid or
+    // unset => 1). Clamped to [1, 64].
+    int max_concurrent = 0;
+    // Bounded FIFO: Submit fails once this many jobs are queued or running.
+    int queue_capacity = 64;
+    // Test-only fault injection: each job's checkpointer aborts after this
+    // many checkpoint writes and the job thread abandons the job without
+    // touching its durable state — exactly what SIGKILL mid-search leaves
+    // behind (state RUNNING, a valid checkpoint, a valid store). 0 off.
+    int crash_after_checkpoints = 0;
+    // Test-only: don't start job threads; Submit still persists + queues.
+    // Lets tests model "the server died with jobs still queued".
+    bool start_paused = false;
+  };
+
+  // Creates <workdir>/jobs/ if needed and recovers every existing job.
+  static Result<std::unique_ptr<JobManager>> Open(Options options);
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  // Durably persists the job, then queues it. Fails when the FIFO is full
+  // or the manager is shutting down.
+  Result<uint64_t> Submit(const core::RunSpec& spec);
+
+  Result<JobInfo> Info(uint64_t id) const;
+  std::vector<JobInfo> List() const;
+
+  // Requests cooperative cancellation. QUEUED jobs cancel immediately;
+  // RUNNING jobs stop at the next search round. Terminal jobs: error.
+  Status Cancel(uint64_t id);
+
+  // The SaveOutcomeBytes payload of a DONE job (read from outcome.bin).
+  Result<std::string> OutcomeBytes(uint64_t id) const;
+
+  // Starts the job threads when Options::start_paused was set.
+  void StartWorkers();
+
+  // Blocks until no job is QUEUED or RUNNING, or the timeout elapses.
+  bool WaitIdle(double timeout_seconds) const;
+
+  // Stops the job threads. drain=true asks running jobs to checkpoint and
+  // re-queue (durably QUEUED for the next process); drain=false is only
+  // used by tests that simulate an abrupt death. Idempotent.
+  void Shutdown(bool drain);
+
+  int max_concurrent() const { return max_concurrent_; }
+
+ private:
+  struct Job {
+    uint64_t id = 0;
+    core::RunSpec spec;
+    JobState state = JobState::kQueued;
+    std::string error;
+    int32_t executions = -1;
+    search::StopToken stop;
+    bool cancel_requested = false;
+    // Set when fault injection abandoned the job mid-run (test-only).
+    bool simulated_crash = false;
+  };
+
+  explicit JobManager(Options options);
+
+  Status Recover();
+  void WorkerLoop();
+  // Runs one job end to end; returns the final state transition.
+  void RunJob(Job* job);
+  std::string JobDir(uint64_t id) const;
+  Status PersistState(const Job& job) const;
+  JobInfo InfoOf(const Job& job) const;
+
+  Options options_;
+  int max_concurrent_ = 1;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;       // queue + shutdown wakeups
+  mutable std::condition_variable idle_cv_;  // WaitIdle wakeups
+  std::map<uint64_t, std::unique_ptr<Job>> jobs_;
+  std::deque<uint64_t> queue_;
+  uint64_t next_id_ = 1;
+  int active_ = 0;  // jobs currently RUNNING
+  bool stopping_ = false;
+  bool workers_started_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace server
+}  // namespace automc
+
+#endif  // AUTOMC_SERVER_JOB_MANAGER_H_

@@ -1,0 +1,312 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace automc {
+namespace server {
+
+namespace {
+
+// write(2) until done; EINTR-safe. A peer that disappears mid-write
+// surfaces as Internal (EPIPE is suppressed to a status, not a signal —
+// callers must have SIGPIPE ignored or use MSG_NOSIGNAL-equivalent;
+// automc_serve and the CLI both ignore SIGPIPE at startup).
+Status WriteAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t written = ::write(fd, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("socket write: ") +
+                              std::strerror(errno));
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+// read(2) a full buffer. `*eof` is set (and OK returned) only when EOF hits
+// at offset 0; EOF mid-buffer is a truncated frame.
+Status ReadAll(int fd, void* data, size_t n, bool* eof) {
+  *eof = false;
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("socket read: ") +
+                              std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0) {
+        *eof = true;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("truncated frame: EOF mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+uint32_t FrameCrc(uint32_t type, uint32_t size, std::string_view payload) {
+  uint32_t crc = Crc32(&type, sizeof(type));
+  crc = Crc32(&size, sizeof(size), crc);
+  return Crc32(payload.data(), payload.size(), crc);
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, MsgType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  const uint32_t type_u = static_cast<uint32_t>(type);
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  ByteWriter w;
+  w.U32(kFrameMagic);
+  w.U32(type_u);
+  w.U32(size);
+  w.Raw(payload.data(), payload.size());
+  w.U32(FrameCrc(type_u, size, payload));
+  return WriteAll(fd, w.str().data(), w.str().size());
+}
+
+Result<Frame> ReadFrame(int fd) {
+  uint32_t header[3];
+  bool eof = false;
+  AUTOMC_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header), &eof));
+  if (eof) return Status::NotFound("connection closed");
+  if (header[0] != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (header[2] > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  Frame frame;
+  frame.type = header[1];
+  frame.payload.resize(header[2]);
+  if (!frame.payload.empty()) {
+    AUTOMC_RETURN_IF_ERROR(
+        ReadAll(fd, frame.payload.data(), frame.payload.size(), &eof));
+    if (eof) return Status::InvalidArgument("truncated frame: EOF mid-frame");
+  }
+  uint32_t crc = 0;
+  AUTOMC_RETURN_IF_ERROR(ReadAll(fd, &crc, sizeof(crc), &eof));
+  if (eof) return Status::InvalidArgument("truncated frame: EOF mid-frame");
+  if (crc != FrameCrc(frame.type, header[2], frame.payload)) {
+    return Status::InvalidArgument("frame CRC mismatch");
+  }
+  return frame;
+}
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "QUEUED";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kDone:
+      return "DONE";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kCancelled:
+      return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+bool JobStateIsTerminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+bool ParseJobState(std::string_view name, JobState* state) {
+  for (JobState s :
+       {JobState::kQueued, JobState::kRunning, JobState::kDone,
+        JobState::kFailed, JobState::kCancelled}) {
+    if (name == JobStateName(s)) {
+      *state = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+void EncodeJobInfo(const JobInfo& info, ByteWriter* w) {
+  w->U64(info.id);
+  w->U32(static_cast<uint32_t>(info.state));
+  w->Str(info.summary);
+  w->Str(info.error);
+  w->I32(info.executions);
+}
+
+bool DecodeJobInfo(ByteReader* r, JobInfo* info) {
+  uint32_t state = 0;
+  if (!r->U64(&info->id) || !r->U32(&state) || state > 4 ||
+      !r->Str(&info->summary) || !r->Str(&info->error) ||
+      !r->I32(&info->executions)) {
+    return false;
+  }
+  info->state = static_cast<JobState>(state);
+  return true;
+}
+
+std::string EncodeError(const Status& status) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(status.code()));
+  w.Str(status.message());
+  return w.Take();
+}
+
+Status DecodeError(std::string_view payload) {
+  ByteReader r(payload);
+  uint32_t code = 0;
+  std::string message;
+  if (!r.U32(&code) || !r.Str(&message) ||
+      code > static_cast<uint32_t>(StatusCode::kCancelled) || code == 0) {
+    return Status::Internal("malformed error frame from server");
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+Result<Client> Client::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: '" + socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Internal("connect " + socket_path + ": " +
+                                 std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Frame> Client::Call(MsgType type, std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  AUTOMC_RETURN_IF_ERROR(WriteFrame(fd_, type, payload));
+  AUTOMC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(fd_));
+  if (reply.type == static_cast<uint32_t>(MsgType::kError)) {
+    return DecodeError(reply.payload);
+  }
+  return reply;
+}
+
+namespace {
+
+Result<Frame> ExpectType(Result<Frame> reply, MsgType want) {
+  if (!reply.ok()) return reply;
+  if (reply->type != static_cast<uint32_t>(want)) {
+    return Status::Internal("unexpected response frame type " +
+                            std::to_string(reply->type));
+  }
+  return reply;
+}
+
+}  // namespace
+
+Result<uint64_t> Client::Submit(const core::RunSpec& spec) {
+  ByteWriter w;
+  core::EncodeRunSpec(spec, &w);
+  AUTOMC_ASSIGN_OR_RETURN(
+      Frame reply, ExpectType(Call(MsgType::kSubmitJob, w.str()),
+                              MsgType::kSubmitted));
+  ByteReader r(reply.payload);
+  uint64_t id = 0;
+  if (!r.U64(&id) || !r.Done()) {
+    return Status::Internal("malformed submit response");
+  }
+  return id;
+}
+
+namespace {
+
+std::string IdPayload(uint64_t id) {
+  ByteWriter w;
+  w.U64(id);
+  return w.Take();
+}
+
+}  // namespace
+
+Result<JobInfo> Client::JobStatus(uint64_t id) {
+  AUTOMC_ASSIGN_OR_RETURN(
+      Frame reply,
+      ExpectType(Call(MsgType::kJobStatus, IdPayload(id)), MsgType::kStatus));
+  ByteReader r(reply.payload);
+  JobInfo info;
+  if (!DecodeJobInfo(&r, &info) || !r.Done()) {
+    return Status::Internal("malformed status response");
+  }
+  return info;
+}
+
+Status Client::Cancel(uint64_t id) {
+  return ExpectType(Call(MsgType::kCancelJob, IdPayload(id)), MsgType::kOk)
+      .status();
+}
+
+Result<std::vector<JobInfo>> Client::ListJobs() {
+  AUTOMC_ASSIGN_OR_RETURN(
+      Frame reply, ExpectType(Call(MsgType::kListJobs, {}), MsgType::kJobList));
+  ByteReader r(reply.payload);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return Status::Internal("malformed job list");
+  std::vector<JobInfo> jobs(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!DecodeJobInfo(&r, &jobs[i])) {
+      return Status::Internal("malformed job list entry");
+    }
+  }
+  if (!r.Done()) return Status::Internal("trailing bytes in job list");
+  return jobs;
+}
+
+Result<std::string> Client::FetchOutcomeBytes(uint64_t id) {
+  AUTOMC_ASSIGN_OR_RETURN(
+      Frame reply, ExpectType(Call(MsgType::kFetchOutcome, IdPayload(id)),
+                              MsgType::kOutcome));
+  return std::move(reply.payload);
+}
+
+Result<std::string> Client::Metrics() {
+  AUTOMC_ASSIGN_OR_RETURN(
+      Frame reply,
+      ExpectType(Call(MsgType::kGetMetrics, {}), MsgType::kMetrics));
+  return std::move(reply.payload);
+}
+
+}  // namespace server
+}  // namespace automc

@@ -1,0 +1,126 @@
+#ifndef AUTOMC_SERVER_PROTOCOL_H_
+#define AUTOMC_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/run_spec.h"
+#include "search/searcher.h"
+
+namespace automc {
+namespace server {
+
+// Length-prefixed, CRC32-framed binary wire protocol of automc_serve
+// (docs/server.md has the byte-level layout). Every frame is
+//
+//   u32 magic "AMCS"  |  u32 type  |  u32 payload_size  |  payload bytes
+//   |  u32 crc32(type || payload_size || payload)
+//
+// little-endian throughout (the ByteWriter/ByteReader encoding the
+// persistence layer already uses). The CRC turns a torn or corrupted frame
+// into a clean protocol error instead of a misparsed request, and the
+// explicit size bound rejects garbage before any allocation.
+
+constexpr uint32_t kFrameMagic = 0x53434D41;  // "AMCS" read little-endian
+constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+enum class MsgType : uint32_t {
+  // Requests.
+  kSubmitJob = 1,     // payload: EncodeRunSpec
+  kJobStatus = 2,     // payload: u64 job id
+  kCancelJob = 3,     // payload: u64 job id
+  kListJobs = 4,      // payload: empty
+  kFetchOutcome = 5,  // payload: u64 job id
+  kGetMetrics = 6,    // payload: empty
+  // Responses.
+  kOk = 100,        // payload: empty (CancelJob ack)
+  kSubmitted = 101, // payload: u64 job id
+  kStatus = 102,    // payload: EncodeJobInfo
+  kJobList = 103,   // payload: u32 count, count * EncodeJobInfo
+  kOutcome = 104,   // payload: search::SaveOutcomeBytes
+  kMetrics = 105,   // payload: metrics JSON (UTF-8 text)
+  kError = 200,     // payload: u32 StatusCode, str message
+};
+
+struct Frame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+// Blocking full-frame I/O on a connected socket. ReadFrame distinguishes
+//   * NotFound         — clean EOF at a frame boundary (peer closed);
+//   * InvalidArgument  — garbage: bad magic, oversized payload, CRC
+//                        mismatch, or EOF mid-frame;
+//   * Internal         — transport error (errno-level read/write failure).
+Status WriteFrame(int fd, MsgType type, std::string_view payload);
+Result<Frame> ReadFrame(int fd);
+
+// Durable job lifecycle: QUEUED -> RUNNING -> {DONE, FAILED, CANCELLED}.
+// A killed server re-queues QUEUED/RUNNING jobs on restart (RUNNING ones
+// resume from their last checkpoint), so the two non-terminal states are
+// exactly the ones recovery re-enters.
+enum class JobState : uint32_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+  kCancelled = 4,
+};
+
+const char* JobStateName(JobState state);
+bool JobStateIsTerminal(JobState state);
+// Inverse of JobStateName; false on unknown names.
+bool ParseJobState(std::string_view name, JobState* state);
+
+// One job's externally visible status.
+struct JobInfo {
+  uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  std::string summary;     // RunSpecSummary(spec)
+  std::string error;       // FAILED: the search's status message
+  int32_t executions = -1; // outcome.executions once DONE, else -1
+};
+
+void EncodeJobInfo(const JobInfo& info, ByteWriter* w);
+bool DecodeJobInfo(ByteReader* r, JobInfo* info);
+
+// Error-frame payload <-> Status.
+std::string EncodeError(const Status& status);
+Status DecodeError(std::string_view payload);
+
+// Blocking client for the automc_serve socket, used by the automc_cli
+// --serve-* subcommands, the tests, and the throughput bench. One request
+// in flight at a time per client; not thread-safe.
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& socket_path);
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  Result<uint64_t> Submit(const core::RunSpec& spec);
+  Result<JobInfo> JobStatus(uint64_t id);
+  Status Cancel(uint64_t id);
+  Result<std::vector<JobInfo>> ListJobs();
+  // The raw SaveOutcomeBytes payload — callers needing the struct decode it
+  // with search::LoadOutcomeBytes; identity tests compare the bytes.
+  Result<std::string> FetchOutcomeBytes(uint64_t id);
+  Result<std::string> Metrics();
+
+  // One raw round-trip (tests use this to probe protocol edges).
+  Result<Frame> Call(MsgType type, std::string_view payload);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace server
+}  // namespace automc
+
+#endif  // AUTOMC_SERVER_PROTOCOL_H_

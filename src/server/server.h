@@ -1,0 +1,75 @@
+#ifndef AUTOMC_SERVER_SERVER_H_
+#define AUTOMC_SERVER_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "server/job_manager.h"
+
+namespace automc {
+namespace server {
+
+// The automc_serve transport: a Unix-domain stream socket speaking the
+// framed protocol, one reader thread per connection, requests dispatched
+// to a JobManager. Job execution happens on the manager's own threads, so
+// a status poll never waits behind a running search.
+//
+// Shutdown is graceful by design: RequestStop() is async-signal-safe (one
+// write to a self-pipe), and Wait() then stops accepting, lets each
+// connection finish the frame in flight, checkpoints + re-queues running
+// jobs (JobManager::Shutdown(drain)), flushes the metrics JSON when
+// $AUTOMC_METRICS_OUT is set, and returns — the SIGTERM/SIGINT path of
+// automc_serve exits 0 through here.
+class Server {
+ public:
+  struct Options {
+    // Socket path; empty reads $AUTOMC_SOCKET.
+    std::string socket_path;
+    JobManager::Options jobs;
+  };
+
+  // Opens (or recovers) the job manager, binds the socket and starts the
+  // accept loop. The bound path is unlinked first, so a stale socket from
+  // a killed server never blocks a restart.
+  static Result<std::unique_ptr<Server>> Start(Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Async-signal-safe stop request (callable from a signal handler).
+  void RequestStop();
+  // Blocks until a stop is requested, then drains and shuts down.
+  void Wait();
+  // RequestStop() + Wait(); for tests and embedders.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+  JobManager* jobs() { return jobs_.get(); }
+
+ private:
+  Server() = default;
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::string socket_path_;
+  std::unique_ptr<JobManager> jobs_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  bool draining_ = false;
+};
+
+}  // namespace server
+}  // namespace automc
+
+#endif  // AUTOMC_SERVER_SERVER_H_

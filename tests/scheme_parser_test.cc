@@ -1,0 +1,135 @@
+// Scheme-parser coverage: the textual strategy syntax round-trips every
+// grid point of the search space, and malformed input fails with a Status
+// instead of a misparse (the CLI --apply path and saved-scheme files both
+// feed user-controlled text through this parser).
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "compress/scheme_parser.h"
+#include "gtest/gtest.h"
+#include "search/search_space.h"
+
+namespace automc {
+namespace {
+
+using compress::ParseScheme;
+using compress::ParseStrategy;
+using compress::StrategySpec;
+
+TEST(SchemeParserTest, RoundTripsEveryGridStrategy) {
+  // Table1WithExtensions is a superset of FullTable1, so this walks every
+  // method's full hyperparameter grid, QT included.
+  search::SearchSpace space = search::SearchSpace::Table1WithExtensions();
+  ASSERT_GT(space.size(), 0u);
+  for (size_t i = 0; i < space.size(); ++i) {
+    const StrategySpec& original = space.strategy(i);
+    auto parsed = ParseStrategy(original.ToString());
+    ASSERT_TRUE(parsed.ok())
+        << original.ToString() << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->method, original.method);
+    EXPECT_EQ(parsed->hp, original.hp) << original.ToString();
+  }
+}
+
+TEST(SchemeParserTest, RoundTripsMultiStepSchemes) {
+  search::SearchSpace space = search::SearchSpace::FullTable1();
+  ASSERT_GE(space.size(), 3u);
+  // Stitch grid strategies into 3-step schemes covering the whole space.
+  for (size_t i = 0; i + 2 < space.size(); i += 3) {
+    std::vector<StrategySpec> scheme = {space.strategy(i),
+                                        space.strategy(i + 1),
+                                        space.strategy(i + 2)};
+    const std::string text = compress::SchemeToString(scheme);
+    auto parsed = ParseScheme(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    ASSERT_EQ(parsed->size(), scheme.size());
+    for (size_t j = 0; j < scheme.size(); ++j) {
+      EXPECT_EQ((*parsed)[j].method, scheme[j].method);
+      EXPECT_EQ((*parsed)[j].hp, scheme[j].hp);
+    }
+  }
+}
+
+TEST(SchemeParserTest, AcceptsWhitespaceAndEmptyHpList) {
+  auto parsed = ParseStrategy("  NS ( HP1 = 0.3 , HP2 = 0.2 )  ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->method, "NS");
+  EXPECT_EQ(parsed->hp.at("HP1"), "0.3");
+  EXPECT_EQ(parsed->hp.at("HP2"), "0.2");
+
+  auto no_hp = ParseStrategy("QT()");
+  ASSERT_TRUE(no_hp.ok());
+  EXPECT_EQ(no_hp->method, "QT");
+  EXPECT_TRUE(no_hp->hp.empty());
+}
+
+TEST(SchemeParserTest, RejectsMalformedStrategies) {
+  const char* kBad[] = {
+      "",                    // empty
+      "NS",                  // no parens
+      "NS(",                 // unterminated
+      "NS(HP1=0.3",          // missing close paren
+      "NS HP1=0.3)",         // missing open paren
+      "(HP1=0.3)",           // missing method name
+      "NS(HP1)",             // missing =value
+      "NS(HP1=0.3,HP1=0.4)", // duplicate key
+      "NS(HP 1=0.3)",        // space inside key
+      "N S(HP1=0.3)",        // space inside method
+      "NS(HP1=0.3;HP2=0.2)", // wrong separator
+  };
+  for (const char* text : kBad) {
+    EXPECT_FALSE(ParseStrategy(text).ok()) << "accepted: '" << text << "'";
+  }
+}
+
+TEST(SchemeParserTest, RejectsMalformedSchemes) {
+  const char* kBad[] = {
+      "",                          // empty scheme
+      "   ",                       // whitespace only
+      "NS(HP1=0.3) ->",            // trailing arrow
+      "-> NS(HP1=0.3)",            // leading arrow
+      "NS(HP1=0.3) -> -> SFP()",   // double arrow
+      "NS(HP1=0.3) , SFP(HP2=1)",  // wrong separator
+  };
+  for (const char* text : kBad) {
+    EXPECT_FALSE(ParseScheme(text).ok()) << "accepted: '" << text << "'";
+  }
+}
+
+TEST(SchemeParserTest, UnknownMethodFailsAtCreate) {
+  // The parser is purely lexical; unknown names surface in CreateCompressor.
+  auto parsed = ParseStrategy("Bogus(HP1=0.3)");
+  ASSERT_TRUE(parsed.ok());
+  auto compressor = compress::CreateCompressor(*parsed);
+  EXPECT_FALSE(compressor.ok());
+  EXPECT_NE(compressor.status().ToString().find("Bogus"), std::string::npos);
+}
+
+TEST(SchemeParserTest, OutOfGridHyperparametersFailAtCreate) {
+  search::SearchSpace space = search::SearchSpace::FullTable1();
+  // Every grid strategy instantiates cleanly...
+  for (size_t i = 0; i < space.size(); ++i) {
+    EXPECT_TRUE(compress::CreateCompressor(space.strategy(i)).ok())
+        << space.strategy(i).ToString();
+  }
+  // ...but a numeric hp that is not a number, a missing hp, and a
+  // non-integral count are all rejected.
+  StrategySpec bad = space.strategy(0);
+  ASSERT_FALSE(bad.hp.empty());
+  const std::string first_key = bad.hp.begin()->first;
+  bad.hp[first_key] = "not_a_number";
+  EXPECT_FALSE(compress::CreateCompressor(bad).ok());
+
+  StrategySpec missing = space.strategy(0);
+  missing.hp.erase(missing.hp.begin());
+  EXPECT_FALSE(compress::CreateCompressor(missing).ok());
+
+  auto lma = ParseStrategy("LMA(HP1=0.3,HP2=0.2,HP3=2.5,HP4=2,HP5=0.5)");
+  ASSERT_TRUE(lma.ok());
+  EXPECT_FALSE(compress::CreateCompressor(*lma).ok())
+      << "non-integral segment count accepted";
+}
+
+}  // namespace
+}  // namespace automc
