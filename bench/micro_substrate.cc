@@ -48,7 +48,7 @@ void RefConvForward(const tensor::Tensor& x, const tensor::Tensor& wmat,
   for (int64_t i = 0; i < n; ++i) {
     tensor::Tensor cols({ckk, p});
     tensor::Im2Col(x.data() + i * g.in_c * g.in_h * g.in_w, g, &cols);
-    RefGemm(wmat.data(), cols.data(), y->data() + i * out_c * p, out_c, ckk,
+    RefGemm(wmat.data(), cols.data(), y->MutableData() + i * out_c * p, out_c, ckk,
             p);
   }
 }
@@ -103,7 +103,7 @@ void BM_MatMulRef(benchmark::State& state) {
   tensor::Tensor b = tensor::Tensor::Randn({n, n}, &rng);
   for (auto _ : state) {
     tensor::Tensor c({n, n});
-    RefGemm(a.data(), b.data(), c.data(), n, n, n);
+    RefGemm(a.data(), b.data(), c.MutableData(), n, n, n);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
@@ -200,10 +200,10 @@ void BM_Conv2dBackwardRef(benchmark::State& state) {
       tensor::Tensor cols({ckk, p});
       tensor::Im2Col(x.data() + i * c * 64, g, &cols);
       const float* dyi = gout.data() + i * c * p;
-      RefGemmTB(dyi, cols.data(), dw.data(), c, p, ckk);
+      RefGemmTB(dyi, cols.data(), dw.MutableData(), c, p, ckk);
       tensor::Tensor dcols({ckk, p});
-      RefGemmTA(wmat.data(), dyi, dcols.data(), ckk, c, p);
-      tensor::Col2Im(dcols, g, dx.data() + i * c * 64);
+      RefGemmTA(wmat.data(), dyi, dcols.MutableData(), ckk, c, p);
+      tensor::Col2Im(dcols, g, dx.MutableData() + i * c * 64);
     }
     benchmark::DoNotOptimize(dx.data());
     benchmark::DoNotOptimize(dw.data());

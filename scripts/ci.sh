@@ -107,6 +107,32 @@ wait "${srv}"
 [[ -f "${serve_dir}/metrics.json" ]]
 echo "server smoke: daemon drained cleanly and dumped metrics"
 
+echo "== COW sanitizer stage =="
+# The copy-on-write tensor contract is concurrency-sensitive: distinct
+# aliases of one buffer are read while another alias materializes. Prove
+# the absence of data races with a ThreadSanitizer build of the COW
+# invariant suite plus the batched evaluator (whose speculation phase
+# shares model snapshots across the pool), then shake out addressability
+# bugs in the buffer-sharing paths with an ASan+UBSan pass. Both run at
+# AUTOMC_THREADS=1 and 4 like the main suite.
+cmake -B build-tsan -S . -DAUTOMC_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j --target cow_tensor_test batch_eval_test
+for threads in 1 4; do
+  echo "-- tsan ctest, AUTOMC_THREADS=${threads} --"
+  AUTOMC_THREADS="${threads}" ctest --test-dir build-tsan \
+    -R 'cow_tensor_test|batch_eval_test' --output-on-failure
+done
+
+cmake -B build-asan -S . -DAUTOMC_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j --target tensor_test cow_tensor_test nn_model_test
+for threads in 1 4; do
+  echo "-- asan ctest, AUTOMC_THREADS=${threads} --"
+  AUTOMC_THREADS="${threads}" ctest --test-dir build-asan \
+    -R 'tensor_test|cow_tensor_test|nn_model_test' --output-on-failure
+done
+
 if [[ -n "${AUTOMC_SANITIZE:-}" ]]; then
   echo "== sanitizer pass (${AUTOMC_SANITIZE}) =="
   run_suite "build-san" "-DAUTOMC_SANITIZE=${AUTOMC_SANITIZE}" \

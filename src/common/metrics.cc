@@ -223,6 +223,7 @@ void MetricsRegistry::Reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 // ---------------------------------------------------------------------------

@@ -109,9 +109,17 @@ class MetricsRegistry {
   // previously returned by the getters.
   void Reset();
 
+  // Incremented by every Reset(). Hot paths (tensor COW accounting) cache
+  // Counter pointers keyed by this value so they can skip the mutex-guarded
+  // name lookup per event yet never dereference a reset-invalidated pointer.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
  private:
   MetricsRegistry() = default;
 
+  std::atomic<uint64_t> generation_{0};
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

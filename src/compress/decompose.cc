@@ -18,9 +18,8 @@ std::unique_ptr<Conv2d> MakeConvWithWeights(int64_t in_c, int64_t out_c,
                                             int64_t kernel, int64_t stride,
                                             int64_t pad, const Tensor& weight,
                                             const Tensor* bias) {
-  Rng dummy(0);
   auto conv = std::make_unique<Conv2d>(in_c, out_c, kernel, stride, pad,
-                                       bias != nullptr, &dummy);
+                                       bias != nullptr, nullptr);
   AUTOMC_CHECK_EQ(conv->weight().value.numel(), weight.numel());
   conv->weight().value = weight.Reshaped({out_c, in_c, kernel, kernel});
   if (bias != nullptr) {

@@ -30,9 +30,12 @@ void SoftZeroFilters(nn::Model* model, double fraction) {
     std::sort(scored.begin(), scored.end());
     int64_t fsize = unit.conv->in_channels() * unit.conv->kernel() *
                     unit.conv->kernel();
+    // In-place surgery on this model's weights: MutableData materializes a
+    // private copy, so cached snapshots sharing the buffer stay intact.
+    float* wd = unit.conv->weight().value.MutableData();
     for (int64_t i = 0; i < zero_n; ++i) {
       int64_t f = scored[static_cast<size_t>(i)].second;
-      float* w = unit.conv->weight().value.data() + f * fsize;
+      float* w = wd + f * fsize;
       std::fill(w, w + fsize, 0.0f);
       if (unit.conv->has_bias()) unit.conv->bias().value[f] = 0.0f;
       if (unit.bn != nullptr) {

@@ -10,7 +10,7 @@ using tensor::Tensor;
 void FlipHorizontal(Tensor* images, int64_t image_index) {
   AUTOMC_CHECK_EQ(images->dim(), 4);
   int64_t c = images->size(1), h = images->size(2), w = images->size(3);
-  float* base = images->data() + image_index * c * h * w;
+  float* base = images->MutableData() + image_index * c * h * w;
   for (int64_t ch = 0; ch < c; ++ch) {
     for (int64_t i = 0; i < h; ++i) {
       float* row = base + (ch * h + i) * w;
@@ -24,7 +24,7 @@ void FlipHorizontal(Tensor* images, int64_t image_index) {
 void Shift(Tensor* images, int64_t image_index, int di, int dj) {
   AUTOMC_CHECK_EQ(images->dim(), 4);
   int64_t c = images->size(1), h = images->size(2), w = images->size(3);
-  float* base = images->data() + image_index * c * h * w;
+  float* base = images->MutableData() + image_index * c * h * w;
   std::vector<float> copy(base, base + c * h * w);
   for (int64_t ch = 0; ch < c; ++ch) {
     for (int64_t i = 0; i < h; ++i) {

@@ -60,7 +60,7 @@ Result<Dataset> BuildDataset(std::vector<float> pixels, std::vector<int> labels,
   int64_t n = static_cast<int64_t>(ds.labels.size());
   ds.images = tensor::Tensor({n, 3, 32, 32});
   AUTOMC_CHECK_EQ(ds.images.numel(), static_cast<int64_t>(pixels.size()));
-  std::copy(pixels.begin(), pixels.end(), ds.images.data());
+  std::copy(pixels.begin(), pixels.end(), ds.images.MutableData());
   return ds;
 }
 

@@ -13,11 +13,12 @@ Tensor Dataset::GatherImages(const std::vector<int64_t>& indices) const {
   int64_t c = Channels(), h = Height(), w = Width();
   int64_t stride = c * h * w;
   Tensor out({static_cast<int64_t>(indices.size()), c, h, w});
+  float* dst_base = out.MutableData();
   for (size_t i = 0; i < indices.size(); ++i) {
     int64_t idx = indices[i];
     AUTOMC_CHECK(idx >= 0 && idx < Size());
     const float* src = images.data() + idx * stride;
-    std::copy(src, src + stride, out.data() + static_cast<int64_t>(i) * stride);
+    std::copy(src, src + stride, dst_base + static_cast<int64_t>(i) * stride);
   }
   return out;
 }
@@ -113,7 +114,7 @@ Dataset MakeSplit(const SyntheticTaskConfig& cfg,
       // Random cyclic shift keeps the task translation-sensitive but easy.
       int di = static_cast<int>(rng->UniformInt(2));
       int dj = static_cast<int>(rng->UniformInt(2));
-      float* dst = ds.images.data() + row * stride;
+      float* dst = ds.images.MutableData() + row * stride;
       for (int c = 0; c < cfg.channels; ++c) {
         for (int i = 0; i < cfg.image_size; ++i) {
           for (int j = 0; j < cfg.image_size; ++j) {

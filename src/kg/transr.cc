@@ -66,7 +66,7 @@ double TransR::Score(const Triplet& t) const {
 
 void TransR::RenormalizeEntity(int64_t id) {
   int64_t d = config_.entity_dim;
-  float* e = entities_.data() + id * d;
+  float* e = entities_.MutableData() + id * d;
   double n = 0.0;
   for (int64_t i = 0; i < d; ++i) n += static_cast<double>(e[i]) * e[i];
   n = std::sqrt(n);
@@ -90,10 +90,10 @@ void TransR::UpdatePair(const Triplet& pos, const Triplet& neg) {
   //   dd/de_h = 2 W^T u ; dd/de_t = -2 W^T u ; dd/de_r = 2u ;
   //   dd/dW = 2 u (e_h - e_t)^T.
   auto apply = [&](const Triplet& t, float sign) {
-    float* w = proj_.data() + t.relation * k * d;
-    float* eh = entities_.data() + t.head * d;
-    float* et = entities_.data() + t.tail * d;
-    float* er = relations_.data() + t.relation * k;
+    float* w = proj_.MutableData() + t.relation * k * d;
+    float* eh = entities_.MutableData() + t.head * d;
+    float* et = entities_.MutableData() + t.tail * d;
+    float* er = relations_.MutableData() + t.relation * k;
     std::vector<float> u(static_cast<size_t>(k));
     {
       std::vector<float> ph(static_cast<size_t>(k)), pt(static_cast<size_t>(k));
@@ -190,7 +190,7 @@ Tensor TransR::EntityEmbedding(int64_t id) const {
   int64_t d = config_.entity_dim;
   Tensor out({d});
   const float* e = entities_.data() + id * d;
-  std::copy(e, e + d, out.data());
+  std::copy(e, e + d, out.MutableData());
   return out;
 }
 
@@ -198,7 +198,7 @@ void TransR::SetEntityEmbedding(int64_t id, const Tensor& e) {
   AUTOMC_CHECK(id >= 0 && id < num_entities_);
   int64_t d = config_.entity_dim;
   AUTOMC_CHECK_EQ(e.numel(), d);
-  std::copy(e.data(), e.data() + d, entities_.data() + id * d);
+  std::copy(e.data(), e.data() + d, entities_.MutableData() + id * d);
 }
 
 }  // namespace kg

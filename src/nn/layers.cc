@@ -41,8 +41,10 @@ Conv2d::Conv2d(int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
       stride_(stride),
       pad_(pad),
       has_bias_(has_bias),
-      weight_(Tensor::KaimingNormal({out_c, in_c, kernel, kernel},
-                                    in_c * kernel * kernel, rng)),
+      weight_(rng != nullptr
+                  ? Tensor::KaimingNormal({out_c, in_c, kernel, kernel},
+                                          in_c * kernel * kernel, rng)
+                  : Tensor::Zeros({out_c, in_c, kernel, kernel})),
       bias_(Tensor::Zeros({has_bias ? out_c : 0})) {
   AUTOMC_CHECK_GT(in_c, 0);
   AUTOMC_CHECK_GT(out_c, 0);
@@ -74,7 +76,7 @@ Tensor Conv2d::Forward(const Tensor& x, bool training) {
   const float* xd = x.data();
   const float* wd = wmat.data();
   const float* bd = has_bias_ ? bias_.value.data() : nullptr;
-  float* yd = y.data();
+  float* yd = y.MutableData();
   int64_t out_c = out_c_, in_c = in_c_;
   automc::ParallelFor(n, 1, [&, xd, wd, bd, yd](int64_t s0, int64_t s1) {
     Tensor cols({ckk, p});  // per-chunk scratch, reused across its samples
@@ -115,7 +117,7 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
   std::vector<Tensor> db_part(static_cast<size_t>(chunks));
   const float* gd = grad_out.data();
   const float* wd = wmat.data();
-  float* dxd = dx.data();
+  float* dxd = dx.MutableData();
   int64_t out_c = out_c_, in_c = in_c_;
   bool has_bias = has_bias_;
   automc::ParallelFor(n, 1, [&, gd, wd, dxd](int64_t s0, int64_t s1,
@@ -127,10 +129,11 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
       const float* dyi = gd + i * out_c * p;  // [out_c, p] slice
       const Tensor& cols = cols_[static_cast<size_t>(i)];
       // dW += dY * cols^T
-      tensor::GemmTransposeBRaw(dyi, cols.data(), dwp.data(), out_c, p, ckk);
+      tensor::GemmTransposeBRaw(dyi, cols.data(), dwp.MutableData(), out_c,
+                                p, ckk);
       // dcols = W^T * dY
       dcols.Fill(0.0f);
-      tensor::GemmTransposeARaw(wd, dyi, dcols.data(), ckk, out_c, p);
+      tensor::GemmTransposeARaw(wd, dyi, dcols.MutableData(), ckk, out_c, p);
       tensor::Col2Im(dcols, g, dxd + i * in_c * h * w);
       if (has_bias) {
         for (int64_t f = 0; f < out_c; ++f) {
@@ -163,9 +166,10 @@ std::vector<Param*> Conv2d::Params() {
 }
 
 std::unique_ptr<Layer> Conv2d::Clone() const {
-  Rng dummy(0);
+  // rng == nullptr skips weight init (zero-page alias); the assignments
+  // below re-alias this layer's buffers, so the whole clone is O(1).
   auto copy = std::make_unique<Conv2d>(in_c_, out_c_, kernel_, stride_, pad_,
-                                       has_bias_, &dummy);
+                                       has_bias_, nullptr);
   copy->weight_.value = weight_.value;
   copy->weight_.grad = Tensor::Zeros(weight_.value.shape());
   if (has_bias_) {
@@ -178,11 +182,12 @@ std::unique_ptr<Layer> Conv2d::Clone() const {
 void Conv2d::KeepOutputFilters(const std::vector<int64_t>& keep) {
   AUTOMC_CHECK(!keep.empty());
   Tensor nw({static_cast<int64_t>(keep.size()), in_c_, kernel_, kernel_});
+  float* nwd = nw.MutableData();
   for (size_t i = 0; i < keep.size(); ++i) {
     int64_t f = keep[i];
     AUTOMC_CHECK(f >= 0 && f < out_c_);
     const float* src = weight_.value.data() + f * in_c_ * kernel_ * kernel_;
-    float* dst = nw.data() + static_cast<int64_t>(i) * in_c_ * kernel_ * kernel_;
+    float* dst = nwd + static_cast<int64_t>(i) * in_c_ * kernel_ * kernel_;
     std::copy(src, src + in_c_ * kernel_ * kernel_, dst);
   }
   if (has_bias_) {
@@ -200,13 +205,14 @@ void Conv2d::KeepInputChannels(const std::vector<int64_t>& keep) {
   AUTOMC_CHECK(!keep.empty());
   int64_t kk = kernel_ * kernel_;
   Tensor nw({out_c_, static_cast<int64_t>(keep.size()), kernel_, kernel_});
+  float* nwd = nw.MutableData();
   for (int64_t f = 0; f < out_c_; ++f) {
     for (size_t i = 0; i < keep.size(); ++i) {
       int64_t c = keep[i];
       AUTOMC_CHECK(c >= 0 && c < in_c_);
       const float* src = weight_.value.data() + (f * in_c_ + c) * kk;
       float* dst =
-          nw.data() + (f * static_cast<int64_t>(keep.size()) + static_cast<int64_t>(i)) * kk;
+          nwd + (f * static_cast<int64_t>(keep.size()) + static_cast<int64_t>(i)) * kk;
       std::copy(src, src + kk, dst);
     }
   }
@@ -222,7 +228,8 @@ void Conv2d::KeepInputChannels(const std::vector<int64_t>& keep) {
 Linear::Linear(int64_t in, int64_t out, Rng* rng)
     : in_(in),
       out_(out),
-      weight_(Tensor::KaimingNormal({out, in}, in, rng)),
+      weight_(rng != nullptr ? Tensor::KaimingNormal({out, in}, in, rng)
+                             : Tensor::Zeros({out, in})),
       bias_(Tensor::Zeros({out})) {
   AUTOMC_CHECK_GT(in, 0);
   AUTOMC_CHECK_GT(out, 0);
@@ -256,8 +263,7 @@ Tensor Linear::Backward(const Tensor& grad_out) {
 std::vector<Param*> Linear::Params() { return {&weight_, &bias_}; }
 
 std::unique_ptr<Layer> Linear::Clone() const {
-  Rng dummy(0);
-  auto copy = std::make_unique<Linear>(in_, out_, &dummy);
+  auto copy = std::make_unique<Linear>(in_, out_, nullptr);
   copy->weight_.value = weight_.value;
   copy->weight_.grad = Tensor::Zeros(weight_.value.shape());
   copy->bias_.value = bias_.value;
@@ -306,43 +312,55 @@ Tensor BatchNorm2d::Forward(const Tensor& x, bool training) {
   // Channels are independent, so both modes parallelize per channel:
   // batch statistics, running-stat updates, and the normalized outputs for
   // channel c touch only channel-c slices. Per-channel arithmetic order is
-  // unchanged, so results are bit-identical for any thread count.
+  // unchanged, so results are bit-identical for any thread count. All
+  // tensor accesses are hoisted to raw pointers before the parallel
+  // region: COW materialization must happen exactly once on this thread,
+  // never concurrently inside the lambda.
+  const float* xd = x.data();
+  float* yd = y.MutableData();
+  const float* gv = gamma_.value.data();
+  const float* bv = beta_.value.data();
   if (training) {
     x_shape_ = x.shape();
     x_hat_ = Tensor(x.shape());
     batch_inv_std_ = Tensor({channels_});
+    float* xhd = x_hat_.MutableData();
+    float* bis = batch_inv_std_.MutableData();
+    float* rm = running_mean_.MutableData();
+    float* rv = running_var_.MutableData();
     int64_t m = n * hw;
     int64_t channels = channels_;
+    float momentum = momentum_, eps = eps_;
     automc::ParallelFor(
         channels_, ChannelGrain(channels_, 4 * m),
-        [&, channels](int64_t c0, int64_t c1) {
+        [=](int64_t c0, int64_t c1) {
           for (int64_t c = c0; c < c1; ++c) {
             double mean = 0.0;
             for (int64_t i = 0; i < n; ++i) {
-              const float* p = x.data() + (i * channels + c) * hw;
+              const float* p = xd + (i * channels + c) * hw;
               for (int64_t k = 0; k < hw; ++k) mean += p[k];
             }
             mean /= m;
             double var = 0.0;
             for (int64_t i = 0; i < n; ++i) {
-              const float* p = x.data() + (i * channels + c) * hw;
+              const float* p = xd + (i * channels + c) * hw;
               for (int64_t k = 0; k < hw; ++k) {
                 double d = p[k] - mean;
                 var += d * d;
               }
             }
             var /= m;
-            float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-            batch_inv_std_[c] = inv_std;
-            running_mean_[c] = (1 - momentum_) * running_mean_[c] +
-                               momentum_ * static_cast<float>(mean);
-            running_var_[c] = (1 - momentum_) * running_var_[c] +
-                              momentum_ * static_cast<float>(var);
-            float g = gamma_.value[c], b = beta_.value[c];
+            float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+            bis[c] = inv_std;
+            rm[c] = (1 - momentum) * rm[c] +
+                    momentum * static_cast<float>(mean);
+            rv[c] = (1 - momentum) * rv[c] +
+                    momentum * static_cast<float>(var);
+            float g = gv[c], b = bv[c];
             for (int64_t i = 0; i < n; ++i) {
-              const float* p = x.data() + (i * channels + c) * hw;
-              float* xh = x_hat_.data() + (i * channels + c) * hw;
-              float* py = y.data() + (i * channels + c) * hw;
+              const float* p = xd + (i * channels + c) * hw;
+              float* xh = xhd + (i * channels + c) * hw;
+              float* py = yd + (i * channels + c) * hw;
               for (int64_t k = 0; k < hw; ++k) {
                 xh[k] = (p[k] - static_cast<float>(mean)) * inv_std;
                 py[k] = g * xh[k] + b;
@@ -352,16 +370,19 @@ Tensor BatchNorm2d::Forward(const Tensor& x, bool training) {
         });
     trained_forward_ = true;
   } else {
+    const float* rm = running_mean_.data();
+    const float* rv = running_var_.data();
     int64_t channels = channels_;
+    float eps = eps_;
     automc::ParallelFor(
         channels_, ChannelGrain(channels_, 2 * n * hw),
-        [&, channels](int64_t c0, int64_t c1) {
+        [=](int64_t c0, int64_t c1) {
           for (int64_t c = c0; c < c1; ++c) {
-            float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
-            float g = gamma_.value[c], b = beta_.value[c], mu = running_mean_[c];
+            float inv_std = 1.0f / std::sqrt(rv[c] + eps);
+            float g = gv[c], b = bv[c], mu = rm[c];
             for (int64_t i = 0; i < n; ++i) {
-              const float* p = x.data() + (i * channels + c) * hw;
-              float* py = y.data() + (i * channels + c) * hw;
+              const float* p = xd + (i * channels + c) * hw;
+              float* py = yd + (i * channels + c) * hw;
               for (int64_t k = 0; k < hw; ++k) {
                 py[k] = g * (p[k] - mu) * inv_std + b;
               }
@@ -381,30 +402,38 @@ Tensor BatchNorm2d::Backward(const Tensor& grad_out) {
   Tensor dx(x_shape_);
   // Parallel per channel: gamma/beta grads and dx for channel c depend only
   // on channel-c slices, so writes are disjoint and per-channel order is the
-  // serial order.
+  // serial order. Pointers are hoisted (materializing the shared gradients
+  // once, here) so the lambda never touches a Tensor member.
+  const float* gd = grad_out.data();
+  const float* xhd = x_hat_.data();
+  const float* gv = gamma_.value.data();
+  const float* bis = batch_inv_std_.data();
+  float* gg = gamma_.grad.MutableData();
+  float* bg = beta_.grad.MutableData();
+  float* dxd = dx.MutableData();
   int64_t channels = channels_;
   automc::ParallelFor(
       channels_, ChannelGrain(channels_, 5 * m),
-      [&, channels](int64_t c0, int64_t c1) {
+      [=](int64_t c0, int64_t c1) {
         for (int64_t c = c0; c < c1; ++c) {
           double sum_dy = 0.0, sum_dy_xhat = 0.0;
           for (int64_t i = 0; i < n; ++i) {
-            const float* dy = grad_out.data() + (i * channels + c) * hw;
-            const float* xh = x_hat_.data() + (i * channels + c) * hw;
+            const float* dy = gd + (i * channels + c) * hw;
+            const float* xh = xhd + (i * channels + c) * hw;
             for (int64_t k = 0; k < hw; ++k) {
               sum_dy += dy[k];
               sum_dy_xhat += static_cast<double>(dy[k]) * xh[k];
             }
           }
-          gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
-          beta_.grad[c] += static_cast<float>(sum_dy);
-          float g = gamma_.value[c];
-          float inv_std = batch_inv_std_[c];
+          gg[c] += static_cast<float>(sum_dy_xhat);
+          bg[c] += static_cast<float>(sum_dy);
+          float g = gv[c];
+          float inv_std = bis[c];
           float coef = g * inv_std / static_cast<float>(m);
           for (int64_t i = 0; i < n; ++i) {
-            const float* dy = grad_out.data() + (i * channels + c) * hw;
-            const float* xh = x_hat_.data() + (i * channels + c) * hw;
-            float* pdx = dx.data() + (i * channels + c) * hw;
+            const float* dy = gd + (i * channels + c) * hw;
+            const float* xh = xhd + (i * channels + c) * hw;
+            float* pdx = dxd + (i * channels + c) * hw;
             for (int64_t k = 0; k < hw; ++k) {
               pdx[k] = coef * (static_cast<float>(m) * dy[k] -
                                static_cast<float>(sum_dy) -
@@ -456,8 +485,8 @@ Tensor ReLU::Forward(const Tensor& x, bool training) {
   Tensor y(x.shape());
   if (training) mask_ = Tensor(x.shape());
   const float* src = x.data();
-  float* dst = y.data();
-  float* mask = training ? mask_.data() : nullptr;
+  float* dst = y.MutableData();
+  float* mask = training ? mask_.MutableData() : nullptr;
   automc::ParallelFor(x.numel(), kElemwiseGrain, [=](int64_t b, int64_t e) {
     for (int64_t i = b; i < e; ++i) {
       bool pos = src[i] > 0.0f;
@@ -473,7 +502,7 @@ Tensor ReLU::Backward(const Tensor& grad_out) {
   Tensor dx(grad_out.shape());
   const float* g = grad_out.data();
   const float* mask = mask_.data();
-  float* dst = dx.data();
+  float* dst = dx.MutableData();
   automc::ParallelFor(dx.numel(), kElemwiseGrain, [=](int64_t b, int64_t e) {
     for (int64_t i = b; i < e; ++i) dst[i] = g[i] * mask[i];
   });
@@ -526,7 +555,7 @@ Tensor LMAActivation::Forward(const Tensor& x, bool training) {
   // elementwise chunks are independent. Backward stays serial: every element
   // accumulates into the same slope/offset gradients.
   const float* src = x.data();
-  float* dst = y.data();
+  float* dst = y.MutableData();
   automc::ParallelFor(x.numel(), kElemwiseGrain, [&, src, dst](int64_t b,
                                                                int64_t e) {
     for (int64_t i = b; i < e; ++i) {
@@ -587,7 +616,7 @@ Tensor MaxPool2d::Forward(const Tensor& x, bool training) {
   // running counter crosses chunk boundaries.
   int64_t per_map = oh * ow;
   const float* xd = x.data();
-  float* yd = y.data();
+  float* yd = y.MutableData();
   int64_t* am = training ? argmax_.data() : nullptr;
   int64_t kernel = kernel_, stride = stride_;
   automc::ParallelFor(
@@ -628,7 +657,7 @@ Tensor MaxPool2d::Backward(const Tensor& grad_out) {
   // dx, so maps are independent.
   const float* gd = grad_out.data();
   const int64_t* am = argmax_.data();
-  float* dxd = dx.data();
+  float* dxd = dx.MutableData();
   automc::ParallelFor(
       n * c, ChannelGrain(n * c, per_map),
       [=](int64_t m0, int64_t m1) {
@@ -653,7 +682,7 @@ Tensor GlobalAvgPool::Forward(const Tensor& x, bool training) {
   Tensor y({n, c, 1, 1});
   float inv = 1.0f / static_cast<float>(h * w);
   const float* xd = x.data();
-  float* yd = y.data();
+  float* yd = y.MutableData();
   int64_t hw = h * w;
   automc::ParallelFor(n * c, ChannelGrain(n * c, hw),
                       [=](int64_t m0, int64_t m1) {
@@ -673,7 +702,7 @@ Tensor GlobalAvgPool::Backward(const Tensor& grad_out) {
   Tensor dx(x_shape_);
   float inv = 1.0f / static_cast<float>(h * w);
   const float* gd = grad_out.data();
-  float* dxd = dx.data();
+  float* dxd = dx.MutableData();
   int64_t hw = h * w;
   automc::ParallelFor(n * c, ChannelGrain(n * c, hw),
                       [=](int64_t m0, int64_t m1) {

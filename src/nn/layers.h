@@ -16,6 +16,9 @@ namespace nn {
 // Bias is optional (CIFAR-style nets put normalization right after convs).
 class Conv2d : public Layer {
  public:
+  // `rng == nullptr` skips Kaiming init and leaves the weight aliasing the
+  // shared zero page — for shells whose weights are assigned right after
+  // construction (Clone, deserialization).
   Conv2d(int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
          int64_t pad, bool has_bias, Rng* rng);
 
@@ -59,6 +62,7 @@ class Conv2d : public Layer {
 // Fully connected layer over [N, in] input; weight [out, in], bias [out].
 class Linear : public Layer {
  public:
+  // As with Conv2d, `rng == nullptr` builds a zero-page-aliased shell.
   Linear(int64_t in, int64_t out, Rng* rng);
 
   tensor::Tensor Forward(const tensor::Tensor& x, bool training) override;

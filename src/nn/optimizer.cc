@@ -15,13 +15,19 @@ void Sgd::Step(const std::vector<Param*>& params) {
                .first;
     }
     tensor::Tensor& vel = it->second;
-    for (int64_t i = 0; i < p->value.numel(); ++i) {
-      float g = p->grad[i] + weight_decay_ * p->value[i];
+    // Hoisted pointers: one COW materialization per tensor per step, not
+    // one shared-buffer check per element.
+    const int64_t n = p->value.numel();
+    const float* gd = p->grad.data();
+    float* vd = vel.MutableData();
+    float* wd = p->value.MutableData();
+    for (int64_t i = 0; i < n; ++i) {
+      float g = gd[i] + weight_decay_ * wd[i];
       // Elementwise clip keeps a single exploding batch from destroying the
       // run (compressed models can produce large transient gradients).
       g = std::clamp(g, -5.0f, 5.0f);
-      vel[i] = momentum_ * vel[i] + g;
-      p->value[i] -= lr_ * vel[i];
+      vd[i] = momentum_ * vd[i] + g;
+      wd[i] -= lr_ * vd[i];
     }
   }
 }
@@ -39,13 +45,18 @@ void Adam::Step(const std::vector<Param*>& params) {
     s.t += 1;
     float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(s.t));
     float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(s.t));
-    for (int64_t i = 0; i < p->value.numel(); ++i) {
-      float g = p->grad[i];
-      s.m[i] = beta1_ * s.m[i] + (1.0f - beta1_) * g;
-      s.v[i] = beta2_ * s.v[i] + (1.0f - beta2_) * g * g;
-      float mhat = s.m[i] / bc1;
-      float vhat = s.v[i] / bc2;
-      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    const int64_t n = p->value.numel();
+    const float* gd = p->grad.data();
+    float* md = s.m.MutableData();
+    float* vd = s.v.MutableData();
+    float* wd = p->value.MutableData();
+    for (int64_t i = 0; i < n; ++i) {
+      float g = gd[i];
+      md[i] = beta1_ * md[i] + (1.0f - beta1_) * g;
+      vd[i] = beta2_ * vd[i] + (1.0f - beta2_) * g * g;
+      float mhat = md[i] / bc1;
+      float vhat = vd[i] / bc2;
+      wd[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
 }
@@ -83,10 +94,13 @@ bool Adam::LoadState(const std::vector<Param*>& params, ByteReader* r) {
     }
     State s;
     s.t = t;
-    s.m = tensor::Tensor::Zeros(p->value.shape());
-    s.v = tensor::Tensor::Zeros(p->value.shape());
-    std::memcpy(s.m.data(), m.data(), m.size() * sizeof(float));
-    std::memcpy(s.v.data(), v.data(), v.size() * sizeof(float));
+    // Fresh (unshared) buffers written in place: restoring state must not
+    // register as COW traffic, and Zeros would alias the zero page only to
+    // materialize on the next line.
+    s.m = tensor::Tensor(p->value.shape());
+    s.v = tensor::Tensor(p->value.shape());
+    std::memcpy(s.m.MutableData(), m.data(), m.size() * sizeof(float));
+    std::memcpy(s.v.MutableData(), v.data(), v.size() * sizeof(float));
     restored[p] = std::move(s);
   }
   state_ = std::move(restored);

@@ -24,7 +24,7 @@ void MatVec(const Tensor& w, const Tensor& x, Tensor* y) {
   AUTOMC_CHECK_EQ(y->numel(), out);
   const float* wd = w.data();
   const float* xd = x.data();
-  float* yd = y->data();
+  float* yd = y->MutableData();
   int64_t grain = std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, in));
   automc::ParallelFor(out, grain, [=](int64_t o0, int64_t o1) {
     for (int64_t o = o0; o < o1; ++o) {
@@ -59,7 +59,7 @@ void OuterAccumulate(const Tensor& dy, const Tensor& x, Tensor* dw) {
   for (int64_t o = 0; o < out; ++o) {
     float g = dy[o];
     if (g == 0.0f) continue;
-    float* row = dw->data() + o * in;
+    float* row = dw->MutableData() + o * in;
     for (int64_t i = 0; i < in; ++i) row[i] += g * x[i];
   }
 }

@@ -50,8 +50,10 @@ void WriteString(std::ostream* out, const std::string& s) {
 void WriteTensor(std::ostream* out, const tensor::Tensor& t) {
   WriteU32(out, static_cast<uint32_t>(t.dim()));
   for (int64_t i = 0; i < t.dim(); ++i) WriteI64(out, t.size(i));
-  out->write(reinterpret_cast<const char*>(t.data()),
-             static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (t.numel() > 0) {
+    out->write(reinterpret_cast<const char*>(t.data()),
+               static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
 }
 
 Result<uint32_t> ReadU32(std::istream* in) {
@@ -95,9 +97,13 @@ Result<tensor::Tensor> ReadTensor(std::istream* in) {
   }
   tensor::Tensor t(shape);
   AUTOMC_CHECK_EQ(t.numel(), numel);
-  in->read(reinterpret_cast<char*>(t.data()),
-           static_cast<std::streamsize>(numel * sizeof(float)));
-  if (!in->good()) return Status::OutOfRange("truncated stream (tensor)");
+  if (numel > 0) {
+    // The tensor was just allocated, so MutableData is a plain pointer
+    // fetch — deserialization never materializes COW copies.
+    in->read(reinterpret_cast<char*>(t.MutableData()),
+             static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in->good()) return Status::OutOfRange("truncated stream (tensor)");
+  }
   return t;
 }
 
@@ -242,9 +248,9 @@ Result<std::unique_ptr<Layer>> ReadLayer(std::istream* in) {
       AUTOMC_ASSIGN_OR_RETURN(int64_t stride, ReadI64(in));
       AUTOMC_ASSIGN_OR_RETURN(int64_t pad, ReadI64(in));
       AUTOMC_ASSIGN_OR_RETURN(uint32_t has_bias, ReadU32(in));
-      Rng dummy(0);
+      // nullptr rng: skip weight init, the stream overwrites it below.
       auto conv = std::make_unique<Conv2d>(in_c, out_c, kernel, stride, pad,
-                                           has_bias != 0, &dummy);
+                                           has_bias != 0, nullptr);
       AUTOMC_ASSIGN_OR_RETURN(tensor::Tensor w, ReadTensor(in));
       if (w.numel() != conv->weight().value.numel()) {
         return Status::InvalidArgument("conv weight size mismatch");
@@ -262,8 +268,7 @@ Result<std::unique_ptr<Layer>> ReadLayer(std::istream* in) {
     case kTagLinear: {
       AUTOMC_ASSIGN_OR_RETURN(int64_t in_f, ReadI64(in));
       AUTOMC_ASSIGN_OR_RETURN(int64_t out_f, ReadI64(in));
-      Rng dummy(0);
-      auto lin = std::make_unique<Linear>(in_f, out_f, &dummy);
+      auto lin = std::make_unique<Linear>(in_f, out_f, nullptr);
       AUTOMC_ASSIGN_OR_RETURN(tensor::Tensor w, ReadTensor(in));
       AUTOMC_ASSIGN_OR_RETURN(tensor::Tensor b, ReadTensor(in));
       if (w.numel() != in_f * out_f || b.numel() != out_f) {

@@ -84,10 +84,12 @@ class SchemeEvaluator {
   //      deepest shared *unmaterialized* prefix — schemes that would execute
   //      overlapping tree nodes land in one serial chain so every strategy
   //      executes at most once;
-  //   2. speculate (parallel): each chain clones its model snapshot and
-  //      executes its strategies; per-node deterministic seeding makes every
-  //      node's model and point a pure function of the scheme prefix, so
-  //      speculative results are exact regardless of commit order;
+  //   2. speculate (parallel): each chain clones its model snapshot (an
+  //      O(1) copy-on-write alias — bytes are copied only for the layers a
+  //      strategy actually rewrites) and executes its strategies; per-node
+  //      deterministic seeding makes every node's model and point a pure
+  //      function of the scheme prefix, so speculative results are exact
+  //      regardless of commit order;
   //   3. commit (serial, ascending submission order): replay the serial
   //      Evaluate algorithm, consuming speculative nodes instead of running
   //      compressors. All shared-state mutation (LRU ticks and evictions,
@@ -193,7 +195,9 @@ class SchemeEvaluator {
   EvalPoint base_point_;
   std::map<std::string, CacheEntry, std::less<>> cache_;
   // Every point measured or store-served this run, keyed like cache_ but
-  // never evicted (points are ~48 bytes; model snapshots are megabytes).
+  // never evicted (points are ~48 bytes; model snapshots own megabytes of
+  // parameters, though cached clones of a live model cost O(1) until one
+  // side diverges — tensors are copy-on-write).
   // Keys form prefix-closed chains: a point's parent prefix is always
   // present. models in cache_ are a subset of points_ keys.
   std::map<std::string, EvalPoint, std::less<>> points_;

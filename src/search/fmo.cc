@@ -99,7 +99,7 @@ bool Fmo::Restore(ByteReader* r) {
     std::vector<float> data;
     if (!r->Floats(&data)) return false;
     if (static_cast<int64_t>(data.size()) != p->value.numel()) return false;
-    std::copy(data.begin(), data.end(), p->value.data());
+    std::copy(data.begin(), data.end(), p->value.MutableData());
   }
   return optimizer_.LoadState(params, r);
 }

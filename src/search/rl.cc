@@ -99,7 +99,7 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
     Tensor e({options_.action_embedding_dim});
     const float* src =
         s.embeddings.value.data() + row * options_.action_embedding_dim;
-    std::copy(src, src + options_.action_embedding_dim, e.data());
+    std::copy(src, src + options_.action_embedding_dim, e.MutableData());
     return e;
   };
 
@@ -189,7 +189,7 @@ Result<SearchOutcome> RlSearcher::Search(SchemeEvaluator* evaluator,
       dh.AddInPlace(dh_next);
       auto [dx, dh_prev] = s.gru.BackwardStep(step.gru_cache, dh);
       // Accumulate into the input embedding row.
-      float* grow = s.embeddings.grad.data() +
+      float* grow = s.embeddings.grad.MutableData() +
                     step.input_row * options_.action_embedding_dim;
       for (int64_t i = 0; i < options_.action_embedding_dim; ++i) {
         grow[i] += dx[i];

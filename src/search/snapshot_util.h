@@ -39,7 +39,9 @@ inline bool ReadTensor(ByteReader* r, tensor::Tensor* t) {
   std::vector<float> data;
   if (!r->Floats(&data)) return false;
   tensor::Tensor out({static_cast<int64_t>(data.size())});
-  std::memcpy(out.data(), data.data(), data.size() * sizeof(float));
+  if (!data.empty()) {
+    std::memcpy(out.MutableData(), data.data(), data.size() * sizeof(float));
+  }
   *t = std::move(out);
   return true;
 }
@@ -62,7 +64,10 @@ inline bool ReadParamValues(ByteReader* r,
     std::vector<float> data;
     if (!r->Floats(&data)) return false;
     if (static_cast<int64_t>(data.size()) != p->value.numel()) return false;
-    std::memcpy(p->value.data(), data.data(), data.size() * sizeof(float));
+    if (!data.empty()) {
+      std::memcpy(p->value.MutableData(), data.data(),
+                  data.size() * sizeof(float));
+    }
   }
   return true;
 }

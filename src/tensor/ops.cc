@@ -211,7 +211,7 @@ void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   AUTOMC_CHECK_EQ(b.size(0), k);
   AUTOMC_CHECK_EQ(c->size(0), m);
   AUTOMC_CHECK_EQ(c->size(1), n);
-  GemmAccumRaw(a.data(), b.data(), c->data(), m, k, n);
+  GemmAccumRaw(a.data(), b.data(), c->MutableData(), m, k, n);
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -226,7 +226,7 @@ Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
   int64_t k = a.size(0), m = a.size(1), n = b.size(1);
   AUTOMC_CHECK_EQ(b.size(0), k);
   Tensor c({m, n});
-  GemmTransposeARaw(a.data(), b.data(), c.data(), m, k, n);
+  GemmTransposeARaw(a.data(), b.data(), c.MutableData(), m, k, n);
   return c;
 }
 
@@ -236,7 +236,7 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   int64_t m = a.size(0), k = a.size(1), n = b.size(0);
   AUTOMC_CHECK_EQ(b.size(1), k);
   Tensor c({m, n});
-  GemmTransposeBRaw(a.data(), b.data(), c.data(), m, k, n);
+  GemmTransposeBRaw(a.data(), b.data(), c.MutableData(), m, k, n);
   return c;
 }
 
@@ -245,7 +245,9 @@ void Im2Col(const float* x, const ConvGeometry& g, Tensor* cols) {
   AUTOMC_CHECK_EQ(cols->dim(), 2);
   AUTOMC_CHECK_EQ(cols->size(0), g.in_c * g.kernel * g.kernel);
   AUTOMC_CHECK_EQ(cols->size(1), oh * ow);
-  float* out = cols->data();
+  // Every element (zero padding included) is written below, so a shared
+  // cols buffer is replaced, never copied.
+  float* out = cols->MutableDataDiscard();
   int64_t col_w = oh * ow;
   for (int64_t c = 0; c < g.in_c; ++c) {
     const float* xc = x + c * g.in_h * g.in_w;
@@ -303,7 +305,7 @@ Tensor LogSoftmax(const Tensor& logits) {
   int64_t n = logits.size(0), c = logits.size(1);
   Tensor out({n, c});
   const float* src = logits.data();
-  float* dst = out.data();
+  float* dst = out.MutableData();
   automc::ParallelFor(n, RowGrain(n, 3 * c), [=](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const float* row = src + i * c;

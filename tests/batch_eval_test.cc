@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 #include "gtest/gtest.h"
 #include "nn/trainer.h"
 #include "search/evaluator.h"
@@ -300,6 +301,65 @@ TEST(BatchEvalTest, StoreBytesMatchSerial) {
     EXPECT_EQ(warm.strategy_executions(), 0);
     EXPECT_EQ(warm.charged_executions(), batch_charged);
     EXPECT_EQ((*store)->appends(), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// COW traffic: the speculation phase clones model snapshots per chain, and
+// copy-on-write is what makes those clones O(1). These sections assert —
+// via the tensor.cow_* counters — that a full 16-candidate round copies
+// bytes only for the layers compression/finetune actually rewrites, and
+// that a warm (fully cached) round copies nothing at all.
+
+int64_t CowCounter(const char* name) {
+  return metrics::MetricsRegistry::Global().GetCounter(name).value();
+}
+
+TEST(BatchEvalTest, SixteenCandidateRoundCopiesOnlyRewrittenLayers) {
+  BatchFixture f;
+  // 16 schemes over the 5-strategy space, with heavy prefix overlap.
+  const std::vector<std::vector<int>> schemes = {
+      {0},       {1},       {2},       {3},          {4},       {0, 1},
+      {0, 2},    {1, 2},    {1, 3},    {2, 3},       {0, 1, 2}, {1, 2, 3},
+      {2, 3, 4}, {0, 1, 3}, {3, 4},    {0, 3}};
+  const int64_t model_tensors =
+      static_cast<int64_t>(f.model->Params().size());
+
+  for (int threads : {1, 4}) {
+    PoolGuard pool(threads);
+    SchemeEvaluator ev = f.MakeEvaluator();
+
+    int64_t mat0 = CowCounter("tensor.cow_materializations");
+    int64_t mat_bytes0 = CowCounter("tensor.cow_materialized_bytes");
+    int64_t shared0 = CowCounter("tensor.shared_bytes");
+    ASSERT_TRUE(ev.EvaluateBatch(schemes).ok());
+    int64_t mat = CowCounter("tensor.cow_materializations") - mat0;
+    int64_t mat_bytes = CowCounter("tensor.cow_materialized_bytes") - mat_bytes0;
+    int64_t shared = CowCounter("tensor.shared_bytes") - shared0;
+
+    // Each strategy execution clones a snapshot (O(1)), compresses (rewrites
+    // a subset of layers), finetunes (materializes each trained tensor at
+    // most once), and caches a clone of the result (O(1) again). A deep
+    // copy anywhere in that loop would scale with clone count x model size
+    // and blow straight through this per-execution tensor budget.
+    int64_t executions = ev.strategy_executions();
+    ASSERT_GT(executions, 0);
+    EXPECT_LE(mat, executions * (6 * model_tensors + 16))
+        << "threads=" << threads << ": speculative evaluation materialized "
+        << mat << " buffers over " << executions << " executions";
+    // The aliasing the round relied on must dwarf the bytes it copied:
+    // most snapshot traffic stays shared.
+    EXPECT_GT(shared, mat_bytes)
+        << "threads=" << threads << " shared=" << shared
+        << " materialized=" << mat_bytes;
+
+    // Warm repeat of the same 16 candidates: everything is served from the
+    // point index — not a single buffer may materialize.
+    int64_t warm_mat0 = CowCounter("tensor.cow_materializations");
+    ASSERT_TRUE(ev.EvaluateBatch(schemes).ok());
+    EXPECT_EQ(CowCounter("tensor.cow_materializations"), warm_mat0)
+        << "threads=" << threads
+        << ": a fully cached round should copy zero bytes";
   }
 }
 

@@ -85,7 +85,7 @@ TEST(SurgeryTest, PruningZeroFiltersPreservesFunction) {
   // vanishes in eval mode.
   int64_t fsize =
       unit.conv->in_channels() * unit.conv->kernel() * unit.conv->kernel();
-  float* w = unit.conv->weight().value.data() + 1 * fsize;
+  float* w = unit.conv->weight().value.MutableData() + 1 * fsize;
   std::fill(w, w + fsize, 0.0f);
   unit.bn->gamma().value[1] = 0.0f;
   unit.bn->beta().value[1] = 0.0f;

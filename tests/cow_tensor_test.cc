@@ -1,0 +1,378 @@
+// Invariant suite for the copy-on-write tensor buffer. These tests pin the
+// aliasing contract that makes Model::Clone O(1): copies alias, the first
+// write through a mutable accessor materializes exactly one private copy,
+// and concurrent readers of other aliases never observe the write.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace automc {
+namespace tensor {
+namespace {
+
+int64_t Counter(const char* name) {
+  return metrics::MetricsRegistry::Global().GetCounter(name).value();
+}
+
+// Counter-delta expectations scale by this so the suite also passes when
+// metrics are compiled out (-DAUTOMC_DISABLE_METRICS): the aliasing
+// behavior is unchanged, only the instrumentation goes quiet.
+#ifdef AUTOMC_DISABLE_METRICS
+constexpr int64_t kMetricsOn = 0;
+#else
+constexpr int64_t kMetricsOn = 1;
+#endif
+
+Tensor Iota(int64_t n) {
+  Tensor t({n});
+  float* d = t.MutableData();
+  for (int64_t i = 0; i < n; ++i) d[i] = static_cast<float>(i);
+  return t;
+}
+
+TEST(CowTensorTest, CopyAliasesBufferInO1) {
+  Tensor a = Iota(16);
+  int64_t copies0 = Counter("tensor.cow_copies");
+  int64_t shared0 = Counter("tensor.shared_bytes");
+  int64_t mat0 = Counter("tensor.cow_materializations");
+
+  Tensor b = a;
+  EXPECT_TRUE(b.SharesBufferWith(a));
+  EXPECT_EQ(b.data(), a.data());
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(b.use_count(), 2);
+  EXPECT_EQ(Counter("tensor.cow_copies"), copies0 + kMetricsOn);
+  EXPECT_EQ(Counter("tensor.shared_bytes"),
+            shared0 + kMetricsOn * 16 * static_cast<int64_t>(sizeof(float)));
+  // Aliasing alone never materializes.
+  EXPECT_EQ(Counter("tensor.cow_materializations"), mat0);
+}
+
+TEST(CowTensorTest, FirstWriteMaterializesExactlyOnce) {
+  Tensor a = Iota(16);
+  Tensor b = a;
+  int64_t mat0 = Counter("tensor.cow_materializations");
+  int64_t bytes0 = Counter("tensor.cow_materialized_bytes");
+
+  float* bd = b.MutableData();
+  EXPECT_FALSE(b.SharesBufferWith(a));
+  EXPECT_EQ(Counter("tensor.cow_materializations"), mat0 + kMetricsOn);
+  EXPECT_EQ(Counter("tensor.cow_materialized_bytes"),
+            bytes0 + kMetricsOn * 16 * static_cast<int64_t>(sizeof(float)));
+  // The materialized copy preserves the pre-write bytes.
+  for (int64_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(bd[i], static_cast<float>(i));
+
+  // Subsequent writes are in place: no further materializations.
+  bd[3] = -1.0f;
+  b.MutableData();
+  b[5] = -2.0f;
+  EXPECT_EQ(Counter("tensor.cow_materializations"), mat0 + kMetricsOn);
+}
+
+TEST(CowTensorTest, ReaderSeesPreWriteBytes) {
+  Tensor a = Iota(8);
+  Tensor b = a;
+  b[0] = 100.0f;
+  b[7] = 200.0f;
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], static_cast<float>(i));
+  }
+  EXPECT_FLOAT_EQ(b.data()[0], 100.0f);
+  EXPECT_FLOAT_EQ(b.data()[7], 200.0f);
+}
+
+TEST(CowTensorTest, ChainedAliasWriteDetachesOnlyTheWriter) {
+  Tensor a = Iota(8);
+  Tensor b = a;
+  Tensor c = b;
+  EXPECT_EQ(a.use_count(), 3);
+
+  b[2] = 50.0f;  // detach B; A and C keep sharing the original buffer
+  EXPECT_FALSE(b.SharesBufferWith(a));
+  EXPECT_FALSE(b.SharesBufferWith(c));
+  EXPECT_TRUE(a.SharesBufferWith(c));
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(b.use_count(), 1);
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], static_cast<float>(i));
+    EXPECT_FLOAT_EQ(c.data()[i], static_cast<float>(i));
+  }
+  EXPECT_FLOAT_EQ(b.data()[2], 50.0f);
+}
+
+TEST(CowTensorTest, RefcountReturnsToOneWhenAliasesDie) {
+  Tensor a = Iota(8);
+  {
+    Tensor b = a;
+    Tensor c = a;
+    EXPECT_EQ(a.use_count(), 3);
+  }
+  EXPECT_EQ(a.use_count(), 1);
+
+  // Sole owner again: writes are in place, no materialization.
+  int64_t mat0 = Counter("tensor.cow_materializations");
+  a.MutableData()[0] = 9.0f;
+  EXPECT_EQ(Counter("tensor.cow_materializations"), mat0);
+}
+
+TEST(CowTensorTest, ZeroSizeTensorsBehave) {
+  Tensor empty;
+  EXPECT_EQ(empty.numel(), 0);
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_EQ(empty.data(), nullptr);
+  EXPECT_EQ(empty.MutableData(), nullptr);
+  empty.Fill(1.0f);  // no-op, must not crash
+  EXPECT_FLOAT_EQ(empty.SumAll(), 0.0f);
+
+  Tensor shaped_empty({0});
+  EXPECT_EQ(shaped_empty.numel(), 0);
+  EXPECT_EQ(shaped_empty.data(), nullptr);
+
+  int64_t copies0 = Counter("tensor.cow_copies");
+  Tensor alias = empty;  // copying an empty tensor records no COW traffic
+  EXPECT_EQ(alias.use_count(), 0);
+  EXPECT_FALSE(alias.SharesBufferWith(empty));
+  EXPECT_EQ(Counter("tensor.cow_copies"), copies0);
+}
+
+TEST(CowTensorTest, MovedFromTensorIsEmptyAndReusable) {
+  Tensor a = Iota(8);
+  Tensor b = std::move(a);
+  EXPECT_EQ(a.numel(), 0);        // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.use_count(), 0);    // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.data(), nullptr);   // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.numel(), 8);
+  EXPECT_EQ(b.use_count(), 1);
+  EXPECT_FLOAT_EQ(b.data()[5], 5.0f);
+
+  a = Iota(4);  // reusable after move-out
+  EXPECT_EQ(a.numel(), 4);
+  EXPECT_FLOAT_EQ(a.data()[3], 3.0f);
+
+  // Move does not touch the buffer: the move target still shares with any
+  // surviving alias of the source.
+  Tensor c = b;
+  Tensor d = std::move(b);
+  EXPECT_TRUE(d.SharesBufferWith(c));
+  EXPECT_EQ(d.use_count(), 2);
+}
+
+TEST(CowTensorTest, ReshapedIsAnAlias) {
+  Tensor t = Iota(12);
+  Tensor r = t.Reshaped({3, 4});
+  EXPECT_TRUE(r.SharesBufferWith(t));
+  EXPECT_EQ(r.numel(), 12);
+
+  r.at(1, 1) = -5.0f;  // write through the view detaches the view only
+  EXPECT_FALSE(r.SharesBufferWith(t));
+  EXPECT_FLOAT_EQ(t.data()[5], 5.0f);
+  EXPECT_FLOAT_EQ(r.data()[5], -5.0f);
+}
+
+TEST(CowTensorTest, ZerosAliasesTheSharedZeroPage) {
+  int64_t mat0 = Counter("tensor.cow_materializations");
+  Tensor z1 = Tensor::Zeros({64});
+  Tensor z2 = Tensor::Zeros({32});
+  // Both alias one process-wide page (the page holder keeps it alive too).
+  EXPECT_TRUE(z1.SharesBufferWith(z2));
+  EXPECT_GE(z1.use_count(), 3);
+  EXPECT_EQ(Counter("tensor.cow_materializations"), mat0);
+  for (int64_t i = 0; i < 64; ++i) EXPECT_FLOAT_EQ(z1.data()[i], 0.0f);
+
+  // Writing a zero tensor must never dirty the page for other aliases.
+  z1[0] = 1.0f;
+  EXPECT_FALSE(z1.SharesBufferWith(z2));
+  EXPECT_FLOAT_EQ(z2.data()[0], 0.0f);
+  Tensor z3 = Tensor::Zeros({64});
+  for (int64_t i = 0; i < 64; ++i) EXPECT_FLOAT_EQ(z3.data()[i], 0.0f);
+}
+
+TEST(CowTensorTest, FillZeroOnSharedBufferRealiasesZeroPage) {
+  Tensor a = Iota(16);
+  Tensor b = a;
+  int64_t bytes0 = Counter("tensor.cow_materialized_bytes");
+  b.Fill(0.0f);
+  // Fill(0) on a shared buffer swaps in the zero page without copying.
+  EXPECT_FALSE(b.SharesBufferWith(a));
+  EXPECT_EQ(Counter("tensor.cow_materialized_bytes"), bytes0);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], static_cast<float>(i));
+    EXPECT_FLOAT_EQ(b.data()[i], 0.0f);
+  }
+  EXPECT_TRUE(b.SharesBufferWith(Tensor::Zeros({16})));
+
+  // Non-zero fill on a shared buffer detaches without copying bytes.
+  Tensor c = a;
+  c.Fill(7.0f);
+  EXPECT_FALSE(c.SharesBufferWith(a));
+  EXPECT_FLOAT_EQ(a.data()[3], 3.0f);
+  EXPECT_FLOAT_EQ(c.data()[3], 7.0f);
+}
+
+TEST(CowTensorTest, FreshTensorsProduceNoCowTraffic) {
+  int64_t copies0 = Counter("tensor.cow_copies");
+  int64_t mat0 = Counter("tensor.cow_materializations");
+  Tensor t({8, 8});
+  float* d = t.MutableData();
+  for (int64_t i = 0; i < t.numel(); ++i) d[i] = 1.0f;
+  t.Scale(2.0f);
+  t.AddInPlace(t);
+  EXPECT_EQ(Counter("tensor.cow_copies"), copies0);
+  EXPECT_EQ(Counter("tensor.cow_materializations"), mat0);
+}
+
+TEST(CowTensorTest, MutableDataDiscardSkipsTheCopy) {
+  Tensor a = Iota(16);
+  Tensor b = a;
+  int64_t bytes0 = Counter("tensor.cow_materialized_bytes");
+  int64_t mat0 = Counter("tensor.cow_materializations");
+  float* bd = b.MutableDataDiscard();
+  EXPECT_FALSE(b.SharesBufferWith(a));
+  EXPECT_EQ(Counter("tensor.cow_materializations"), mat0 + kMetricsOn);
+  EXPECT_EQ(Counter("tensor.cow_materialized_bytes"), bytes0);  // no bytes copied
+  for (int64_t i = 0; i < 16; ++i) bd[i] = -1.0f;
+  EXPECT_FLOAT_EQ(a.data()[5], 5.0f);
+}
+
+// Randomized differential test: drive a pool of aliased tensors through
+// random alias/write/fill operations and mirror every step on independent
+// std::vector<float> references. COW must be observationally identical to
+// eager deep copies.
+TEST(CowTensorTest, RandomizedAliasWritesMatchEagerCopySemantics) {
+  Rng rng(20240809);
+  const int64_t n = 24;
+  std::vector<Tensor> pool;
+  std::vector<std::vector<float>> ref;
+  pool.push_back(Iota(n));
+  ref.emplace_back();
+  for (int64_t i = 0; i < n; ++i) ref.back().push_back(static_cast<float>(i));
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    int64_t which = rng.UniformInt(static_cast<int64_t>(pool.size()));
+    switch (rng.UniformInt(4)) {
+      case 0:  // alias an existing tensor
+        if (pool.size() < 16) {
+          pool.push_back(pool[static_cast<size_t>(which)]);
+          ref.push_back(ref[static_cast<size_t>(which)]);
+        }
+        break;
+      case 1: {  // single-element write
+        int64_t i = rng.UniformInt(n);
+        float v = static_cast<float>(rng.Uniform(-10.0, 10.0));
+        pool[static_cast<size_t>(which)][i] = v;
+        ref[static_cast<size_t>(which)][static_cast<size_t>(i)] = v;
+        break;
+      }
+      case 2: {  // fill (sometimes zero, exercising the zero page)
+        float v = rng.Bernoulli(0.3) ? 0.0f
+                                     : static_cast<float>(rng.Uniform(-2.0, 2.0));
+        pool[static_cast<size_t>(which)].Fill(v);
+        ref[static_cast<size_t>(which)].assign(static_cast<size_t>(n), v);
+        break;
+      }
+      case 3:  // drop a tensor (keep at least one)
+        if (pool.size() > 1) {
+          pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(which));
+          ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(which));
+        }
+        break;
+    }
+    for (size_t t = 0; t < pool.size(); ++t) {
+      const float* d = pool[t].data();
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(d[i], ref[t][static_cast<size_t>(i)])
+            << "iter " << iter << " tensor " << t << " index " << i;
+      }
+    }
+  }
+}
+
+// Concurrency: distinct Tensor objects aliasing one buffer may be read while
+// another alias materializes. Run under -DAUTOMC_SANITIZE=thread to prove
+// there is no data race (the shared_ptr control block is atomic and shared
+// buffer bytes are immutable).
+TEST(CowTensorTest, ConcurrentReadersWhileOneAliasMaterializes) {
+  const int kReaders = 6;
+  const int64_t n = 4096;
+  for (int round = 0; round < 20; ++round) {
+    Tensor base = Iota(n);
+    const double expected = static_cast<double>(n - 1) * n / 2.0;
+    std::vector<Tensor> aliases;
+    for (int r = 0; r < kReaders; ++r) aliases.push_back(base);
+    Tensor writer = base;
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kReaders + 1);
+    for (int r = 0; r < kReaders; ++r) {
+      threads.emplace_back([&go, &aliases, r, n, expected] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        const float* d = aliases[static_cast<size_t>(r)].data();
+        double s = 0.0;
+        for (int64_t i = 0; i < n; ++i) s += d[i];
+        EXPECT_DOUBLE_EQ(s, expected);
+      });
+    }
+    threads.emplace_back([&go, &writer] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      float* w = writer.MutableData();
+      w[0] = -1.0f;
+    });
+    go.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+
+    EXPECT_FLOAT_EQ(base.data()[0], 0.0f);
+    EXPECT_FLOAT_EQ(writer.data()[0], -1.0f);
+  }
+}
+
+// Many aliases materializing simultaneously: every thread must end up with
+// its own intact private copy.
+TEST(CowTensorTest, ConcurrentMaterializationsAreIndependent) {
+  const int kWriters = 8;
+  const int64_t n = 2048;
+  for (int round = 0; round < 20; ++round) {
+    Tensor base = Iota(n);
+    std::vector<Tensor> aliases;
+    for (int r = 0; r < kWriters; ++r) aliases.push_back(base);
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kWriters);
+    for (int r = 0; r < kWriters; ++r) {
+      threads.emplace_back([&go, &aliases, r, n] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        float* d = aliases[static_cast<size_t>(r)].MutableData();
+        d[r] = static_cast<float>(-(r + 1));
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+
+    for (int r = 0; r < kWriters; ++r) {
+      const Tensor& t = aliases[static_cast<size_t>(r)];
+      EXPECT_EQ(t.use_count(), 1);
+      for (int64_t i = 0; i < n; ++i) {
+        float want = (i == r) ? static_cast<float>(-(r + 1))
+                              : static_cast<float>(i);
+        ASSERT_EQ(t.data()[i], want) << "writer " << r << " index " << i;
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(base.data()[i], static_cast<float>(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace automc

@@ -1,6 +1,12 @@
+#include <sstream>
+#include <vector>
+
+#include "common/metrics.h"
 #include "data/dataset.h"
 #include "gtest/gtest.h"
 #include "nn/model.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
 #include "nn/trainer.h"
 #include "nn/visit.h"
 
@@ -9,6 +15,10 @@ namespace nn {
 namespace {
 
 using tensor::Tensor;
+
+int64_t CowCounter(const char* name) {
+  return metrics::MetricsRegistry::Global().GetCounter(name).value();
+}
 
 ModelSpec SmallSpec(const std::string& family, int depth) {
   ModelSpec s;
@@ -120,6 +130,137 @@ TEST(ModelTest, CloneIsIndependent) {
   EXPECT_GT(y_orig.L2NormSquared(), 0.0f);
   Tensor y_copy = copy->Forward(x, false);
   EXPECT_FLOAT_EQ(y_copy.L2NormSquared(), 0.0f);
+}
+
+// Clone must be a pure buffer alias: zero bytes copied, every parameter
+// sharing its source's buffer. This is the regression fence that keeps
+// hidden deep copies out of the speculative-evaluation path.
+TEST(ModelTest, CloneIsO1CowAlias) {
+  Rng rng(3);
+  auto model = BuildResNet(SmallSpec("resnet", 20), &rng);
+  ASSERT_TRUE(model.ok());
+
+  int64_t mat0 = CowCounter("tensor.cow_materializations");
+  int64_t copies0 = CowCounter("tensor.cow_copies");
+  auto copy = (*model)->Clone();
+  EXPECT_EQ(CowCounter("tensor.cow_materializations"), mat0)
+      << "Model::Clone materialized a buffer — a deep copy crept in";
+  EXPECT_GT(CowCounter("tensor.cow_copies"), copies0);
+
+  std::vector<Param*> src = (*model)->Params();
+  std::vector<Param*> dst = copy->Params();
+  ASSERT_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_TRUE(dst[i]->value.SharesBufferWith(src[i]->value))
+        << "param " << i << " was deep-copied by Clone";
+  }
+}
+
+// Training a clone must leave every source byte untouched, and the COW
+// traffic it generates must be bounded by the model's tensor count — not
+// by the number of optimizer steps (each shared tensor materializes at
+// most once, then stays private).
+TEST(ModelTest, TrainedCloneLeavesSourceBytesUntouched) {
+  data::SyntheticTaskConfig cfg;
+  cfg.num_classes = 2;
+  cfg.train_per_class = 8;
+  cfg.test_per_class = 2;
+  data::TaskData task = MakeSyntheticTask(cfg);
+
+  Rng rng(9);
+  ModelSpec spec = SmallSpec("vgg", 13);
+  spec.num_classes = 2;
+  auto model = BuildVgg(spec, &rng);
+  ASSERT_TRUE(model.ok());
+
+  std::vector<std::vector<float>> before;
+  for (Param* p : (*model)->Params()) {
+    before.emplace_back(p->value.data(), p->value.data() + p->value.numel());
+  }
+
+  auto copy = (*model)->Clone();
+  int64_t mat0 = CowCounter("tensor.cow_materializations");
+  TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 8;
+  Trainer trainer(tc);
+  ASSERT_TRUE(trainer.Fit(copy.get(), task.train).ok());
+
+  // Every shared tensor (param value/grad, BN stats, optimizer moments)
+  // materializes at most once across the whole run; a per-step deep copy
+  // would blow far past this bound.
+  int64_t params = static_cast<int64_t>((*model)->Params().size());
+  EXPECT_LE(CowCounter("tensor.cow_materializations") - mat0, 6 * params + 16);
+
+  std::vector<Param*> src = (*model)->Params();
+  ASSERT_EQ(src.size(), before.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    const float* d = src[i]->value.data();
+    for (int64_t j = 0; j < src[i]->value.numel(); ++j) {
+      ASSERT_EQ(d[j], before[i][static_cast<size_t>(j)])
+          << "training the clone dirtied source param " << i;
+    }
+  }
+}
+
+// Serialization reads shared buffers and deserialization writes only
+// freshly allocated ones: neither direction may materialize a COW copy.
+TEST(ModelTest, SerializeRoundTripIsCowFree) {
+  Rng rng(11);
+  auto model = BuildVgg(SmallSpec("vgg", 13), &rng);
+  ASSERT_TRUE(model.ok());
+  auto alias = (*model)->Clone();  // ensure the buffers really are shared
+
+  int64_t mat0 = CowCounter("tensor.cow_materializations");
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(SerializeModel(model->get(), &blob).ok());
+  auto restored = DeserializeModel(&blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(CowCounter("tensor.cow_materializations"), mat0)
+      << "serialize/deserialize should never copy shared buffers";
+
+  std::vector<Param*> src = (*model)->Params();
+  std::vector<Param*> dst = (*restored)->Params();
+  ASSERT_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(src[i]->value.numel(), dst[i]->value.numel());
+    const float* a = src[i]->value.data();
+    const float* b = dst[i]->value.data();
+    for (int64_t j = 0; j < src[i]->value.numel(); ++j) {
+      ASSERT_EQ(a[j], b[j]) << "param " << i << " byte mismatch";
+    }
+  }
+}
+
+// Adam checkpointing: SaveState only reads, LoadState fills fresh
+// buffers. Zero COW materializations either way.
+TEST(ModelTest, AdamStateRoundTripIsCowFree) {
+  Rng rng(12);
+  auto model = BuildResNet(SmallSpec("resnet", 20), &rng);
+  ASSERT_TRUE(model.ok());
+  std::vector<Param*> params = (*model)->Params();
+
+  Adam adam(0.001f);
+  for (Param* p : params) p->grad.Fill(0.01f);
+  adam.Step(params);
+  adam.Step(params);
+
+  int64_t mat0 = CowCounter("tensor.cow_materializations");
+  ByteWriter w;
+  adam.SaveState(params, &w);
+  std::string blob = w.Take();
+
+  Adam fresh(0.001f);
+  ByteReader r(blob);
+  ASSERT_TRUE(fresh.LoadState(params, &r));
+  EXPECT_EQ(CowCounter("tensor.cow_materializations"), mat0)
+      << "Adam state save/load should never copy shared buffers";
+
+  // The restored moments are bit-identical: re-saving them reproduces the
+  // original blob.
+  ByteWriter w2;
+  fresh.SaveState(params, &w2);
+  EXPECT_EQ(blob, w2.Take());
 }
 
 TEST(ModelTest, BuildModelDispatch) {

@@ -149,7 +149,7 @@ TEST_P(Im2ColAdjointTest, AdjointIdentity) {
   double lhs = 0.0;
   for (int64_t i = 0; i < cols.numel(); ++i) lhs += static_cast<double>(cols[i]) * y[i];
   Tensor back({g.in_c, g.in_h, g.in_w});
-  Col2Im(y, g, back.data());
+  Col2Im(y, g, back.MutableData());
   double rhs = 0.0;
   for (int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * back[i];
   EXPECT_NEAR(lhs, rhs, 1e-3 * std::max(1.0, std::fabs(lhs)));
