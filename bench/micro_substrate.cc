@@ -110,6 +110,52 @@ void BM_MatMulRef(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMulRef)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
+// Actual im2col GEMM shapes from the model zoo (vgg13 base_width=4 on the
+// 8x8 synthetic task, plus the resnet56 downsample): m = out_channels,
+// k = in_channels * 3 * 3, n = out_h * out_w. These are the per-sample
+// GEMMs Conv2d::Forward issues, so they measure what the search workload
+// actually runs — small m, k a multiple of 9, and n down to a single
+// column (where the SIMD path falls back to scalar tails).
+void BM_GemmConvShape(benchmark::State& state) {
+  int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn({m, k}, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn({k, n}, &rng);
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  for (auto _ : state) {
+    tensor::GemmAccumRaw(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+}
+BENCHMARK(BM_GemmConvShape)
+    ->Args({4, 27, 64})
+    ->Args({4, 36, 64})
+    ->Args({8, 36, 16})
+    ->Args({8, 72, 16})
+    ->Args({16, 144, 4})
+    ->Args({32, 288, 1});
+
+void BM_GemmConvShapeRef(benchmark::State& state) {
+  int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn({m, k}, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn({k, n}, &rng);
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  for (auto _ : state) {
+    RefGemm(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+}
+BENCHMARK(BM_GemmConvShapeRef)
+    ->Args({4, 27, 64})
+    ->Args({4, 36, 64})
+    ->Args({8, 36, 16})
+    ->Args({8, 72, 16})
+    ->Args({16, 144, 4})
+    ->Args({32, 288, 1});
+
 void BM_MatrixMultiply(benchmark::State& state) {
   int64_t n = state.range(0);
   Rng rng(1);

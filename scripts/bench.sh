@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${AUTOMC_BENCH_BUILD_DIR:-build}"
 OUT_JSON="BENCH_kernels.json"
-FILTER='BM_MatMul|BM_MatMulRef|BM_MatrixMultiply|BM_Conv2dForward|BM_Conv2dForwardRef|BM_Conv2dBackward|BM_Conv2dBackwardRef|BM_ParallelForOverhead|BM_FmoPredict'
+FILTER='BM_MatMul|BM_MatMulRef|BM_GemmConvShape|BM_MatrixMultiply|BM_Conv2dForward|BM_Conv2dForwardRef|BM_Conv2dBackward|BM_Conv2dBackwardRef|BM_ParallelForOverhead|BM_FmoPredict'
 
 SECTIONS="${AUTOMC_BENCH_SECTIONS:-kernels,eval,server}"
 want() { [[ ",${SECTIONS}," == *",$1,"* ]]; }
@@ -121,6 +121,22 @@ report = {
         f"n{n}": entry(f"BM_MatMul/{n}", f"BM_MatMulRef/{n}")
         for n in (32, 64, 128, 256)
     },
+    # Per-sample conv im2col GEMMs from the model zoo: m = out_c,
+    # k = in_c * 9, n = out_h * out_w (vgg13 base_width=4 on 8x8 inputs,
+    # plus the resnet56 downsample shape).
+    "gemm_conv_shapes": {
+        f"m{m}_k{k}_n{n}": entry(
+            f"BM_GemmConvShape/{m}/{k}/{n}", f"BM_GemmConvShapeRef/{m}/{k}/{n}"
+        )
+        for (m, k, n) in (
+            (4, 27, 64),
+            (4, 36, 64),
+            (8, 36, 16),
+            (8, 72, 16),
+            (16, 144, 4),
+            (32, 288, 1),
+        )
+    },
     "matrix_multiply_double": {
         f"n{n}": entry(f"BM_MatrixMultiply/{n}", None) for n in (64, 128)
     },
@@ -145,6 +161,28 @@ if e2e_t1 != "null":
         "fig4_search_curves_t4_s": float(e2e_t4),
         "speedup_t4_vs_t1": float(e2e_t1) / float(e2e_t4),
     }
+
+# Kernel regression gate: the freshly measured single-thread GEMM
+# throughput on the two largest shapes must not fall below 90% of the
+# previously recorded baseline. On regression the old baseline is kept
+# (the failing numbers are printed, not written) so reruns keep gating
+# against the last good recording.
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        old = json.load(f)
+    failures = []
+    for shape in ("n128", "n256"):
+        prev = old.get("gemm", {}).get(shape, {}).get("t1_gflops")
+        new = report["gemm"].get(shape, {}).get("t1_gflops")
+        if prev and new and new < 0.9 * prev:
+            failures.append(
+                f"gemm {shape}: t1_gflops {new:.2f} < 0.9 * baseline {prev:.2f}"
+            )
+    if failures:
+        for msg in failures:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        print(f"{out_path} left at the previous baseline", file=sys.stderr)
+        sys.exit(1)
 
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)

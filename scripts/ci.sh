@@ -18,13 +18,17 @@ run_suite() {
   shift
   cmake -B "${build_dir}" -S . "$@"
   cmake --build "${build_dir}" -j
-  # The whole suite runs twice: serial and with a 4-lane pool. Results must
-  # be identical (the determinism contract in DESIGN.md); the second pass
-  # also shakes out races under sanitizers.
-  for threads in 1 4; do
-    echo "-- ctest, AUTOMC_THREADS=${threads} --"
-    AUTOMC_THREADS="${threads}" \
-      ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+  # The whole suite runs four ways: {SIMD kernels on, forced scalar} x
+  # {serial, 4-lane pool}. Results must be identical across all of them
+  # (the determinism contract in DESIGN.md plus the microkernel contract in
+  # src/tensor/simd.h); the extra passes also shake out races under
+  # sanitizers and keep the scalar fallback permanently exercised.
+  for simd in 1 0; do
+    for threads in 1 4; do
+      echo "-- ctest, AUTOMC_SIMD=${simd} AUTOMC_THREADS=${threads} --"
+      AUTOMC_SIMD="${simd}" AUTOMC_THREADS="${threads}" \
+        ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+    done
   done
 }
 

@@ -1,0 +1,50 @@
+#ifndef AUTOMC_COMMON_ALIGNED_H_
+#define AUTOMC_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+
+namespace automc {
+
+// Minimal stateless allocator that over-aligns every allocation to
+// `Alignment` bytes. tensor::Tensor uses it (64-byte alignment, one cache
+// line / one AVX-512 lane) so the SIMD GEMM kernels can issue aligned
+// vector loads against buffer starts and packed panels, and so no tensor
+// buffer ever straddles a cache line at element 0.
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not be weaker than the natural one");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace automc
+
+#endif  // AUTOMC_COMMON_ALIGNED_H_

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "tensor/simd.h"
+#include "tensor/tune.h"
 
 namespace automc {
 namespace tensor {
@@ -15,14 +18,14 @@ namespace {
 constexpr int64_t kFlopsPerChunk = 1 << 17;
 
 // Rows per chunk so each chunk carries ~kFlopsPerChunk multiply-adds,
-// rounded up to a multiple of four so the quad-row register-blocked path
-// covers whole chunks. Depends only on the problem shape, never on the
-// thread count.
-int64_t RowGrain(int64_t m, int64_t flops_per_row) {
+// rounded up to a multiple of `round_to` so register-blocked row bands
+// cover whole chunks. Depends only on the problem shape and tile choice,
+// never on the thread count.
+int64_t RowGrain(int64_t m, int64_t flops_per_row, int64_t round_to = 4) {
   if (flops_per_row <= 0) return m > 0 ? m : 1;
   int64_t rows = kFlopsPerChunk / flops_per_row;
   if (rows < 1) rows = 1;
-  rows = (rows + 3) & ~int64_t{3};
+  rows = (rows + round_to - 1) / round_to * round_to;
   if (rows > m && m > 0) rows = m;
   return rows;
 }
@@ -31,176 +34,70 @@ int64_t RowGrain(int64_t m, int64_t flops_per_row) {
 
 namespace {
 
-// Side of the register tile along n: 4 output rows x kTileN columns of C
-// are held in local accumulators across the entire k loop, so C is loaded
-// and stored once per tile instead of once per (k, row) step, and B rows
-// are shared by four accumulator streams. Every c[i][j] still accumulates
-// its products in ascending-k order, so the result is bit-identical to the
-// plain row-at-a-time loop regardless of tiling — and, because chunk
-// boundaries depend only on (m, grain), identical for every thread count.
-constexpr int64_t kTileN = 16;
+// Per-thread dispatch counters, cached and keyed by the registry
+// generation (same pattern as the COW counters in tensor.cc) so the GEMM
+// hot path never takes the registry mutex.
+struct GemmCounters {
+  uint64_t generation = ~uint64_t{0};
+  metrics::Counter* avx2 = nullptr;
+  metrics::Counter* scalar = nullptr;
+};
 
-// One 4-row band of C += A_rows * B where the four A rows are given as
-// separate pointers (covers both the row-major and transposed-A layouts:
-// the caller chooses how v0..v3 are loaded per k step via `lda`/`stride`).
-// `a0..a3` advance by `astep` per k step.
-inline void QuadBand(const float* a0, const float* a1, const float* a2,
-                     const float* a3, int64_t astep, const float* b,
-                     float* c0, float* c1, float* c2, float* c3, int64_t k,
-                     int64_t n) {
-  int64_t j0 = 0;
-  for (; j0 + kTileN <= n; j0 += kTileN) {
-    float t0[kTileN], t1[kTileN], t2[kTileN], t3[kTileN];
-    for (int64_t j = 0; j < kTileN; ++j) {
-      t0[j] = c0[j0 + j];
-      t1[j] = c1[j0 + j];
-      t2[j] = c2[j0 + j];
-      t3[j] = c3[j0 + j];
-    }
-    const float* p0 = a0;
-    const float* p1 = a1;
-    const float* p2 = a2;
-    const float* p3 = a3;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float v0 = *p0, v1 = *p1, v2 = *p2, v3 = *p3;
-      p0 += astep;
-      p1 += astep;
-      p2 += astep;
-      p3 += astep;
-      const float* __restrict__ brow = b + kk * n + j0;
-      for (int64_t j = 0; j < kTileN; ++j) {
-        float bv = brow[j];
-        t0[j] += v0 * bv;
-        t1[j] += v1 * bv;
-        t2[j] += v2 * bv;
-        t3[j] += v3 * bv;
-      }
-    }
-    for (int64_t j = 0; j < kTileN; ++j) {
-      c0[j0 + j] = t0[j];
-      c1[j0 + j] = t1[j];
-      c2[j0 + j] = t2[j];
-      c3[j0 + j] = t3[j];
-    }
+GemmCounters& DispatchCounters() {
+  thread_local GemmCounters c;
+  auto& reg = metrics::MetricsRegistry::Global();
+  uint64_t gen = reg.generation();
+  if (c.generation != gen) {
+    c.avx2 = &reg.GetCounter("simd.gemm_avx2");
+    c.scalar = &reg.GetCounter("simd.gemm_scalar");
+    c.generation = gen;
   }
-  for (; j0 < n; ++j0) {
-    float t0 = c0[j0], t1 = c1[j0], t2 = c2[j0], t3 = c3[j0];
-    const float* p0 = a0;
-    const float* p1 = a1;
-    const float* p2 = a2;
-    const float* p3 = a3;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float bv = b[kk * n + j0];
-      t0 += *p0 * bv;
-      t1 += *p1 * bv;
-      t2 += *p2 * bv;
-      t3 += *p3 * bv;
-      p0 += astep;
-      p1 += astep;
-      p2 += astep;
-      p3 += astep;
-    }
-    c0[j0] = t0;
-    c1[j0] = t1;
-    c2[j0] = t2;
-    c3[j0] = t3;
+  return c;
+}
+
+// All three GEMM entry points funnel through here. The AVX2 path packs B
+// once on the calling thread (the packed panels live in that thread's
+// scratch, which stays valid while ParallelFor blocks on the chunks) and
+// hands row ranges to the tiled microkernels; every other mode — and
+// shapes too narrow to fill one 8-column panel — runs the scalar fma-chain
+// kernel over the same row ranges. Both kernels honour the microkernel
+// contract in simd.h, so which branch runs never changes the bits; chunk
+// boundaries are a pure function of (m, grain), so neither does the thread
+// count.
+void GemmDispatch(simd::GemmOp op, const float* a, const float* b, float* c,
+                  int64_t m, int64_t k, int64_t n) {
+  if (simd::ActiveMode() == simd::SimdMode::kAvx2 && n >= 8) {
+    if (metrics::Enabled()) DispatchCounters().avx2->Add(1);
+    const simd::TileParams p = simd::ChooseTile(op, m, k, n);
+    const simd::PackedB pb = simd::PackB(op, b, k, n, p.nv);
+    automc::ParallelFor(m, RowGrain(m, k * n, p.mr),
+                        [=](int64_t r0, int64_t r1) {
+                          simd::GemmRowsAvx2(op, p, a, pb, b, c, m, k, n, r0,
+                                             r1);
+                        });
+    return;
   }
+  if (metrics::Enabled()) DispatchCounters().scalar->Add(1);
+  automc::ParallelFor(m, RowGrain(m, k * n), [=](int64_t r0, int64_t r1) {
+    simd::GemmRowsScalar(op, a, b, c, m, k, n, r0, r1);
+  });
 }
 
 }  // namespace
 
 void GemmAccumRaw(const float* a, const float* b, float* c, int64_t m,
                   int64_t k, int64_t n) {
-  automc::ParallelFor(m, RowGrain(m, k * n), [=](int64_t r0, int64_t r1) {
-    int64_t i = r0;
-    for (; i + 4 <= r1; i += 4) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      QuadBand(arow, arow + k, arow + 2 * k, arow + 3 * k, /*astep=*/1, b,
-               crow, crow + n, crow + 2 * n, crow + 3 * n, k, n);
-    }
-    for (; i < r1; ++i) {
-      float* __restrict__ crow = c + i * n;
-      const float* __restrict__ arow = a + i * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        float av = arow[kk];
-        if (av == 0.0f) continue;  // pruned filters are exactly zero
-        const float* __restrict__ brow = b + kk * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  GemmDispatch(simd::GemmOp::kNormal, a, b, c, m, k, n);
 }
 
 void GemmTransposeARaw(const float* a, const float* b, float* c, int64_t m,
                        int64_t k, int64_t n) {
-  automc::ParallelFor(m, RowGrain(m, k * n), [=](int64_t r0, int64_t r1) {
-    // Same register tile as GemmAccumRaw; A is k x m here, so the four rows
-    // of the band start at a[i..i+3] and advance by m per k step.
-    int64_t i = r0;
-    for (; i + 4 <= r1; i += 4) {
-      const float* acol = a + i;
-      float* crow = c + i * n;
-      QuadBand(acol, acol + 1, acol + 2, acol + 3, /*astep=*/m, b, crow,
-               crow + n, crow + 2 * n, crow + 3 * n, k, n);
-    }
-    for (; i < r1; ++i) {
-      float* __restrict__ crow = c + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        float av = a[kk * m + i];
-        if (av == 0.0f) continue;
-        const float* __restrict__ brow = b + kk * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  GemmDispatch(simd::GemmOp::kTransposeA, a, b, c, m, k, n);
 }
 
 void GemmTransposeBRaw(const float* a, const float* b, float* c, int64_t m,
                        int64_t k, int64_t n) {
-  automc::ParallelFor(m, RowGrain(m, k * n), [=](int64_t r0, int64_t r1) {
-    // Process output rows four at a time so each B row is read once per
-    // quad instead of once per row. Each dot product still walks k in
-    // ascending order with a double accumulator (serial semantics).
-    int64_t i = r0;
-    for (; i + 4 <= r1; i += 4) {
-      const float* a0 = a + i * k;
-      const float* a1 = a0 + k;
-      const float* a2 = a1 + k;
-      const float* a3 = a2 + k;
-      float* c0 = c + i * n;
-      float* c1 = c0 + n;
-      float* c2 = c1 + n;
-      float* c3 = c2 + n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-        for (int64_t kk = 0; kk < k; ++kk) {
-          double bv = brow[kk];
-          s0 += static_cast<double>(a0[kk]) * bv;
-          s1 += static_cast<double>(a1[kk]) * bv;
-          s2 += static_cast<double>(a2[kk]) * bv;
-          s3 += static_cast<double>(a3[kk]) * bv;
-        }
-        c0[j] += static_cast<float>(s0);
-        c1[j] += static_cast<float>(s1);
-        c2[j] += static_cast<float>(s2);
-        c3[j] += static_cast<float>(s3);
-      }
-    }
-    for (; i < r1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        double s = 0.0;
-        for (int64_t kk = 0; kk < k; ++kk) {
-          s += static_cast<double>(arow[kk]) * brow[kk];
-        }
-        crow[j] += static_cast<float>(s);
-      }
-    }
-  });
+  GemmDispatch(simd::GemmOp::kTransposeB, a, b, c, m, k, n);
 }
 
 void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {

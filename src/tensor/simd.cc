@@ -1,0 +1,82 @@
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+namespace automc {
+namespace tensor {
+namespace simd {
+
+// Instantiated in simd_avx2.cc (compiled with -mavx2 -mfma) when the
+// toolchain supports it; see GemmRowsScalar below.
+void GemmRowsScalarFmaTu(GemmOp op, const float* a, const float* b, float* c,
+                         int64_t m, int64_t k, int64_t n, int64_t r0,
+                         int64_t r1);
+
+namespace {
+
+#include "tensor/simd_scalar.inc"
+
+bool DetectHardware() {
+#if defined(AUTOMC_HAVE_AVX2_KERNELS)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+SimdMode DeriveMode() {
+  if (!KernelsCompiled() || !HardwareOk()) return SimdMode::kScalarGeneric;
+  const char* env = std::getenv("AUTOMC_SIMD");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') {
+    return SimdMode::kScalarHwFma;
+  }
+  return SimdMode::kAvx2;
+}
+
+std::atomic<SimdMode> g_mode{SimdMode::kScalarGeneric};
+std::atomic<bool> g_mode_valid{false};
+
+}  // namespace
+
+bool KernelsCompiled() {
+#if defined(AUTOMC_HAVE_AVX2_KERNELS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool HardwareOk() {
+  static const bool ok = DetectHardware();
+  return ok;
+}
+
+SimdMode ActiveMode() {
+  if (!g_mode_valid.load(std::memory_order_acquire)) RefreshDispatch();
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+void RefreshDispatch() {
+  g_mode.store(DeriveMode(), std::memory_order_relaxed);
+  g_mode_valid.store(true, std::memory_order_release);
+}
+
+void GemmRowsScalar(GemmOp op, const float* a, const float* b, float* c,
+                    int64_t m, int64_t k, int64_t n, int64_t r0, int64_t r1) {
+#if defined(AUTOMC_HAVE_AVX2_KERNELS)
+  // Same source, same chains — but std::fmaf inlines to vfmadd instead of
+  // a libm call per element, so AUTOMC_SIMD=0 runs stay fast on FMA
+  // hardware. Results are identical either way (IEEE fma is fma).
+  if (HardwareOk()) {
+    GemmRowsScalarFmaTu(op, a, b, c, m, k, n, r0, r1);
+    return;
+  }
+#endif
+  ScalarRowsImpl(op, a, b, c, m, k, n, r0, r1, 0, n);
+}
+
+}  // namespace simd
+}  // namespace tensor
+}  // namespace automc

@@ -1,0 +1,141 @@
+// AVX2/FMA GEMM microkernels. This is the only translation unit compiled
+// with -mavx2 -mfma (see src/tensor/CMakeLists.txt); nothing here executes
+// unless runtime cpuid confirmed both features, so the rest of the binary
+// stays runnable on baseline x86-64.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/simd.h"
+
+namespace automc {
+namespace tensor {
+namespace simd {
+
+namespace {
+
+#include "tensor/simd_scalar.inc"
+
+// MR x (8*W) register tile of C held across one k-block: per element the
+// chain is acc = fmadd(a, b, acc) in ascending-k order (the microkernel
+// contract in simd.h). B arrives packed so every k step reads 8*W
+// contiguous aligned floats; A is read as MR broadcast scalars through the
+// (a_rs, a_ks) strides, which covers both the row-major and transposed-A
+// layouts without packing A.
+template <int MR, int W>
+void MicroKernel(const float* a, int64_t a_rs, int64_t a_ks, const float* bp,
+                 float* c, int64_t ldc, int64_t klen) {
+  // The unroll pragmas are load-bearing: without them gcc -O2 leaves the
+  // MR x W tile loops rolled, `acc` stays a stack array, and every fma
+  // round-trips C through memory (~3x slower). Fully unrolled, scalar
+  // replacement promotes the whole tile into ymm registers for the k loop.
+  __m256 acc[MR][W];
+#pragma GCC unroll 6
+  for (int r = 0; r < MR; ++r) {
+#pragma GCC unroll 3
+    for (int v = 0; v < W; ++v) {
+      acc[r][v] = _mm256_loadu_ps(c + r * ldc + 8 * v);
+    }
+  }
+  // Unrolling k by 2 interleaves two body copies (halving loop overhead
+  // and giving the scheduler more independent work) without touching the
+  // per-element chain: each acc[r][v] still receives its fmas in ascending
+  // kk order — the compiler cannot reassociate FP math without fast-math.
+#pragma GCC unroll 2
+  for (int64_t kk = 0; kk < klen; ++kk) {
+    const float* brow = bp + kk * 8 * W;
+    __m256 bv[W];
+#pragma GCC unroll 3
+    for (int v = 0; v < W; ++v) bv[v] = _mm256_load_ps(brow + 8 * v);
+    const float* ak = a + kk * a_ks;
+#pragma GCC unroll 6
+    for (int r = 0; r < MR; ++r) {
+      __m256 av = _mm256_broadcast_ss(ak + r * a_rs);
+#pragma GCC unroll 3
+      for (int v = 0; v < W; ++v) {
+        acc[r][v] = _mm256_fmadd_ps(av, bv[v], acc[r][v]);
+      }
+    }
+  }
+#pragma GCC unroll 6
+  for (int r = 0; r < MR; ++r) {
+#pragma GCC unroll 3
+    for (int v = 0; v < W; ++v) {
+      _mm256_storeu_ps(c + r * ldc + 8 * v, acc[r][v]);
+    }
+  }
+}
+
+using KernelFn = void (*)(const float*, int64_t, int64_t, const float*,
+                          float*, int64_t, int64_t);
+
+// [group width W - 1][band rows MR - 1]. All MR x W combinations exist so
+// row-band and panel-group remainders reuse the same code path; the tuner
+// only ever *prefers* tiles with MR*W <= 12 (register budget).
+constexpr KernelFn kKernels[3][6] = {
+    {MicroKernel<1, 1>, MicroKernel<2, 1>, MicroKernel<3, 1>,
+     MicroKernel<4, 1>, MicroKernel<5, 1>, MicroKernel<6, 1>},
+    {MicroKernel<1, 2>, MicroKernel<2, 2>, MicroKernel<3, 2>,
+     MicroKernel<4, 2>, MicroKernel<5, 2>, MicroKernel<6, 2>},
+    {MicroKernel<1, 3>, MicroKernel<2, 3>, MicroKernel<3, 3>,
+     MicroKernel<4, 3>, MicroKernel<5, 3>, MicroKernel<6, 3>},
+};
+
+}  // namespace
+
+// Scalar fma chains compiled in this TU: std::fmaf inlines to vfmadd, so
+// the AUTOMC_SIMD=0 reference path keeps hardware speed on FMA machines.
+// Declared in simd.cc, which forwards GemmRowsScalar here when cpuid
+// allows.
+void GemmRowsScalarFmaTu(GemmOp op, const float* a, const float* b, float* c,
+                         int64_t m, int64_t k, int64_t n, int64_t r0,
+                         int64_t r1) {
+  ScalarRowsImpl(op, a, b, c, m, k, n, r0, r1, 0, n);
+}
+
+void GemmRowsAvx2(GemmOp op, const TileParams& p, const float* a,
+                  const PackedB& pb, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, int64_t r0, int64_t r1) {
+  const bool ta = op == GemmOp::kTransposeA;
+  const int64_t a_rs = ta ? 1 : k;   // a stride between band rows
+  const int64_t a_ks = ta ? m : 1;   // a stride per k step
+  const int64_t kc = p.kc > 0 ? std::min<int64_t>(p.kc, k) : k;
+  const int64_t full_groups = pb.nv > 0 ? pb.n8 / pb.nv : 0;
+  const int64_t rem_panels = pb.nv > 0 ? pb.n8 % pb.nv : 0;
+  const int64_t group_stride = k * 8 * pb.nv;  // floats per full group
+
+  for (int64_t k0 = 0; k0 < k; k0 += kc) {
+    const int64_t klen = std::min(kc, k - k0);
+    for (int64_t i = r0; i < r1;) {
+      const int mr = static_cast<int>(std::min<int64_t>(p.mr, r1 - i));
+      const float* aband = ta ? a + k0 * m + i : a + i * k + k0;
+      float* crow = c + i * n;
+      int64_t col = 0;
+      for (int64_t g = 0; g < full_groups; ++g) {
+        const float* bblk = pb.data + g * group_stride + k0 * 8 * pb.nv;
+        kKernels[pb.nv - 1][mr - 1](aband, a_rs, a_ks, bblk, crow + col, n,
+                                    klen);
+        col += 8 * pb.nv;
+      }
+      if (rem_panels > 0) {
+        const float* bblk =
+            pb.data + full_groups * group_stride + k0 * 8 * rem_panels;
+        kKernels[rem_panels - 1][mr - 1](aband, a_rs, a_ks, bblk, crow + col,
+                                         n, klen);
+      }
+      i += mr;
+    }
+  }
+  // n % 8 tail columns: scalar fma chains over the full k. Identical
+  // per-element chains whether or not the vector region was k-blocked —
+  // a float store/reload between blocks is bit-preserving.
+  if (pb.n8 * 8 < n) {
+    ScalarRowsImpl(op, a, b, c, m, k, n, r0, r1, pb.n8 * 8, n);
+  }
+}
+
+}  // namespace simd
+}  // namespace tensor
+}  // namespace automc

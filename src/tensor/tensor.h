@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -41,7 +42,10 @@ namespace tensor {
 // pointers before entering ParallelFor.
 class Tensor {
  public:
-  using Buffer = std::vector<float>;
+  // Buffers are 64-byte aligned so `data()`/`MutableData()` of any tensor
+  // (and the shared zero page) start on a cache line and the SIMD kernels
+  // can use aligned vector loads against buffer starts.
+  using Buffer = std::vector<float, AlignedAllocator<float, 64>>;
 
   Tensor() = default;
   explicit Tensor(std::vector<int64_t> shape);  // fresh zero-filled buffer
