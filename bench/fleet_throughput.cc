@@ -1,0 +1,202 @@
+// Fleet-subsystem throughput harness. Prints one JSON object:
+//
+//   * status-poll requests/s through the epoll event loop with 1 connection
+//     vs with 1000 extra idle connections parked on the listener — idle
+//     sockets contribute no epoll events, so the two figures must stay
+//     close (the acceptance gate is within 2x);
+//   * wall-clock to drain the same 4-job batch through a coordinator with
+//     1 vs 2 forked workers over the TCP transport, with a bit-identity
+//     check of every outcome against a direct in-process RunSearch.
+//
+// Needs $AUTOMC_SERVE_BIN (the built daemon) for the worker processes;
+// scripts/bench.sh exports it and wraps the output into BENCH_server.json.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/net.h"
+#include "core/run_spec.h"
+#include "fleet/coordinator.h"
+#include "search/report.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+automc::core::RunSpec BenchSpec(uint64_t seed, int budget) {
+  automc::core::RunSpec spec;
+  spec.family = "vgg";
+  spec.depth = 13;
+  spec.dataset = "tiny";
+  spec.searcher = "random";
+  spec.budget = budget;
+  spec.pretrain = 1;
+  spec.eval_batch = 2;
+  spec.seed = seed;
+  return spec;
+}
+
+[[noreturn]] void Die(const std::string& what, const automc::Status& st) {
+  std::fprintf(stderr, "fleet_throughput: %s: %s\n", what.c_str(),
+               st.ToString().c_str());
+  std::exit(1);
+}
+
+double PollRate(const std::string& address, uint64_t job_id, double seconds) {
+  auto client = automc::server::Client::Connect(address);
+  if (!client.ok()) Die("connect", client.status());
+  const auto start = Clock::now();
+  long requests = 0;
+  while (SecondsSince(start) < seconds) {
+    // NotFound replies are fine — the wire round-trip is what we measure.
+    auto info = client->JobStatus(job_id);
+    if (!info.ok() &&
+        info.status().code() != automc::StatusCode::kNotFound) {
+      Die("poll", info.status());
+    }
+    ++requests;
+  }
+  return static_cast<double>(requests) / SecondsSince(start);
+}
+
+// Drains `specs` through a fresh coordinator+server over TCP; returns the
+// wall-time. Every outcome is checked bit-identical to the direct run.
+double FleetDrainSeconds(const std::string& dir, const char* serve_bin,
+                         const std::vector<automc::core::RunSpec>& specs,
+                         int workers,
+                         const std::vector<std::string>& direct_bytes) {
+  automc::fleet::Coordinator::Options copts;
+  copts.num_workers = workers;
+  copts.workdir = dir + "/fleet" + std::to_string(workers);
+  copts.worker_exe = serve_bin;
+  auto coord = automc::fleet::Coordinator::Start(copts);
+  if (!coord.ok()) Die("fleet start", coord.status());
+
+  automc::server::Server::Options opts;
+  opts.socket_path = dir + "/fleet" + std::to_string(workers) + ".sock";
+  opts.tcp_address = "tcp:127.0.0.1:0";
+  opts.handler = coord->get();
+  auto srv = automc::server::Server::Start(std::move(opts));
+  if (!srv.ok()) Die("server start", srv.status());
+
+  auto client = automc::server::Client::Connect((*srv)->tcp_address());
+  if (!client.ok()) Die("connect", client.status());
+
+  const auto start = Clock::now();
+  std::vector<uint64_t> ids;
+  for (const auto& spec : specs) {
+    auto id = client->Submit(spec);
+    if (!id.ok()) Die("submit", id.status());
+    ids.push_back(*id);
+  }
+  for (uint64_t id : ids) {
+    for (;;) {
+      auto info = client->JobStatus(id);
+      if (!info.ok()) Die("status", info.status());
+      if (automc::server::JobStateIsTerminal(info->state)) {
+        if (info->state != automc::server::JobState::kDone) {
+          Die("job", automc::Status::Internal("job " + std::to_string(id) +
+                                              " ended " + info->error));
+        }
+        break;
+      }
+      ::usleep(5000);
+    }
+  }
+  const double elapsed = SecondsSince(start);
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto bytes = client->FetchOutcomeBytes(ids[i]);
+    if (!bytes.ok()) Die("fetch", bytes.status());
+    if (*bytes != direct_bytes[i]) {
+      Die("identity",
+          automc::Status::Internal("sharded outcome " + std::to_string(i) +
+                                   " differs from the direct run"));
+    }
+  }
+  (*srv)->Stop();
+  (*coord)->Shutdown();
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  const char* serve_bin = std::getenv("AUTOMC_SERVE_BIN");
+  if (serve_bin == nullptr || *serve_bin == '\0') {
+    std::fprintf(stderr,
+                 "fleet_throughput: set AUTOMC_SERVE_BIN to the built "
+                 "automc_serve binary\n");
+    return 1;
+  }
+  char tmpl[] = "/tmp/automc_fleetbench_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "fleet_throughput: mkdtemp failed\n");
+    return 1;
+  }
+  const std::string dir = tmpl;
+
+  // --- idle-connection poll throughput ------------------------------------
+  automc::server::Server::Options opts;
+  opts.socket_path = dir + "/poll.sock";
+  opts.jobs.workdir = dir + "/poll";
+  auto srv = automc::server::Server::Start(opts);
+  if (!srv.ok()) Die("start", srv.status());
+
+  const double rate_1_conn = PollRate(opts.socket_path, 1, 1.0);
+
+  // Park 1000 idle connections on the event loop; they never send a byte,
+  // so they must cost (almost) nothing per poll of the active connection.
+  std::vector<int> idle_fds;
+  for (int i = 0; i < 1000; ++i) {
+    auto fd = automc::net::ConnectAddress(opts.socket_path);
+    if (!fd.ok()) Die("idle connect", fd.status());
+    idle_fds.push_back(*fd);
+  }
+  const double rate_1000_idle = PollRate(opts.socket_path, 1, 1.0);
+  for (int fd : idle_fds) ::close(fd);
+  (*srv)->Stop();
+
+  // --- coordinator shard drain, 1 vs 2 workers ----------------------------
+  std::vector<automc::core::RunSpec> specs;
+  std::vector<std::string> direct_bytes;
+  for (uint64_t seed : {201, 202, 203, 204}) {
+    specs.push_back(BenchSpec(seed, /*budget=*/4));
+    auto direct = automc::core::RunSearch(specs.back());
+    if (!direct.ok()) Die("direct run", direct.status());
+    direct_bytes.push_back(automc::search::SaveOutcomeBytes(direct->outcome));
+  }
+  const double drain_1 =
+      FleetDrainSeconds(dir, serve_bin, specs, /*workers=*/1, direct_bytes);
+  const double drain_2 =
+      FleetDrainSeconds(dir, serve_bin, specs, /*workers=*/2, direct_bytes);
+
+  std::printf(
+      "{\n"
+      "  \"poll_requests_per_s_1_conn\": %.0f,\n"
+      "  \"poll_requests_per_s_1000_idle_conns\": %.0f,\n"
+      "  \"idle_conn_slowdown\": %.2f,\n"
+      "  \"fleet_drain_4_jobs_1_worker_s\": %.2f,\n"
+      "  \"fleet_drain_4_jobs_2_workers_s\": %.2f,\n"
+      "  \"outcomes_bit_identical_to_direct\": true\n"
+      "}\n",
+      rate_1_conn, rate_1000_idle,
+      rate_1000_idle > 0 ? rate_1_conn / rate_1000_idle : 0.0, drain_1,
+      drain_2);
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return 0;
+}

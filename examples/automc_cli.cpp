@@ -16,7 +16,8 @@
 // the state is checkpointed (when --checkpoint/--resume is set) and the
 // metrics snapshot is flushed before the clean exit.
 //
-// Client mode for a running automc_serve daemon (--socket or $AUTOMC_SOCKET):
+// Client mode for a running automc_serve daemon (--socket or $AUTOMC_SOCKET;
+// a unix path or "tcp:HOST:PORT" for a daemon started with --tcp):
 //   automc_cli --serve-submit <search flags>     queue a search job
 //   automc_cli --serve-status ID | --serve-list  poll job state
 //   automc_cli --serve-result ID [--serve-wait]  fetch a finished outcome
@@ -170,7 +171,8 @@ void Usage() {
       "  --outcome PATH    save the final SearchOutcome as text\n"
       "  --eval-batch N    candidate schemes per parallel evaluation round\n"
       "                    (default: $AUTOMC_EVAL_BATCH, else 4)\n"
-      "client mode (against automc_serve; --socket PATH or $AUTOMC_SOCKET):\n"
+      "client mode (against automc_serve; --socket PATH or $AUTOMC_SOCKET;\n"
+      "             PATH is a unix socket path or tcp:HOST:PORT):\n"
       "  --serve-submit    queue this search on the server, print the job id\n"
       "  --serve-status ID / --serve-list   poll job state(s)\n"
       "  --serve-result ID [--serve-wait]   fetch a finished outcome\n"

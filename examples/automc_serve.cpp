@@ -1,25 +1,47 @@
 // Search-as-a-service daemon: accepts search jobs over a Unix-domain socket
-// and runs them on a bounded pool of job threads, each job with its own
-// experience store and checkpoint so results stay bit-identical to a direct
-// in-process run of the same RunSpec.
+// (and optionally TCP) and serves them through a single epoll event loop,
+// each job with its own experience store and checkpoint so results stay
+// bit-identical to a direct in-process run of the same RunSpec.
 //
-//   automc_serve --socket PATH --workdir DIR [--jobs N]
+//   automc_serve --socket PATH --workdir DIR [--jobs N] [--tcp ADDR]
+//                [--idle-timeout S] [--experience DIR [--segment NAME]]
+//                [--fleet N]
 //
-// --socket   the listening socket (default: $AUTOMC_SOCKET)
-// --workdir  durable job state; a restarted server re-queues every job
-//            found QUEUED or RUNNING there and resumes from checkpoints
-// --jobs     concurrent job slots (default: $AUTOMC_SERVER_JOBS, else 1)
+// --socket        the listening unix socket (default: $AUTOMC_SOCKET)
+// --tcp ADDR      additional TCP listener, "tcp:HOST:PORT" (port 0 =
+//                 kernel-assigned; default: $AUTOMC_TCP, unset = unix only)
+// --workdir       durable job state; a restarted server re-queues every job
+//                 found QUEUED or RUNNING there and resumes from checkpoints
+// --jobs          concurrent job slots per process (default:
+//                 $AUTOMC_SERVER_JOBS, else 1)
+// --idle-timeout  reap connections idle for S seconds (default:
+//                 $AUTOMC_SERVER_IDLE_TIMEOUT, else 0 = never)
+// --experience    shared experience tier: a directory of mmap-indexed
+//                 evaluation segments that warm-starts every job (default:
+//                 $AUTOMC_EXPERIENCE_INDEX; fleet mode defaults it to
+//                 <workdir>/experience)
+// --fleet N       coordinator mode: shard jobs across N forked worker
+//                 processes (N=0 reads $AUTOMC_FLEET_WORKERS, else 2),
+//                 each with a private job dir under --workdir
+//
+// Flags accept both "--flag VALUE" and "--flag=VALUE".
 //
 // SIGTERM/SIGINT drain gracefully: in-flight requests get their replies,
 // running jobs checkpoint and re-queue durably, the metrics snapshot is
 // flushed ($AUTOMC_METRICS_OUT), and the process exits 0. Submit jobs and
 // fetch outcomes with the automc_cli --serve-* subcommands.
+//
+// `--worker --control-fd=N` is the internal fleet-worker entry point: the
+// coordinator forks+execs this binary with a socketpair control channel; it
+// is not meant to be launched by hand.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "fleet/coordinator.h"
+#include "fleet/worker.h"
 #include "server/server.h"
 
 namespace {
@@ -27,18 +49,90 @@ namespace {
 automc::server::Server* g_server = nullptr;
 
 void OnStopSignal(int) {
-  // RequestStop is one write(2) to a self-pipe: async-signal-safe.
+  // RequestStop is one write(2) to an eventfd: async-signal-safe.
   if (g_server != nullptr) g_server->RequestStop();
 }
 
 void Usage() {
-  std::fprintf(stderr,
-               "usage: automc_serve --socket PATH --workdir DIR [--jobs N]\n"
-               "  --socket PATH   listening socket (default: $AUTOMC_SOCKET)\n"
-               "  --workdir DIR   durable job state (spec/checkpoint/outcome "
-               "per job)\n"
-               "  --jobs N        concurrent job slots (default: "
-               "$AUTOMC_SERVER_JOBS, else 1)\n");
+  std::fprintf(
+      stderr,
+      "usage: automc_serve --socket PATH --workdir DIR [--jobs N]\n"
+      "                    [--tcp tcp:HOST:PORT] [--idle-timeout S]\n"
+      "                    [--experience DIR [--segment NAME]] [--fleet N]\n"
+      "  --socket PATH     listening unix socket (default: $AUTOMC_SOCKET)\n"
+      "  --tcp ADDR        additional TCP listener, tcp:HOST:PORT; port 0 =\n"
+      "                    kernel-assigned (default: $AUTOMC_TCP)\n"
+      "  --workdir DIR     durable job state (spec/checkpoint/outcome per "
+      "job)\n"
+      "  --jobs N          concurrent job slots (default: "
+      "$AUTOMC_SERVER_JOBS, else 1)\n"
+      "  --idle-timeout S  reap idle connections after S seconds (default:\n"
+      "                    $AUTOMC_SERVER_IDLE_TIMEOUT, else 0 = never)\n"
+      "  --experience DIR  shared experience tier (default: "
+      "$AUTOMC_EXPERIENCE_INDEX)\n"
+      "  --segment NAME    segment this process appends to (default "
+      "seg-0.bin)\n"
+      "  --fleet N         shard jobs across N forked workers (0 = "
+      "$AUTOMC_FLEET_WORKERS, else 2)\n");
+}
+
+struct ServeArgs {
+  automc::server::Server::Options server;
+  bool fleet = false;
+  int fleet_workers = 0;
+  bool worker = false;
+  int control_fd = -1;
+  bool help = false;
+  bool bad = false;
+};
+
+ServeArgs ParseArgs(int argc, char** argv) {
+  ServeArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    // The coordinator spawns workers with --flag=value argv; accept that
+    // form everywhere alongside the documented "--flag value".
+    if (size_t eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto next = [&]() -> const char* {
+      if (!inline_value.empty()) return inline_value.c_str();
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--socket" && (v = next())) {
+      args.server.socket_path = v;
+    } else if (arg == "--tcp" && (v = next())) {
+      args.server.tcp_address = v;
+    } else if (arg == "--workdir" && (v = next())) {
+      args.server.jobs.workdir = v;
+    } else if (arg == "--jobs" && (v = next())) {
+      args.server.jobs.max_concurrent = std::atoi(v);
+    } else if (arg == "--idle-timeout" && (v = next())) {
+      args.server.idle_timeout_s = std::atoi(v);
+    } else if (arg == "--experience" && (v = next())) {
+      args.server.jobs.shared_dir = v;
+    } else if (arg == "--segment" && (v = next())) {
+      args.server.jobs.shared_segment = v;
+    } else if (arg == "--fleet" && (v = next())) {
+      args.fleet = true;
+      args.fleet_workers = std::atoi(v);
+    } else if (arg == "--worker") {
+      args.worker = true;
+    } else if (arg == "--control-fd" && (v = next())) {
+      args.control_fd = std::atoi(v);
+    } else {
+      if (arg != "--help") {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        args.bad = true;
+      }
+      args.help = true;
+      return args;
+    }
+  }
+  return args;
 }
 
 }  // namespace
@@ -47,45 +141,64 @@ int main(int argc, char** argv) {
   using namespace automc;
   std::signal(SIGPIPE, SIG_IGN);
 
-  server::Server::Options opts;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
-    };
-    const char* v = nullptr;
-    if (arg == "--socket" && (v = next())) {
-      opts.socket_path = v;
-    } else if (arg == "--workdir" && (v = next())) {
-      opts.jobs.workdir = v;
-    } else if (arg == "--jobs" && (v = next())) {
-      opts.jobs.max_concurrent = std::atoi(v);
-    } else {
-      if (arg != "--help") {
-        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      }
-      Usage();
-      return 2;
-    }
+  ServeArgs args = ParseArgs(argc, argv);
+  if (args.help) {
+    Usage();
+    return args.bad ? 2 : 0;
   }
 
-  auto server = server::Server::Start(std::move(opts));
+  if (args.worker) {
+    if (args.control_fd < 0) {
+      std::fprintf(stderr, "automc_serve: --worker needs --control-fd=N\n");
+      return 2;
+    }
+    return fleet::WorkerMain(args.control_fd, std::move(args.server.jobs));
+  }
+
+  std::unique_ptr<fleet::Coordinator> coordinator;
+  if (args.fleet) {
+    fleet::Coordinator::Options copts;
+    copts.num_workers = args.fleet_workers;
+    copts.workdir = args.server.jobs.workdir;
+    copts.shared_dir = args.server.jobs.shared_dir;
+    auto started = fleet::Coordinator::Start(std::move(copts));
+    if (!started.ok()) {
+      std::fprintf(stderr, "automc_serve: fleet start failed: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    coordinator = std::move(*started);
+    args.server.handler = coordinator.get();
+  }
+
+  auto server = server::Server::Start(std::move(args.server));
   if (!server.ok()) {
     std::fprintf(stderr, "automc_serve: %s\n",
                  server.status().ToString().c_str());
+    if (coordinator != nullptr) coordinator->Shutdown();
     return 1;
   }
   g_server = server->get();
   std::signal(SIGTERM, OnStopSignal);
   std::signal(SIGINT, OnStopSignal);
 
-  std::printf("automc_serve: listening on %s, %d job slot(s)\n",
-              (*server)->socket_path().c_str(),
-              (*server)->jobs()->max_concurrent());
+  if (coordinator != nullptr) {
+    std::printf("automc_serve: listening on %s%s%s, %d fleet worker(s)\n",
+                (*server)->socket_path().c_str(),
+                (*server)->tcp_address().empty() ? "" : " and ",
+                (*server)->tcp_address().c_str(), coordinator->num_workers());
+  } else {
+    std::printf("automc_serve: listening on %s%s%s, %d job slot(s)\n",
+                (*server)->socket_path().c_str(),
+                (*server)->tcp_address().empty() ? "" : " and ",
+                (*server)->tcp_address().c_str(),
+                (*server)->jobs()->max_concurrent());
+  }
   std::fflush(stdout);
 
   (*server)->Wait();
   g_server = nullptr;
+  if (coordinator != nullptr) coordinator->Shutdown();
   std::printf("automc_serve: drained, exiting\n");
   return 0;
 }

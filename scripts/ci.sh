@@ -111,21 +111,80 @@ wait "${srv}"
 [[ -f "${serve_dir}/metrics.json" ]]
 echo "server smoke: daemon drained cleanly and dumped metrics"
 
+echo "== fleet smoke =="
+# Boot a 2-worker coordinator fleet over TCP, submit two jobs, SIGKILL the
+# worker that owns the long one mid-run, and require every acknowledged
+# job to finish with an outcome byte-identical to a direct run — the
+# fleet-wide determinism contract (docs/server.md "Coordinator/worker
+# sharding").
+fleet_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}" "${serve_dir}" "${fleet_dir}"' EXIT
+build/examples/automc_serve --socket "${fleet_dir}/fleet.sock" \
+  --tcp tcp:127.0.0.1:0 --fleet 2 --workdir "${fleet_dir}/jobs" \
+  >"${fleet_dir}/serve.log" 2>&1 &
+fsrv=$!
+for _ in $(seq 1 200); do
+  grep -qo 'tcp:127\.0\.0\.1:[0-9]*' "${fleet_dir}/serve.log" && break
+  sleep 0.05
+done
+tcp_addr="$(grep -o 'tcp:127\.0\.0\.1:[0-9]*' "${fleet_dir}/serve.log" | head -1)"
+[[ -n "${tcp_addr}" ]]
+
+fleet_args_a=(--searcher random --budget 200 --pretrain 1 --family vgg
+              --depth 13 --dataset tiny --seed 19)
+fleet_args_b=(--searcher random --budget 4 --pretrain 1 --family vgg
+              --depth 13 --dataset tiny --seed 23)
+"${cli}" "${fleet_args_a[@]}" --outcome "${fleet_dir}/direct_a.outcome"
+"${cli}" "${fleet_args_b[@]}" --outcome "${fleet_dir}/direct_b.outcome"
+
+job_a="$("${cli}" --socket "${tcp_addr}" "${fleet_args_a[@]}" --serve-submit)"
+job_a="${job_a##* }"
+job_b="$("${cli}" --socket "${tcp_addr}" "${fleet_args_b[@]}" --serve-submit)"
+job_b="${job_b##* }"
+
+# Job ids shard deterministically: (id-1) % 2, so job 1 lives in worker-1.
+# Wait until it is RUNNING, then SIGKILL that worker process outright.
+for _ in $(seq 1 600); do
+  "${cli}" --socket "${tcp_addr}" --serve-status "${job_a}" \
+    | grep -q RUNNING && break
+  sleep 0.05
+done
+victim="$(pgrep -f -- "--workdir=${fleet_dir}/jobs/worker-1" | head -1)"
+[[ -n "${victim}" ]]
+kill -KILL "${victim}"
+echo "fleet smoke: SIGKILLed worker-1 (pid ${victim}) mid-job"
+
+"${cli}" --socket "${tcp_addr}" --serve-result "${job_a}" --serve-wait \
+  --outcome "${fleet_dir}/served_a.outcome" >/dev/null
+"${cli}" --socket "${tcp_addr}" --serve-result "${job_b}" --serve-wait \
+  --outcome "${fleet_dir}/served_b.outcome" >/dev/null
+diff "${fleet_dir}/direct_a.outcome" "${fleet_dir}/served_a.outcome"
+diff "${fleet_dir}/direct_b.outcome" "${fleet_dir}/served_b.outcome"
+echo "fleet smoke: both sharded outcomes byte-identical (one across a kill)"
+
+kill -TERM "${fsrv}"
+wait "${fsrv}"
+echo "fleet smoke: coordinator drained cleanly"
+
 echo "== COW sanitizer stage =="
 # The copy-on-write tensor contract is concurrency-sensitive: distinct
 # aliases of one buffer are read while another alias materializes. Prove
 # the absence of data races with a ThreadSanitizer build of the COW
 # invariant suite plus the batched evaluator (whose speculation phase
-# shares model snapshots across the pool), then shake out addressability
+# shares model snapshots across the pool) and the shared experience tier
+# (readers mmap while a publisher appends + renames), then shake out
+# addressability
 # bugs in the buffer-sharing paths with an ASan+UBSan pass. Both run at
 # AUTOMC_THREADS=1 and 4 like the main suite.
 cmake -B build-tsan -S . -DAUTOMC_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j --target cow_tensor_test batch_eval_test
+cmake --build build-tsan -j --target cow_tensor_test batch_eval_test \
+  experience_index_test
 for threads in 1 4; do
   echo "-- tsan ctest, AUTOMC_THREADS=${threads} --"
   AUTOMC_THREADS="${threads}" ctest --test-dir build-tsan \
-    -R 'cow_tensor_test|batch_eval_test' --output-on-failure
+    -R 'cow_tensor_test|batch_eval_test|experience_index_test' \
+    --output-on-failure
 done
 
 cmake -B build-asan -S . -DAUTOMC_SANITIZE=address,undefined \

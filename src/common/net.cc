@@ -1,0 +1,229 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace automc {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+// Splits "tcp:HOST:PORT" into host and port. The port is the suffix after
+// the last ':', so numeric IPv4 hosts and hostnames both work.
+Status SplitTcp(std::string_view address, std::string* host,
+                std::string* port) {
+  if (!IsTcpAddress(address)) {
+    return Status::InvalidArgument("not a tcp address: '" +
+                                   std::string(address) + "'");
+  }
+  std::string_view rest = address.substr(kTcpPrefix.size());
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == rest.size()) {
+    return Status::InvalidArgument("tcp address must be tcp:HOST:PORT, got '" +
+                                   std::string(address) + "'");
+  }
+  host->assign(rest.substr(0, colon));
+  port->assign(rest.substr(colon + 1));
+  return Status::OK();
+}
+
+// Resolves and either binds (listen) or connects the first usable result.
+Result<int> TcpSocket(const std::string& address, bool listen_side,
+                      int backlog) {
+  std::string host, port;
+  AUTOMC_RETURN_IF_ERROR(SplitTcp(address, &host, &port));
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  if (listen_side) hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  if (int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+      rc != 0) {
+    return Status::InvalidArgument("cannot resolve '" + address +
+                                   "': " + gai_strerror(rc));
+  }
+  Status last = Status::Internal("no usable address for " + address);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                      ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (listen_side) {
+      int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+          ::listen(fd, backlog) == 0) {
+        ::freeaddrinfo(res);
+        return fd;
+      }
+      last = Errno("bind/listen " + address);
+    } else {
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        ::freeaddrinfo(res);
+        return fd;
+      }
+      last = Errno("connect " + address);
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+}  // namespace
+
+Result<int> ListenUnix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    Status st = Errno("bind/listen " + path);
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> ListenTcp(const std::string& address, int backlog) {
+  return TcpSocket(address, /*listen_side=*/true, backlog);
+}
+
+Result<int> ConnectAddress(const std::string& address) {
+  if (IsTcpAddress(address)) {
+    return TcpSocket(address, /*listen_side=*/false, 0);
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (address.empty() || address.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: '" + address + "'");
+  }
+  std::memcpy(addr.sun_path, address.c_str(), address.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("connect " + address);
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<std::string> LocalAddress(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+    return Errno("getsockname");
+  }
+  if (ss.ss_family == AF_UNIX) {
+    const auto* un = reinterpret_cast<sockaddr_un*>(&ss);
+    return std::string(un->sun_path);
+  }
+  if (ss.ss_family == AF_INET) {
+    const auto* in = reinterpret_cast<sockaddr_in*>(&ss);
+    char host[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &in->sin_addr, host, sizeof(host));
+    return std::string(kTcpPrefix) + host + ":" +
+           std::to_string(ntohs(in->sin_port));
+  }
+  return Status::Internal("unsupported socket family " +
+                          std::to_string(ss.ss_family));
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Result<Epoll> Epoll::Create() {
+  int fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0) return Errno("epoll_create1");
+  return Epoll(fd);
+}
+
+Epoll::Epoll(Epoll&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Epoll& Epoll::operator=(Epoll&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Epoll::~Epoll() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+namespace {
+
+Status EpollCtl(int epfd, int op, int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epfd, op, fd, &ev) != 0) return Errno("epoll_ctl");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Epoll::Add(int fd, uint32_t events, uint64_t tag) {
+  return EpollCtl(fd_, EPOLL_CTL_ADD, fd, events, tag);
+}
+
+Status Epoll::Mod(int fd, uint32_t events, uint64_t tag) {
+  return EpollCtl(fd_, EPOLL_CTL_MOD, fd, events, tag);
+}
+
+Status Epoll::Del(int fd) {
+  if (::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return Errno("epoll_ctl(DEL)");
+  }
+  return Status::OK();
+}
+
+Result<int> Epoll::Wait(struct epoll_event* events, int max_events,
+                        int timeout_ms) {
+  for (;;) {
+    int n = ::epoll_wait(fd_, events, max_events, timeout_ms);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    return Errno("epoll_wait");
+  }
+}
+
+}  // namespace net
+}  // namespace automc

@@ -1,0 +1,77 @@
+#ifndef AUTOMC_COMMON_NET_H_
+#define AUTOMC_COMMON_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+struct epoll_event;
+
+namespace automc {
+namespace net {
+
+// Socket address convention used by every AMCS endpoint (server listeners,
+// the blocking Client, the CLI): a plain string is a unix-domain socket
+// path; the prefix "tcp:" selects TCP — "tcp:HOST:PORT" (HOST may be a
+// hostname or numeric address; PORT 0 asks the kernel for a free port on
+// listen). The helpers below all return owning file descriptors
+// (CLOEXEC), or a Status describing the errno-level failure.
+
+constexpr std::string_view kTcpPrefix = "tcp:";
+
+inline bool IsTcpAddress(std::string_view address) {
+  return address.substr(0, kTcpPrefix.size()) == kTcpPrefix;
+}
+
+// Bound + listening unix-domain socket. Unlinks a stale socket file first
+// (a path left by a killed server would otherwise fail with EADDRINUSE).
+Result<int> ListenUnix(const std::string& path, int backlog);
+
+// Bound + listening TCP socket for "tcp:HOST:PORT" (SO_REUSEADDR set).
+Result<int> ListenTcp(const std::string& address, int backlog);
+
+// Connected client socket for either address form. TCP connections get
+// TCP_NODELAY (the protocol is small request/reply frames; Nagle would
+// serialize the round-trips).
+Result<int> ConnectAddress(const std::string& address);
+
+// The actually bound address of a listening socket, in the same string
+// convention ("tcp:IP:PORT" with a resolved port, or the unix path).
+// Resolves "tcp:HOST:0" to the kernel-chosen port.
+Result<std::string> LocalAddress(int fd);
+
+Status SetNonBlocking(int fd, bool nonblocking);
+
+// Thin RAII owner of an epoll instance. `tag` round-trips through
+// epoll_event::data.u64 (callers usually store the fd).
+class Epoll {
+ public:
+  static Result<Epoll> Create();
+  Epoll() = default;
+  Epoll(Epoll&& other) noexcept;
+  Epoll& operator=(Epoll&& other) noexcept;
+  Epoll(const Epoll&) = delete;
+  Epoll& operator=(const Epoll&) = delete;
+  ~Epoll();
+
+  Status Add(int fd, uint32_t events, uint64_t tag);
+  Status Mod(int fd, uint32_t events, uint64_t tag);
+  Status Del(int fd);
+  // Number of ready events written into `events`, 0 on timeout. EINTR is
+  // retried internally.
+  Result<int> Wait(struct epoll_event* events, int max_events,
+                   int timeout_ms);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Epoll(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace automc
+
+#endif  // AUTOMC_COMMON_NET_H_

@@ -1,0 +1,112 @@
+#ifndef AUTOMC_FLEET_EVENT_LOOP_H_
+#define AUTOMC_FLEET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/net.h"
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace automc {
+namespace fleet {
+
+// A decoded request frame in, a reply frame out. Handle() runs on the
+// event-loop thread, so implementations must not block on long work —
+// the JobManager-backed handler only enqueues/inspects (job execution has
+// its own threads), and the coordinator handler does one bounded
+// round-trip to a worker.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+  virtual server::Frame Handle(const server::Frame& request) = 0;
+};
+
+// Single-threaded epoll reactor speaking AMCS framing over any mix of
+// listening sockets (unix + TCP). Replaces thread-per-connection reads:
+// thousands of idle connections cost one epoll registration each, no
+// threads. Handles the nonblocking-transport edge cases the blocking
+// server never saw:
+//
+//   * partial frames  — an incremental FrameDecoder per connection; a
+//     request dribbled one byte at a time is reassembled, and EOF inside a
+//     frame counts as a bad frame rather than a clean close;
+//   * slow writers    — replies queue in a per-connection output buffer
+//     flushed under EPOLLOUT; a peer that stops reading stalls only its
+//     own buffer (capped at kMaxOutputBuffer, then the connection drops);
+//   * protocol errors — bad magic / CRC mismatch / payload over the cap
+//     get a typed kError frame (best effort) before the connection closes;
+//   * idle timeout    — connections quiet for longer than
+//     `idle_timeout_s` are reaped (slow-loris / half-open peers), swept at
+//     ~1s granularity.
+class EventLoop {
+ public:
+  struct Options {
+    // Listening sockets, already bound; the loop takes ownership and
+    // closes them on shutdown.
+    std::vector<int> listen_fds;
+    // Seconds of inactivity before a connection is reaped; 0 disables.
+    int idle_timeout_s = 0;
+    // Not owned; must outlive the loop.
+    RequestHandler* handler = nullptr;
+  };
+
+  static Result<std::unique_ptr<EventLoop>> Start(Options options);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Async-signal-safe stop request (one eventfd write).
+  void RequestStop();
+  // Blocks until a stop is requested, then flushes pending replies
+  // (bounded) and closes every connection.
+  void Wait();
+  // RequestStop() + Wait().
+  void Stop();
+
+ private:
+  // A reply backlog larger than this means the peer stopped reading;
+  // drop the connection instead of buffering without bound.
+  static constexpr size_t kMaxOutputBuffer = 256u << 20;
+
+  struct Conn {
+    int fd = -1;
+    server::FrameDecoder decoder;
+    std::string outbuf;
+    size_t outpos = 0;
+    std::chrono::steady_clock::time_point last_active;
+    bool closing = false;  // close as soon as outbuf drains
+  };
+
+  EventLoop() = default;
+
+  void Run();
+  void AcceptAll(int listen_fd);
+  void HandleConn(Conn* conn, uint32_t events);
+  void QueueReply(Conn* conn, server::MsgType type, std::string_view payload);
+  // Writes as much of outbuf as the socket accepts; re-arms EPOLLOUT when
+  // bytes remain. Returns false if the connection was closed.
+  bool Flush(Conn* conn);
+  void CloseConn(int fd);
+  void SweepIdle();
+
+  Options options_;
+  net::Epoll epoll_;
+  int wake_fd_ = -1;  // eventfd; written by RequestStop
+  std::atomic<bool> stop_requested_{false};
+  std::thread loop_thread_;
+  std::map<int, std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace fleet
+}  // namespace automc
+
+#endif  // AUTOMC_FLEET_EVENT_LOOP_H_

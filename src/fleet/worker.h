@@ -1,0 +1,30 @@
+#ifndef AUTOMC_FLEET_WORKER_H_
+#define AUTOMC_FLEET_WORKER_H_
+
+#include "server/job_manager.h"
+
+namespace automc {
+namespace fleet {
+
+// Entry point of a fleet worker process (`automc_serve --worker
+// --control-fd=N ...`). Opens (or recovers) a JobManager over the
+// worker's private job dir and serves the coordinator's AMCS control
+// channel on `control_fd` with a plain blocking frame loop — the same
+// JobRequestHandler dispatch the public server uses, so a sharded job
+// takes exactly the code path a direct one does.
+//
+// Lifecycle is owned by the coordinator: EOF on the control channel is
+// the shutdown signal (drain: running jobs checkpoint and re-queue
+// durably), after which the worker exits 0. SIGINT/SIGTERM are ignored —
+// the terminal's ^C goes to the whole process group, and only the
+// coordinator may decide what a signal means for the fleet. A worker
+// that dies any other way (crash, kill -KILL) is respawned by the
+// coordinator and recovers its jobs from disk.
+//
+// Returns the process exit code.
+int WorkerMain(int control_fd, server::JobManager::Options jobs);
+
+}  // namespace fleet
+}  // namespace automc
+
+#endif  // AUTOMC_FLEET_WORKER_H_

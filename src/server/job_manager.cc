@@ -10,8 +10,10 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "search/report.h"
+#include "store/experience_index.h"
 #include "store/experience_store.h"
 
 namespace automc {
@@ -99,6 +101,12 @@ JobManager::JobManager(Options options) : options_(std::move(options)) {
 Result<std::unique_ptr<JobManager>> JobManager::Open(Options options) {
   if (options.workdir.empty()) {
     return Status::InvalidArgument("JobManager needs a workdir");
+  }
+  if (options.shared_dir.empty()) {
+    if (const char* env = std::getenv("AUTOMC_EXPERIENCE_INDEX");
+        env != nullptr) {
+      options.shared_dir = env;
+    }
   }
   std::unique_ptr<JobManager> mgr(new JobManager(std::move(options)));
   std::error_code ec;
@@ -206,13 +214,38 @@ Status JobManager::Recover() {
 }
 
 Result<uint64_t> JobManager::Submit(const core::RunSpec& spec) {
+  return SubmitInternal(0, spec);
+}
+
+Result<uint64_t> JobManager::SubmitWithId(uint64_t id,
+                                          const core::RunSpec& spec) {
+  if (id == 0) return Status::InvalidArgument("job id must be nonzero");
+  return SubmitInternal(id, spec);
+}
+
+Result<uint64_t> JobManager::SubmitInternal(uint64_t want_id,
+                                            const core::RunSpec& spec) {
   AUTOMC_RETURN_IF_ERROR(core::ValidateRunSpec(spec));
   std::unique_lock<std::mutex> lock(mu_);
   if (stopping_) return Status::FailedPrecondition("server shutting down");
+  if (want_id != 0) {
+    if (auto it = jobs_.find(want_id); it != jobs_.end()) {
+      ByteWriter fresh, existing;
+      core::EncodeRunSpec(spec, &fresh);
+      core::EncodeRunSpec(it->second->spec, &existing);
+      if (fresh.str() != existing.str()) {
+        return Status::InvalidArgument("job " + std::to_string(want_id) +
+                                       " already exists with a different "
+                                       "spec");
+      }
+      return want_id;  // idempotent re-ack (coordinator retry)
+    }
+  }
   if (static_cast<int>(queue_.size()) + active_ >= options_.queue_capacity) {
     return Status::FailedPrecondition("job queue full");
   }
-  const uint64_t id = next_id_++;
+  const uint64_t id = want_id != 0 ? want_id : next_id_++;
+  if (id >= next_id_) next_id_ = id + 1;
 
   std::error_code ec;
   fs::create_directories(JobDir(id), ec);
@@ -361,7 +394,41 @@ void JobManager::RunJob(Job* job) {
   }
   hooks.store = store->get();
 
+  // Attach the fleet's shared experience tier (when configured): local
+  // store misses fall through to the mmap index, so schemes any worker
+  // already evaluated are served without a real strategy execution. A
+  // broken tier only degrades to cold evaluation — never fails the job.
+  std::unique_ptr<store::ExperienceIndex> shared;
+  if (!options_.shared_dir.empty()) {
+    std::error_code shared_ec;
+    fs::create_directories(options_.shared_dir, shared_ec);
+    Result<std::unique_ptr<store::ExperienceIndex>> idx =
+        store::ExperienceIndex::OpenOrRebuild(options_.shared_dir);
+    if (idx.ok()) {
+      shared = std::move(*idx);
+      (*store)->AttachShared(shared.get());
+    } else {
+      AUTOMC_LOG(Warning) << "shared experience tier unavailable: "
+                          << idx.status().ToString();
+    }
+  }
+
   Result<core::AutoMCResult> result = core::RunSearch(job->spec, hooks);
+
+  // Publish this job's evaluations into the shared tier before marking it
+  // DONE — best effort; the job's own result never depends on it.
+  if (result.ok() && !options_.shared_dir.empty()) {
+    std::vector<std::pair<store::Fingerprint, store::EvalRecord>> recs;
+    recs.reserve((*store)->records().size());
+    for (const auto& [fp, rec] : (*store)->records()) {
+      recs.emplace_back(fp, *rec);
+    }
+    if (automc::Status st = store::PublishExperience(
+            options_.shared_dir, options_.shared_segment, recs);
+        !st.ok()) {
+      AUTOMC_LOG(Warning) << "experience publish failed: " << st.ToString();
+    }
+  }
 
   std::unique_lock<std::mutex> lock(mu_);
   if (result.ok()) {

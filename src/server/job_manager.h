@@ -51,6 +51,15 @@ class JobManager {
     int max_concurrent = 0;
     // Bounded FIFO: Submit fails once this many jobs are queued or running.
     int queue_capacity = 64;
+    // Shared experience tier directory (the fleet's cross-worker cache).
+    // Empty reads $AUTOMC_EXPERIENCE_INDEX; empty in both places = off.
+    // When set, each job's private store consults the tier's mmap index
+    // on local misses, and every finished job's records are appended to
+    // `shared_segment` + republished — so a scheme any worker evaluated
+    // is never executed again anywhere in the fleet.
+    std::string shared_dir;
+    // Segment file this process appends to (one appender per segment).
+    std::string shared_segment = "seg-0.bin";
     // Test-only fault injection: each job's checkpointer aborts after this
     // many checkpoint writes and the job thread abandons the job without
     // touching its durable state — exactly what SIGKILL mid-search leaves
@@ -71,6 +80,14 @@ class JobManager {
   // Durably persists the job, then queues it. Fails when the FIFO is full
   // or the manager is shutting down.
   Result<uint64_t> Submit(const core::RunSpec& spec);
+
+  // Fleet control-channel path: submits under a coordinator-assigned id.
+  // Idempotent — if the id already exists with the same spec bytes it is
+  // re-acknowledged without re-queueing (a coordinator retrying after a
+  // worker respawn must not run the job twice); a different spec under an
+  // existing id is an error. Local next_id_ jumps past `id`, so mixing
+  // with Submit() cannot collide.
+  Result<uint64_t> SubmitWithId(uint64_t id, const core::RunSpec& spec);
 
   Result<JobInfo> Info(uint64_t id) const;
   std::vector<JobInfo> List() const;
@@ -110,6 +127,7 @@ class JobManager {
 
   explicit JobManager(Options options);
 
+  Result<uint64_t> SubmitInternal(uint64_t want_id, const core::RunSpec& spec);
   Status Recover();
   void WorkerLoop();
   // Runs one job end to end; returns the final state transition.

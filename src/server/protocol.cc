@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -8,22 +9,40 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "common/net.h"
 
 namespace automc {
 namespace server {
 
 namespace {
 
-// write(2) until done; EINTR-safe. A peer that disappears mid-write
-// surfaces as Internal (EPIPE is suppressed to a status, not a signal —
-// callers must have SIGPIPE ignored or use MSG_NOSIGNAL-equivalent;
-// automc_serve and the CLI both ignore SIGPIPE at startup).
+// Blocks until `fd` is ready for `events` (POLLIN/POLLOUT); EINTR-safe.
+// Lets the byte-level loops below behave blockingly on O_NONBLOCK sockets:
+// a nonblocking fd handed to ReadFrame/WriteFrame never tears a frame.
+Status PollFor(int fd, short events) {
+  pollfd p{fd, events, 0};
+  for (;;) {
+    if (::poll(&p, 1, -1) >= 0) return Status::OK();
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("socket poll: ") +
+                            std::strerror(errno));
+  }
+}
+
+// write(2) until done; EINTR- and EAGAIN-safe. A peer that disappears
+// mid-write surfaces as Internal (EPIPE is suppressed to a status, not a
+// signal — callers must have SIGPIPE ignored or use MSG_NOSIGNAL-
+// equivalent; automc_serve and the CLI both ignore SIGPIPE at startup).
 Status WriteAll(int fd, const void* data, size_t n) {
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
     ssize_t written = ::write(fd, p, n);
     if (written < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        AUTOMC_RETURN_IF_ERROR(PollFor(fd, POLLOUT));
+        continue;
+      }
       return Status::Internal(std::string("socket write: ") +
                               std::strerror(errno));
     }
@@ -33,8 +52,9 @@ Status WriteAll(int fd, const void* data, size_t n) {
   return Status::OK();
 }
 
-// read(2) a full buffer. `*eof` is set (and OK returned) only when EOF hits
-// at offset 0; EOF mid-buffer is a truncated frame.
+// read(2) a full buffer, looping over short reads, EINTR, and (on
+// nonblocking sockets) EAGAIN. `*eof` is set (and OK returned) only when
+// EOF hits at offset 0; EOF mid-buffer is a truncated frame.
 Status ReadAll(int fd, void* data, size_t n, bool* eof) {
   *eof = false;
   char* p = static_cast<char*>(data);
@@ -43,6 +63,10 @@ Status ReadAll(int fd, void* data, size_t n, bool* eof) {
     ssize_t r = ::read(fd, p + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        AUTOMC_RETURN_IF_ERROR(PollFor(fd, POLLIN));
+        continue;
+      }
       return Status::Internal(std::string("socket read: ") +
                               std::strerror(errno));
     }
@@ -66,10 +90,7 @@ uint32_t FrameCrc(uint32_t type, uint32_t size, std::string_view payload) {
 
 }  // namespace
 
-Status WriteFrame(int fd, MsgType type, std::string_view payload) {
-  if (payload.size() > kMaxFramePayload) {
-    return Status::InvalidArgument("frame payload too large");
-  }
+std::string EncodeFrame(MsgType type, std::string_view payload) {
   const uint32_t type_u = static_cast<uint32_t>(type);
   const uint32_t size = static_cast<uint32_t>(payload.size());
   ByteWriter w;
@@ -78,7 +99,15 @@ Status WriteFrame(int fd, MsgType type, std::string_view payload) {
   w.U32(size);
   w.Raw(payload.data(), payload.size());
   w.U32(FrameCrc(type_u, size, payload));
-  return WriteAll(fd, w.str().data(), w.str().size());
+  return w.Take();
+}
+
+Status WriteFrame(int fd, MsgType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  std::string bytes = EncodeFrame(type, payload);
+  return WriteAll(fd, bytes.data(), bytes.size());
 }
 
 Result<Frame> ReadFrame(int fd) {
@@ -107,6 +136,58 @@ Result<Frame> ReadFrame(int fd) {
     return Status::InvalidArgument("frame CRC mismatch");
   }
   return frame;
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  if (!error_.ok()) return;  // poisoned: framing is lost, don't buffer more
+  // Compact the consumed prefix before it dominates the buffer.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Event FrameDecoder::Next(Frame* out, Status* error) {
+  if (!error_.ok()) {
+    *error = error_;
+    return Event::kError;
+  }
+  const size_t avail = buf_.size() - pos_;
+  if (avail < 12) return Event::kNeedMore;
+  uint32_t header[3];
+  std::memcpy(header, buf_.data() + pos_, sizeof(header));
+  if (header[0] != kFrameMagic) {
+    error_ = Status::InvalidArgument("bad frame magic");
+    *error = error_;
+    return Event::kError;
+  }
+  if (header[2] > kMaxFramePayload) {
+    error_ = Status::InvalidArgument(
+        "frame payload too large: " + std::to_string(header[2]) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte cap");
+    *error = error_;
+    return Event::kError;
+  }
+  const size_t total = 12 + static_cast<size_t>(header[2]) + 4;
+  if (avail < total) return Event::kNeedMore;
+  std::string_view payload(buf_.data() + pos_ + 12, header[2]);
+  uint32_t crc = 0;
+  std::memcpy(&crc, buf_.data() + pos_ + 12 + header[2], sizeof(crc));
+  if (crc != FrameCrc(header[1], header[2], payload)) {
+    error_ = Status::InvalidArgument("frame CRC mismatch");
+    *error = error_;
+    return Event::kError;
+  }
+  out->type = header[1];
+  out->payload.assign(payload);
+  pos_ += total;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return Event::kFrame;
 }
 
 const char* JobStateName(JobState state) {
@@ -179,23 +260,8 @@ Status DecodeError(std::string_view payload) {
   return Status(static_cast<StatusCode>(code), std::move(message));
 }
 
-Result<Client> Client::Connect(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("bad socket path: '" + socket_path + "'");
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Status::Internal("connect " + socket_path + ": " +
-                                 std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
+Result<Client> Client::Connect(const std::string& address) {
+  AUTOMC_ASSIGN_OR_RETURN(int fd, net::ConnectAddress(address));
   return Client(fd);
 }
 

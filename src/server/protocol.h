@@ -34,7 +34,13 @@ enum class MsgType : uint32_t {
   kCancelJob = 3,     // payload: u64 job id
   kListJobs = 4,      // payload: empty
   kFetchOutcome = 5,  // payload: u64 job id
-  kGetMetrics = 6,    // payload: empty
+  kGetMetrics = 6,    // payload: empty, or u32 worker id (fleet mode: that
+                      // worker process's registry instead of the frontend's)
+  // Internal coordinator -> worker control channel: submit under a
+  // coordinator-assigned global job id. Payload: u64 id, EncodeRunSpec.
+  // Idempotent — resending after a worker respawn re-acknowledges the same
+  // id as long as the spec bytes match.
+  kSubmitWithId = 7,
   // Responses.
   kOk = 100,        // payload: empty (CancelJob ack)
   kSubmitted = 101, // payload: u64 job id
@@ -55,8 +61,41 @@ struct Frame {
 //   * InvalidArgument  — garbage: bad magic, oversized payload, CRC
 //                        mismatch, or EOF mid-frame;
 //   * Internal         — transport error (errno-level read/write failure).
+// Both tolerate short reads/writes and EINTR, and — via poll(2) on
+// EAGAIN/EWOULDBLOCK — behave blockingly even on an O_NONBLOCK socket, so
+// a frame is never torn by nonblocking-mode reads.
 Status WriteFrame(int fd, MsgType type, std::string_view payload);
 Result<Frame> ReadFrame(int fd);
+
+// The exact bytes WriteFrame puts on the wire, for transports that manage
+// their own buffering (the epoll event loop). Caller enforces the payload
+// cap.
+std::string EncodeFrame(MsgType type, std::string_view payload);
+
+// Incremental frame parser for nonblocking transports (the epoll event
+// loop). Feed() appends whatever bytes arrived; Next() pops completed
+// frames. A protocol violation (bad magic, payload over kMaxFramePayload,
+// CRC mismatch) poisons the decoder: Next() returns kError with the
+// violation, permanently — the connection has lost framing and must close.
+class FrameDecoder {
+ public:
+  enum class Event {
+    kNeedMore,  // no complete frame buffered
+    kFrame,     // *out was filled
+    kError,     // *error was filled; the decoder is dead
+  };
+
+  void Feed(const char* data, size_t n);
+  Event Next(Frame* out, Status* error);
+
+  // True while a frame is partially buffered (EOF here = torn frame).
+  bool mid_frame() const { return error_.ok() && pos_ < buf_.size(); }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  // parse cursor; consumed prefix is compacted lazily
+  Status error_;
+};
 
 // Durable job lifecycle: QUEUED -> RUNNING -> {DONE, FAILED, CANCELLED}.
 // A killed server re-queues QUEUED/RUNNING jobs on restart (RUNNING ones
@@ -96,7 +135,9 @@ Status DecodeError(std::string_view payload);
 // in flight at a time per client; not thread-safe.
 class Client {
  public:
-  static Result<Client> Connect(const std::string& socket_path);
+  // `address` is a unix socket path, or "tcp:HOST:PORT" for the daemon's
+  // TCP listener (see common/net.h for the address convention).
+  static Result<Client> Connect(const std::string& address);
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
   Client(const Client&) = delete;

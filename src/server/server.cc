@@ -1,19 +1,15 @@
 #include "server/server.h"
 
-#include <fcntl.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <algorithm>
-#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/metrics.h"
+#include "common/net.h"
 
 namespace automc {
 namespace server {
@@ -29,7 +25,93 @@ Result<uint64_t> DecodeIdPayload(std::string_view payload) {
   return id;
 }
 
+Frame ErrorFrame(const Status& status) {
+  Frame f;
+  f.type = static_cast<uint32_t>(MsgType::kError);
+  f.payload = EncodeError(status);
+  return f;
+}
+
+Frame ReplyFrame(MsgType type, std::string payload) {
+  Frame f;
+  f.type = static_cast<uint32_t>(type);
+  f.payload = std::move(payload);
+  return f;
+}
+
 }  // namespace
+
+Frame JobRequestHandler::Handle(const Frame& request) {
+  switch (static_cast<MsgType>(request.type)) {
+    case MsgType::kSubmitJob: {
+      core::RunSpec spec;
+      ByteReader r(request.payload);
+      if (!core::DecodeRunSpec(&r, &spec) || !r.Done()) {
+        return ErrorFrame(Status::InvalidArgument("malformed RunSpec payload"));
+      }
+      Result<uint64_t> id = jobs_->Submit(spec);
+      if (!id.ok()) return ErrorFrame(id.status());
+      ByteWriter w;
+      w.U64(*id);
+      return ReplyFrame(MsgType::kSubmitted, w.Take());
+    }
+    case MsgType::kSubmitWithId: {
+      ByteReader r(request.payload);
+      uint64_t id = 0;
+      core::RunSpec spec;
+      if (!r.U64(&id) || !core::DecodeRunSpec(&r, &spec) || !r.Done()) {
+        return ErrorFrame(
+            Status::InvalidArgument("malformed SubmitWithId payload"));
+      }
+      Result<uint64_t> got = jobs_->SubmitWithId(id, spec);
+      if (!got.ok()) return ErrorFrame(got.status());
+      ByteWriter w;
+      w.U64(*got);
+      return ReplyFrame(MsgType::kSubmitted, w.Take());
+    }
+    case MsgType::kJobStatus: {
+      Result<uint64_t> id = DecodeIdPayload(request.payload);
+      if (!id.ok()) return ErrorFrame(id.status());
+      Result<JobInfo> info = jobs_->Info(*id);
+      if (!info.ok()) return ErrorFrame(info.status());
+      ByteWriter w;
+      EncodeJobInfo(*info, &w);
+      return ReplyFrame(MsgType::kStatus, w.Take());
+    }
+    case MsgType::kCancelJob: {
+      Result<uint64_t> id = DecodeIdPayload(request.payload);
+      Status st = id.ok() ? jobs_->Cancel(*id) : id.status();
+      if (!st.ok()) return ErrorFrame(st);
+      return ReplyFrame(MsgType::kOk, "");
+    }
+    case MsgType::kListJobs: {
+      std::vector<JobInfo> infos = jobs_->List();
+      ByteWriter w;
+      w.U32(static_cast<uint32_t>(infos.size()));
+      for (const JobInfo& info : infos) EncodeJobInfo(info, &w);
+      return ReplyFrame(MsgType::kJobList, w.Take());
+    }
+    case MsgType::kFetchOutcome: {
+      Result<uint64_t> id = DecodeIdPayload(request.payload);
+      if (!id.ok()) return ErrorFrame(id.status());
+      Result<std::string> bytes = jobs_->OutcomeBytes(*id);
+      if (!bytes.ok()) return ErrorFrame(bytes.status());
+      return ReplyFrame(MsgType::kOutcome, *std::move(bytes));
+    }
+    case MsgType::kGetMetrics: {
+      if (!request.payload.empty()) {
+        // A u32 worker id only means something to the fleet coordinator.
+        return ErrorFrame(Status::FailedPrecondition(
+            "per-worker metrics need a fleet coordinator"));
+      }
+      return ReplyFrame(MsgType::kMetrics,
+                        metrics::MetricsRegistry::Global().ToJson());
+    }
+    default:
+      return ErrorFrame(Status::InvalidArgument(
+          "unknown request type " + std::to_string(request.type)));
+  }
+}
 
 Result<std::unique_ptr<Server>> Server::Start(Options options) {
   std::string path = options.socket_path;
@@ -37,208 +119,78 @@ Result<std::unique_ptr<Server>> Server::Start(Options options) {
     const char* env = std::getenv("AUTOMC_SOCKET");
     if (env != nullptr) path = env;
   }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+  if (path.empty()) {
     return Status::InvalidArgument(
-        "bad socket path '" + path +
-        "' (set --socket or $AUTOMC_SOCKET; must fit in sun_path)");
+        "bad socket path '' (set --socket or $AUTOMC_SOCKET)");
   }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  std::string tcp = options.tcp_address;
+  if (tcp.empty()) {
+    const char* env = std::getenv("AUTOMC_TCP");
+    if (env != nullptr) tcp = env;
+  }
+  int idle_s = options.idle_timeout_s;
+  if (idle_s < 0) {
+    idle_s = 0;
+    if (const char* env = std::getenv("AUTOMC_SERVER_IDLE_TIMEOUT");
+        env != nullptr && *env != '\0') {
+      idle_s = std::atoi(env);
+      if (idle_s < 0) idle_s = 0;
+    }
+  }
 
   std::unique_ptr<Server> server(new Server());
   server->socket_path_ = path;
-  AUTOMC_ASSIGN_OR_RETURN(server->jobs_,
-                          JobManager::Open(std::move(options.jobs)));
+  fleet::RequestHandler* handler = options.handler;
+  if (handler == nullptr) {
+    AUTOMC_ASSIGN_OR_RETURN(server->jobs_,
+                            JobManager::Open(std::move(options.jobs)));
+    server->default_handler_ =
+        std::make_unique<JobRequestHandler>(server->jobs_.get());
+    handler = server->default_handler_.get();
+  }
 
-  if (::pipe2(server->stop_pipe_, O_CLOEXEC) != 0) {
-    return Status::Internal(std::string("pipe2: ") + std::strerror(errno));
+  fleet::EventLoop::Options loop_opts;
+  loop_opts.handler = handler;
+  loop_opts.idle_timeout_s = idle_s;
+  AUTOMC_ASSIGN_OR_RETURN(int unix_fd, net::ListenUnix(path, 128));
+  loop_opts.listen_fds.push_back(unix_fd);
+  if (!tcp.empty()) {
+    Result<int> tcp_fd = net::ListenTcp(tcp, 128);
+    if (!tcp_fd.ok()) {
+      ::close(unix_fd);
+      return tcp_fd.status();
+    }
+    // Resolve "tcp:HOST:0" to the kernel-assigned port so callers can
+    // actually connect.
+    Result<std::string> bound = net::LocalAddress(*tcp_fd);
+    if (!bound.ok()) {
+      ::close(unix_fd);
+      ::close(*tcp_fd);
+      return bound.status();
+    }
+    server->tcp_address_ = *bound;
+    loop_opts.listen_fds.push_back(*tcp_fd);
   }
-  server->listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (server->listen_fd_ < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  // A socket file left by a killed server would make bind fail with
-  // EADDRINUSE even though nobody is listening.
-  ::unlink(path.c_str());
-  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    return Status::Internal("bind " + path + ": " + std::strerror(errno));
-  }
-  if (::listen(server->listen_fd_, 16) != 0) {
-    return Status::Internal("listen " + path + ": " + std::strerror(errno));
-  }
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  AUTOMC_ASSIGN_OR_RETURN(server->loop_,
+                          fleet::EventLoop::Start(std::move(loop_opts)));
   return server;
 }
 
 Server::~Server() { Stop(); }
 
 void Server::RequestStop() {
-  if (stop_pipe_[1] < 0) return;
-  const char byte = 's';
-  // Async-signal-safe: one write(2), result deliberately ignored (a full
-  // pipe means a stop is already pending).
-  [[maybe_unused]] ssize_t ignored = ::write(stop_pipe_[1], &byte, 1);
-}
-
-void Server::AcceptLoop() {
-  for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
-    if (::poll(fds, 2, -1) < 0) {
-      if (errno == EINTR) continue;
-      return;
-    }
-    if (fds[1].revents != 0) return;  // stop requested
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;
-    }
-    std::unique_lock<std::mutex> lock(conn_mu_);
-    if (draining_) {
-      ::close(fd);
-      continue;
-    }
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
-  }
-}
-
-void Server::ServeConnection(int fd) {
-  AUTOMC_METRIC_COUNT("server.connections");
-  for (;;) {
-    Result<Frame> frame = ReadFrame(fd);
-    if (!frame.ok()) {
-      // Garbage (bad magic / CRC / truncation) gets a best-effort error
-      // frame; either way only THIS connection closes — the accept loop
-      // and every other connection keep serving.
-      if (frame.status().code() == StatusCode::kInvalidArgument) {
-        (void)WriteFrame(fd, MsgType::kError, EncodeError(frame.status()));
-        AUTOMC_METRIC_COUNT("server.bad_frames");
-      }
-      break;
-    }
-    AUTOMC_METRIC_COUNT("server.requests");
-
-    MsgType reply_type = MsgType::kError;
-    std::string reply;
-    Status st;
-    switch (static_cast<MsgType>(frame->type)) {
-      case MsgType::kSubmitJob: {
-        core::RunSpec spec;
-        ByteReader r(frame->payload);
-        if (!core::DecodeRunSpec(&r, &spec) || !r.Done()) {
-          st = Status::InvalidArgument("malformed RunSpec payload");
-          break;
-        }
-        Result<uint64_t> id = jobs_->Submit(spec);
-        if (!id.ok()) {
-          st = id.status();
-          break;
-        }
-        ByteWriter w;
-        w.U64(*id);
-        reply_type = MsgType::kSubmitted;
-        reply = w.Take();
-        break;
-      }
-      case MsgType::kJobStatus: {
-        Result<uint64_t> id = DecodeIdPayload(frame->payload);
-        if (!id.ok()) {
-          st = id.status();
-          break;
-        }
-        Result<JobInfo> info = jobs_->Info(*id);
-        if (!info.ok()) {
-          st = info.status();
-          break;
-        }
-        ByteWriter w;
-        EncodeJobInfo(*info, &w);
-        reply_type = MsgType::kStatus;
-        reply = w.Take();
-        break;
-      }
-      case MsgType::kCancelJob: {
-        Result<uint64_t> id = DecodeIdPayload(frame->payload);
-        st = id.ok() ? jobs_->Cancel(*id) : id.status();
-        if (st.ok()) reply_type = MsgType::kOk;
-        break;
-      }
-      case MsgType::kListJobs: {
-        std::vector<JobInfo> infos = jobs_->List();
-        ByteWriter w;
-        w.U32(static_cast<uint32_t>(infos.size()));
-        for (const JobInfo& info : infos) EncodeJobInfo(info, &w);
-        reply_type = MsgType::kJobList;
-        reply = w.Take();
-        break;
-      }
-      case MsgType::kFetchOutcome: {
-        Result<uint64_t> id = DecodeIdPayload(frame->payload);
-        if (!id.ok()) {
-          st = id.status();
-          break;
-        }
-        Result<std::string> bytes = jobs_->OutcomeBytes(*id);
-        if (!bytes.ok()) {
-          st = bytes.status();
-          break;
-        }
-        reply_type = MsgType::kOutcome;
-        reply = *std::move(bytes);
-        break;
-      }
-      case MsgType::kGetMetrics: {
-        reply_type = MsgType::kMetrics;
-        reply = metrics::MetricsRegistry::Global().ToJson();
-        break;
-      }
-      default:
-        st = Status::InvalidArgument("unknown request type " +
-                                     std::to_string(frame->type));
-    }
-    if (reply_type == MsgType::kError) reply = EncodeError(st);
-    // Request-level failures are replies, not connection errors: the peer
-    // keeps its connection and can issue the next request.
-    if (!WriteFrame(fd, reply_type, reply).ok()) break;
-  }
-  ::close(fd);
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
-                  conn_fds_.end());
+  if (loop_ != nullptr) loop_->RequestStop();
 }
 
 void Server::Wait() {
-  if (!accept_thread_.joinable()) return;
-  accept_thread_.join();
-
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  if (loop_ == nullptr || stopped_) return;
+  loop_->Wait();
+  stopped_ = true;
   ::unlink(socket_path_.c_str());
-
-  // Half-close every live connection: the reader sees EOF at its next frame
-  // boundary, while the response to a frame already in flight still goes
-  // out on the write side.
-  std::vector<std::thread> threads;
-  {
-    std::unique_lock<std::mutex> lock(conn_mu_);
-    draining_ = true;
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
-    threads.swap(conn_threads_);
-  }
-  for (std::thread& t : threads) t.join();
-
   // Checkpoint + durably re-queue running jobs, then flush metrics — the
   // same exit path automc_cli's signal handler uses.
-  jobs_->Shutdown(/*drain=*/true);
+  if (jobs_ != nullptr) jobs_->Shutdown(/*drain=*/true);
   metrics::MetricsRegistry::Global().DumpIfConfigured();
-
-  ::close(stop_pipe_[0]);
-  ::close(stop_pipe_[1]);
-  stop_pipe_[0] = stop_pipe_[1] = -1;
 }
 
 void Server::Stop() {

@@ -10,20 +10,13 @@
 #include "common/bytes.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "store/experience_index.h"
 
 namespace automc {
 namespace store {
 
-namespace {
-
-constexpr char kMagic[4] = {'A', 'M', 'X', 'P'};
-constexpr uint32_t kVersion = 1;
-constexpr size_t kHeaderSize = 8;
-// A record holds one scheme + one measurement; anything past this is a
-// corrupted length field, not a real record.
-constexpr uint32_t kMaxPayload = 1u << 20;
-
-std::string EncodePayload(const Fingerprint& fp, const EvalRecord& rec) {
+std::string EncodeExperiencePayload(const Fingerprint& fp,
+                                    const EvalRecord& rec) {
   ByteWriter w;
   w.U64(fp.space);
   w.U64(fp.model);
@@ -38,8 +31,8 @@ std::string EncodePayload(const Fingerprint& fp, const EvalRecord& rec) {
   return w.Take();
 }
 
-bool DecodePayload(std::string_view payload, Fingerprint* fp,
-                   EvalRecord* rec) {
+bool DecodeExperiencePayload(std::string_view payload, Fingerprint* fp,
+                             EvalRecord* rec) {
   ByteReader r(payload);
   return r.U64(&fp->space) && r.U64(&fp->model) && r.Ints(&rec->scheme) &&
          r.F64(&rec->acc) && r.I64(&rec->params) && r.I64(&rec->flops) &&
@@ -47,7 +40,14 @@ bool DecodePayload(std::string_view payload, Fingerprint* fp,
          r.Floats(&rec->task_features) && r.Done();
 }
 
-}  // namespace
+std::string ExperienceKeyBytes(const Fingerprint& fp,
+                               const std::vector<int>& scheme) {
+  ByteWriter w;
+  w.U64(fp.space);
+  w.U64(fp.model);
+  for (int s : scheme) w.I32(s);
+  return w.Take();
+}
 
 uint64_t Fnv1a(const void* data, size_t n, uint64_t seed) {
   uint64_t h = seed;
@@ -65,11 +65,7 @@ ExperienceStore::~ExperienceStore() {
 
 std::string ExperienceStore::IndexKey(const Fingerprint& fp,
                                       const std::vector<int>& scheme) {
-  ByteWriter w;
-  w.U64(fp.space);
-  w.U64(fp.model);
-  for (int s : scheme) w.I32(s);
-  return w.Take();
+  return ExperienceKeyBytes(fp, scheme);
 }
 
 Result<std::unique_ptr<ExperienceStore>> ExperienceStore::Open(
@@ -100,26 +96,26 @@ Status ExperienceStore::ReplayLog() {
   }
 
   size_t valid_end = 0;
-  if (data.size() >= kHeaderSize) {
+  if (data.size() >= kExperienceHeaderSize) {
     uint32_t version = 0;
     std::memcpy(&version, data.data() + 4, sizeof(version));
-    if (std::memcmp(data.data(), kMagic, 4) != 0 || version != kVersion) {
+    if (std::memcmp(data.data(), kExperienceMagic, 4) != 0 || version != kExperienceVersion) {
       // A foreign or future-format file: refuse rather than destroy it.
       return Status::InvalidArgument(path_ + " is not a v1 experience store");
     }
-    valid_end = kHeaderSize;
+    valid_end = kExperienceHeaderSize;
 
-    size_t pos = kHeaderSize;
+    size_t pos = kExperienceHeaderSize;
     while (pos + 8 <= data.size()) {
       uint32_t len = 0, crc = 0;
       std::memcpy(&len, data.data() + pos, sizeof(len));
       std::memcpy(&crc, data.data() + pos + 4, sizeof(crc));
-      if (len > kMaxPayload || pos + 8 + len > data.size()) break;  // torn
+      if (len > kExperienceMaxPayload || pos + 8 + len > data.size()) break;  // torn
       std::string_view payload(data.data() + pos + 8, len);
       if (Crc32(payload) != crc) break;  // torn or corrupted
       Fingerprint fp;
       EvalRecord rec;
-      if (!DecodePayload(payload, &fp, &rec)) break;
+      if (!DecodeExperiencePayload(payload, &fp, &rec)) break;
       auto [it, inserted] =
           index_.insert_or_assign(IndexKey(fp, rec.scheme), std::move(rec));
       if (inserted) order_.emplace_back(fp, &it->second);
@@ -145,8 +141,8 @@ Status ExperienceStore::ReplayLog() {
   if (valid_end == 0) {
     std::ofstream out(path_, std::ios::binary | std::ios::trunc);
     if (!out.is_open()) return Status::NotFound("cannot create " + path_);
-    out.write(kMagic, 4);
-    uint32_t version = kVersion;
+    out.write(kExperienceMagic, 4);
+    uint32_t version = kExperienceVersion;
     out.write(reinterpret_cast<const char*>(&version), sizeof(version));
     if (!out.good()) return Status::Internal("cannot write header: " + path_);
   } else if (valid_end < data.size()) {
@@ -156,25 +152,48 @@ Status ExperienceStore::ReplayLog() {
   return Status::OK();
 }
 
+const EvalRecord* ExperienceStore::SharedProbe(
+    const std::vector<int>& scheme) const {
+  if (shared_ == nullptr) return nullptr;
+  std::string key = IndexKey(bound_, scheme);
+  std::unique_lock<std::mutex> lock(shared_mu_);
+  if (auto it = shared_cache_.find(key); it != shared_cache_.end()) {
+    return &it->second;
+  }
+  EvalRecord rec;
+  Result<bool> found = shared_->Find(bound_, scheme, &rec);
+  if (!found.ok() || !*found) return nullptr;
+  AUTOMC_METRIC_COUNT("store.shared_hits");
+  auto [it, inserted] = shared_cache_.emplace(std::move(key), std::move(rec));
+  return &it->second;
+}
+
 const EvalRecord* ExperienceStore::Lookup(const std::vector<int>& scheme) {
   auto it = index_.find(IndexKey(bound_, scheme));
-  if (it == index_.end()) {
-    ++misses_;
-    AUTOMC_METRIC_COUNT("store.misses");
-    return nullptr;
+  if (it != index_.end()) {
+    ++hits_;
+    AUTOMC_METRIC_COUNT("store.hits");
+    return &it->second;
   }
-  ++hits_;
-  AUTOMC_METRIC_COUNT("store.hits");
-  return &it->second;
+  if (const EvalRecord* rec = SharedProbe(scheme); rec != nullptr) {
+    ++hits_;
+    AUTOMC_METRIC_COUNT("store.hits");
+    return rec;
+  }
+  ++misses_;
+  AUTOMC_METRIC_COUNT("store.misses");
+  return nullptr;
 }
 
 const EvalRecord* ExperienceStore::Peek(const std::vector<int>& scheme) const {
   auto it = index_.find(IndexKey(bound_, scheme));
-  return it == index_.end() ? nullptr : &it->second;
+  if (it != index_.end()) return &it->second;
+  return SharedProbe(scheme);
 }
 
 bool ExperienceStore::Contains(const std::vector<int>& scheme) const {
-  return index_.count(IndexKey(bound_, scheme)) > 0;
+  if (index_.count(IndexKey(bound_, scheme)) > 0) return true;
+  return SharedProbe(scheme) != nullptr;
 }
 
 Status ExperienceStore::Append(const EvalRecord& record) {
@@ -194,7 +213,7 @@ Status ExperienceStore::Append(const EvalRecord& record) {
 
 Status ExperienceStore::WriteRecord(const Fingerprint& fp,
                                     const EvalRecord& record) {
-  std::string payload = EncodePayload(fp, record);
+  std::string payload = EncodeExperiencePayload(fp, record);
   ByteWriter frame;
   frame.U32(static_cast<uint32_t>(payload.size()));
   frame.U32(Crc32(payload));

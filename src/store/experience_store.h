@@ -5,14 +5,18 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 
 namespace automc {
 namespace store {
+
+class ExperienceIndex;
 
 // Identity of an evaluation context: which search space the strategy indices
 // refer to and which pretrained base model they were applied to. Records are
@@ -97,6 +101,24 @@ class ExperienceStore {
   // no-op: by the determinism contract the value could not have changed.
   Status Append(const EvalRecord& record);
 
+  // Attaches the fleet's shared read-mostly experience tier (not owned;
+  // must outlive the store). Lookup/Peek/Contains consult it on a local
+  // miss, so a scheme any worker ever evaluated is served without a real
+  // strategy execution. Shared hits are cached locally for pointer
+  // stability but deliberately kept out of the log, the insertion order
+  // and loaded_size(): ExportSteps and the kg warm-start cutoff see
+  // exactly what a direct, unshared run sees — the byte-identity
+  // contract for served outcomes depends on it.
+  void AttachShared(const ExperienceIndex* shared) { shared_ = shared; }
+
+  // Every record in the log, in insertion order (loaded + appended) —
+  // what the job publishes into its fleet segment after finishing.
+  // Excludes shared-tier cache entries.
+  const std::vector<std::pair<Fingerprint, const EvalRecord*>>& records()
+      const {
+    return order_;
+  }
+
   // Derives NN_exp training pairs from the log: every record with a
   // non-empty scheme whose immediate prefix is also in the log (under the
   // same fingerprint) yields one step. `space_fp` filters to records whose
@@ -128,10 +150,21 @@ class ExperienceStore {
   Status ReplayLog();
   Status WriteRecord(const Fingerprint& fp, const EvalRecord& record);
 
+  // Probes the shared tier on a local miss (nullptr when detached).
+  // Returns the cache-resident record or nullptr.
+  const EvalRecord* SharedProbe(const std::vector<int>& scheme) const;
+
   std::string path_;
   std::FILE* file_ = nullptr;  // append handle, owned
   Fingerprint bound_;
   std::vector<float> task_features_;
+
+  // Fleet shared tier + local cache of its hits. The mutex makes Peek's
+  // concurrent probes (speculative batch evaluation) safe while the cache
+  // mutates; the primary index_ stays single-writer as before.
+  const ExperienceIndex* shared_ = nullptr;
+  mutable std::mutex shared_mu_;
+  mutable std::map<std::string, EvalRecord, std::less<>> shared_cache_;
 
   // Index over the log, plus the fingerprint and insertion order of each
   // record (ExportSteps walks records in log order for replayable cutoffs).
@@ -148,6 +181,22 @@ class ExperienceStore {
 // FNV-1a over a byte span; the building block both fingerprint helpers and
 // the store's index keys use.
 uint64_t Fnv1a(const void* data, size_t n, uint64_t seed = 14695981039346656037ull);
+
+// On-disk constants and codec of the AMXP log format, shared between the
+// store and the fleet's experience index (which reads raw segment files).
+inline constexpr char kExperienceMagic[4] = {'A', 'M', 'X', 'P'};
+inline constexpr uint32_t kExperienceVersion = 1;
+inline constexpr size_t kExperienceHeaderSize = 8;
+inline constexpr uint32_t kExperienceMaxPayload = 1u << 20;
+
+std::string EncodeExperiencePayload(const Fingerprint& fp,
+                                    const EvalRecord& rec);
+bool DecodeExperiencePayload(std::string_view payload, Fingerprint* fp,
+                             EvalRecord* rec);
+// The store's index-key bytes for (fp, scheme) — what the shared index
+// hashes, so both tiers agree on record identity.
+std::string ExperienceKeyBytes(const Fingerprint& fp,
+                               const std::vector<int>& scheme);
 
 }  // namespace store
 }  // namespace automc

@@ -14,6 +14,8 @@
 #include <thread>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
+#include "common/net.h"
 #include "core/run_spec.h"
 #include "gtest/gtest.h"
 #include "search/report.h"
@@ -113,6 +115,201 @@ TEST(ProtocolTest, TruncatedFrameIsInvalidNotEof) {
   auto truncated = server::ReadFrame(fds[1]);
   EXPECT_EQ(truncated.status().code(), StatusCode::kInvalidArgument);
   ::close(fds[1]);
+}
+
+TEST(ProtocolTest, FrameDecoderReassemblesSplitFramesAndPoisonsOnGarbage) {
+  using server::FrameDecoder;
+  // Two frames dribbled in one-byte feeds: the decoder must emit exactly
+  // two kFrame events, in order, with kNeedMore everywhere in between.
+  const std::string wire =
+      server::EncodeFrame(server::MsgType::kListJobs, "") +
+      server::EncodeFrame(server::MsgType::kGetMetrics, "payload!");
+  FrameDecoder decoder;
+  std::vector<server::Frame> frames;
+  for (char byte : wire) {
+    decoder.Feed(&byte, 1);
+    server::Frame frame;
+    Status error;
+    while (decoder.Next(&frame, &error) == FrameDecoder::Event::kFrame) {
+      frames.push_back(frame);
+    }
+    ASSERT_TRUE(error.ok()) << error.ToString();
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, static_cast<uint32_t>(server::MsgType::kListJobs));
+  EXPECT_EQ(frames[1].type,
+            static_cast<uint32_t>(server::MsgType::kGetMetrics));
+  EXPECT_EQ(frames[1].payload, "payload!");
+  EXPECT_FALSE(decoder.mid_frame());
+
+  // A header promising more than the payload cap poisons the decoder
+  // permanently — framing is unrecoverable after a violation.
+  FrameDecoder poisoned;
+  ByteWriter w;
+  w.U32(server::kFrameMagic);
+  w.U32(static_cast<uint32_t>(server::MsgType::kListJobs));
+  w.U32(server::kMaxFramePayload + 1);
+  poisoned.Feed(w.str().data(), w.str().size());
+  server::Frame frame;
+  Status error;
+  ASSERT_EQ(poisoned.Next(&frame, &error), FrameDecoder::Event::kError);
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(error.message().find("cap"), std::string::npos) << error.message();
+  // Still dead on the next call, even after more (valid-looking) bytes.
+  poisoned.Feed(wire.data(), wire.size());
+  EXPECT_EQ(poisoned.Next(&frame, &error), FrameDecoder::Event::kError);
+
+  FrameDecoder garbage;
+  garbage.Feed("not a frame at all##", 20);
+  ASSERT_EQ(garbage.Next(&frame, &error), FrameDecoder::Event::kError);
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerTest, TcpTransportServesByteIdenticalOutcomes) {
+  ScopedTempDir dir("server_tcp");
+  server::Server::Options opts;
+  opts.socket_path = dir.File("s.sock");
+  opts.tcp_address = "tcp:127.0.0.1:0";  // kernel-assigned port
+  opts.jobs.workdir = dir.File("wd");
+  auto srv = server::Server::Start(opts);
+  ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+  const std::string tcp = (*srv)->tcp_address();
+  ASSERT_EQ(tcp.rfind("tcp:127.0.0.1:", 0), 0u) << tcp;
+  ASSERT_NE(tcp, "tcp:127.0.0.1:0") << "port was not resolved";
+
+  auto client = Client::Connect(tcp);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const core::RunSpec spec = TinySpec(/*seed=*/61, /*budget=*/4);
+  auto id = client->Submit(spec);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto done = PollUntil(&*client, *id, server::JobStateIsTerminal);
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  ASSERT_EQ(done->state, JobState::kDone) << done->error;
+  auto bytes = client->FetchOutcomeBytes(*id);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_EQ(*bytes, DirectOutcomeBytes(spec))
+      << "TCP-served outcome differs from direct in-process run";
+
+  // Both transports front the same job manager: the unix socket sees the
+  // TCP-submitted job.
+  auto unix_client = Client::Connect(opts.socket_path);
+  ASSERT_TRUE(unix_client.ok());
+  auto list = unix_client->ListJobs();
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_EQ((*list)[0].id, *id);
+  (*srv)->Stop();
+}
+
+TEST(ServerTest, DribbledAndHalfClosedFramesAreStillServed) {
+  ScopedTempDir dir("server_dribble");
+  server::Server::Options opts;
+  opts.socket_path = dir.File("s.sock");
+  opts.tcp_address = "tcp:127.0.0.1:0";
+  opts.jobs.workdir = dir.File("wd");
+  auto srv = server::Server::Start(opts);
+  ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+
+  // One byte per write over TCP: the event loop must buffer partial frames
+  // across reads and answer once the frame completes.
+  auto fd = net::ConnectAddress((*srv)->tcp_address());
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  const std::string wire = server::EncodeFrame(server::MsgType::kListJobs, "");
+  for (char byte : wire) {
+    ASSERT_EQ(::send(*fd, &byte, 1, 0), 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto reply = server::ReadFrame(*fd);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, static_cast<uint32_t>(server::MsgType::kJobList));
+  ::close(*fd);
+
+  // Request-then-half-close: shutdown(SHUT_WR) right after the request is
+  // the classic one-shot client; the buffered frame must still be served.
+  auto fd2 = net::ConnectAddress((*srv)->tcp_address());
+  ASSERT_TRUE(fd2.ok());
+  ASSERT_EQ(::send(*fd2, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  ASSERT_EQ(::shutdown(*fd2, SHUT_WR), 0);
+  auto oneshot = server::ReadFrame(*fd2);
+  ASSERT_TRUE(oneshot.ok()) << oneshot.status().ToString();
+  EXPECT_EQ(oneshot->type, static_cast<uint32_t>(server::MsgType::kJobList));
+  ::close(*fd2);
+  (*srv)->Stop();
+}
+
+TEST(ServerTest, OversizedPayloadGetsTypedErrorFrame) {
+  ScopedTempDir dir("server_cap");
+  server::Server::Options opts;
+  opts.socket_path = dir.File("s.sock");
+  opts.jobs.workdir = dir.File("wd");
+  auto srv = server::Server::Start(opts);
+  ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+
+  auto fd = net::ConnectAddress(opts.socket_path);
+  ASSERT_TRUE(fd.ok());
+  // A header whose size field exceeds the cap — sent without any payload;
+  // the server must reply with a typed kError frame (not silently drop the
+  // connection) and then close.
+  ByteWriter w;
+  w.U32(server::kFrameMagic);
+  w.U32(static_cast<uint32_t>(server::MsgType::kSubmitJob));
+  w.U32(server::kMaxFramePayload + 1);
+  ASSERT_EQ(::send(*fd, w.str().data(), w.str().size(), 0),
+            static_cast<ssize_t>(w.str().size()));
+  auto reply = server::ReadFrame(*fd);
+  ASSERT_TRUE(reply.ok()) << "expected a typed error frame, got: "
+                          << reply.status().ToString();
+  EXPECT_EQ(reply->type, static_cast<uint32_t>(server::MsgType::kError));
+  Status decoded = server::DecodeError(reply->payload);
+  EXPECT_EQ(decoded.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.message().find("cap"), std::string::npos)
+      << decoded.message();
+  // The violation closes the connection once the error frame is flushed.
+  auto eof = server::ReadFrame(*fd);
+  EXPECT_EQ(eof.status().code(), StatusCode::kNotFound);
+  ::close(*fd);
+  (*srv)->Stop();
+}
+
+TEST(ServerTest, IdleConnectionsAreReapedBySweep) {
+  ScopedTempDir dir("server_idle");
+  server::Server::Options opts;
+  opts.socket_path = dir.File("s.sock");
+  opts.jobs.workdir = dir.File("wd");
+  opts.idle_timeout_s = 1;
+  auto srv = server::Server::Start(opts);
+  ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+
+  const int64_t reaped_before = metrics::MetricsRegistry::Global()
+                                    .GetCounter("server.idle_reaped")
+                                    .value();
+  // A half-open connection that never sends a byte (slow-loris shape):
+  // the sweep must close it shortly after the timeout.
+  auto fd = net::ConnectAddress(opts.socket_path);
+  ASSERT_TRUE(fd.ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto reply = server::ReadFrame(*fd);  // blocks until the server closes us
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound)
+      << reply.status().ToString();
+  EXPECT_LT(waited, 10.0) << "idle reap took too long";
+  ::close(*fd);
+  EXPECT_GT(metrics::MetricsRegistry::Global()
+                .GetCounter("server.idle_reaped")
+                .value(),
+            reaped_before);
+
+  // An active connection with the same lifetime is untouched.
+  auto client = Client::Connect(opts.socket_path);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client->ListJobs().ok()) << "active connection was reaped";
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  }
+  (*srv)->Stop();
 }
 
 TEST(ServerTest, SubmitPollFetchMatchesDirectRun) {
