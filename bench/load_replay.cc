@@ -1,0 +1,245 @@
+// Open-loop load-replay harness for automc_serve (docs/operations.md is
+// the runbook, docs/benchmarking.md the output-schema reference).
+//
+// Replays a seeded Poisson schedule of submits / status polls / list-jobs
+// / cancels / outcome fetches against either
+//   * an already-running endpoint   (--address PATH | tcp:HOST:PORT), or
+//   * a self-hosted server          (default; --fleet N forks N workers
+//     behind an in-process coordinator, needing $AUTOMC_SERVE_BIN),
+// and prints one JSON object with per-op p50/p95/p99/p99.9 latency, the
+// error taxonomy, and the SLO verdict. Exit codes: 0 = ran and the SLO
+// gate (if any) held; 3 = ran but an SLO budget was violated; 1 = hard
+// failure (bad flags, endpoint unreachable).
+//
+// scripts/bench.sh wraps two runs (single server + 2-worker fleet) into
+// BENCH_load.json; scripts/ci.sh runs a short replay as a smoke gate.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/coordinator.h"
+#include "server/loadgen.h"
+#include "server/server.h"
+
+namespace {
+
+namespace loadgen = automc::server::loadgen;
+
+[[noreturn]] void Die(const std::string& what, const automc::Status& st) {
+  std::fprintf(stderr, "load_replay: %s: %s\n", what.c_str(),
+               st.ToString().c_str());
+  std::exit(1);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') {
+    std::fprintf(stderr, "load_replay: bad %s=%s\n", name, v);
+    std::exit(1);
+  }
+  return parsed;
+}
+
+double FlagDouble(const char* flag, const char* value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "load_replay: bad %s value '%s'\n", flag, value);
+    std::exit(1);
+  }
+  return parsed;
+}
+
+automc::core::RunSpec SubmitSpec() {
+  automc::core::RunSpec spec;
+  spec.family = "vgg";
+  spec.depth = 13;
+  spec.dataset = "tiny";
+  spec.searcher = "random";
+  spec.budget = 1;
+  spec.pretrain = 1;
+  spec.eval_batch = 2;
+  spec.seed = 4001;
+  return spec;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: load_replay [options]\n"
+      "  --address A          replay against a running endpoint (unix path\n"
+      "                       or tcp:HOST:PORT) instead of self-hosting\n"
+      "  --fleet N            self-host behind a coordinator with N forked\n"
+      "                       workers (needs $AUTOMC_SERVE_BIN); default 0 =\n"
+      "                       plain single-process server\n"
+      "  --tcp                self-host over TCP instead of a unix socket\n"
+      "  --qps Q              target arrival rate     [$AUTOMC_LOAD_QPS]\n"
+      "  --conns C            client connections      [$AUTOMC_LOAD_CONNS]\n"
+      "  --seconds S          schedule horizon        [$AUTOMC_LOAD_SECONDS]\n"
+      "  --mix M              op mix, e.g. status=70,list=10,submit=5,\n"
+      "                       cancel=5,fetch=10       [$AUTOMC_LOAD_MIX]\n"
+      "  --seed N             schedule seed (default 1)\n"
+      "  --timeout-ms T       per-request timeout (default 1000)\n"
+      "  --churn-every K      reconnect a conn after K answered ops\n"
+      "  --slo-p99-ms B       per-op p99 budget   [$AUTOMC_LOAD_SLO_P99_MS]\n"
+      "  --slo-max-error-rate R   total error+timeout rate budget\n"
+      "                       [$AUTOMC_LOAD_SLO_MAX_ERROR_RATE]\n"
+      "  --label L            scenario label echoed into the JSON\n");
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+
+  std::string address;
+  std::string label = "replay";
+  int fleet_workers = 0;
+  bool self_tcp = false;
+  loadgen::ReplayOptions options;
+  options.schedule.qps = EnvDouble("AUTOMC_LOAD_QPS", 200.0);
+  options.schedule.connections =
+      static_cast<int>(EnvDouble("AUTOMC_LOAD_CONNS", 16.0));
+  options.schedule.duration_s = EnvDouble("AUTOMC_LOAD_SECONDS", 5.0);
+  options.submit_spec = SubmitSpec();
+  loadgen::SloBudget slo;
+  slo.p99_ms = EnvDouble("AUTOMC_LOAD_SLO_P99_MS", 0.0);
+  slo.max_error_rate = EnvDouble("AUTOMC_LOAD_SLO_MAX_ERROR_RATE", -1.0);
+  if (const char* mix_env = std::getenv("AUTOMC_LOAD_MIX");
+      mix_env != nullptr && *mix_env != '\0') {
+    auto mix = loadgen::Mix::Parse(mix_env);
+    if (!mix.ok()) Die("$AUTOMC_LOAD_MIX", mix.status());
+    options.schedule.mix = *mix;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (flag == "--address") {
+      address = next();
+    } else if (flag == "--fleet") {
+      fleet_workers = static_cast<int>(FlagDouble("--fleet", next()));
+    } else if (flag == "--tcp") {
+      self_tcp = true;
+    } else if (flag == "--qps") {
+      options.schedule.qps = FlagDouble("--qps", next());
+    } else if (flag == "--conns") {
+      options.schedule.connections =
+          static_cast<int>(FlagDouble("--conns", next()));
+    } else if (flag == "--seconds") {
+      options.schedule.duration_s = FlagDouble("--seconds", next());
+    } else if (flag == "--mix") {
+      auto mix = loadgen::Mix::Parse(next());
+      if (!mix.ok()) Die("--mix", mix.status());
+      options.schedule.mix = *mix;
+    } else if (flag == "--seed") {
+      options.schedule.seed =
+          static_cast<uint64_t>(FlagDouble("--seed", next()));
+    } else if (flag == "--timeout-ms") {
+      options.timeout_ms = FlagDouble("--timeout-ms", next());
+    } else if (flag == "--churn-every") {
+      options.churn_every = static_cast<int>(FlagDouble("--churn-every", next()));
+    } else if (flag == "--slo-p99-ms") {
+      slo.p99_ms = FlagDouble("--slo-p99-ms", next());
+    } else if (flag == "--slo-max-error-rate") {
+      slo.max_error_rate = FlagDouble("--slo-max-error-rate", next());
+    } else if (flag == "--label") {
+      label = next();
+    } else {
+      Usage();
+    }
+  }
+  if (options.schedule.qps <= 0 || options.schedule.duration_s <= 0 ||
+      options.schedule.connections <= 0) {
+    Usage();
+  }
+
+  // Self-host when no external endpoint was named.
+  std::string workdir;
+  std::unique_ptr<automc::fleet::Coordinator> coordinator;
+  std::unique_ptr<automc::server::Server> server;
+  if (address.empty()) {
+    char tmpl[] = "/tmp/automc_loadreplay_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::fprintf(stderr, "load_replay: mkdtemp failed\n");
+      return 1;
+    }
+    workdir = tmpl;
+    automc::server::Server::Options sopts;
+    sopts.socket_path = workdir + "/serve.sock";
+    sopts.idle_timeout_s = 0;
+    if (self_tcp) sopts.tcp_address = "tcp:127.0.0.1:0";
+    if (fleet_workers > 0) {
+      const char* serve_bin = std::getenv("AUTOMC_SERVE_BIN");
+      if (serve_bin == nullptr || *serve_bin == '\0') {
+        std::fprintf(stderr,
+                     "load_replay: --fleet needs AUTOMC_SERVE_BIN set to the "
+                     "built automc_serve binary\n");
+        return 1;
+      }
+      automc::fleet::Coordinator::Options copts;
+      copts.num_workers = fleet_workers;
+      copts.workdir = workdir + "/fleet";
+      copts.worker_exe = serve_bin;
+      auto coord = automc::fleet::Coordinator::Start(copts);
+      if (!coord.ok()) Die("fleet start", coord.status());
+      coordinator = std::move(*coord);
+      sopts.handler = coordinator.get();
+    } else {
+      sopts.jobs.workdir = workdir + "/jobs";
+    }
+    auto srv = automc::server::Server::Start(std::move(sopts));
+    if (!srv.ok()) Die("server start", srv.status());
+    server = std::move(*srv);
+    address = self_tcp ? server->tcp_address() : server->socket_path();
+  }
+  options.address = address;
+
+  auto report = loadgen::RunReplay(options);
+  if (!report.ok()) Die("replay", report.status());
+  const std::vector<std::string> violations = loadgen::CheckSlo(*report, slo);
+
+  if (server) server->Stop();
+  if (coordinator) coordinator->Shutdown();
+  if (!workdir.empty()) {
+    std::error_code ec;
+    fs::remove_all(workdir, ec);
+  }
+
+  std::printf("{\n\"label\": \"%s\",\n\"qps\": %g,\n\"connections\": %d,\n"
+              "\"seconds\": %g,\n\"seed\": %llu,\n\"mix\": \"%s\",\n"
+              "\"fleet_workers\": %d,\n\"report\": %s,\n",
+              label.c_str(), options.schedule.qps,
+              options.schedule.connections, options.schedule.duration_s,
+              static_cast<unsigned long long>(options.schedule.seed),
+              options.schedule.mix.ToString().c_str(), fleet_workers,
+              report->ToJson().c_str());
+  std::printf("\"slo\": {\"p99_ms_budget\": %g, \"max_error_rate\": %g, "
+              "\"violations\": [",
+              slo.p99_ms, slo.max_error_rate);
+  for (size_t i = 0; i < violations.size(); ++i) {
+    std::printf("%s\"%s\"", i ? ", " : "", violations[i].c_str());
+  }
+  std::printf("], \"pass\": %s}\n}\n", violations.empty() ? "true" : "false");
+
+  if (!violations.empty()) {
+    for (const std::string& v : violations) {
+      std::fprintf(stderr, "load_replay: SLO violation: %s\n", v.c_str());
+    }
+    return 3;
+  }
+  return 0;
+}

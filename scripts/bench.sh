@@ -10,7 +10,7 @@
 #                                 # end-to-end search passes)
 #   AUTOMC_BENCH_SKIP_E2E=1 scripts/bench.sh   # kernels only
 #   AUTOMC_BENCH_SECTIONS=eval scripts/bench.sh   # regenerate one BENCH_*.json
-#       (comma-separated subset of: kernels, eval, server, fleet)
+#       (comma-separated subset of: kernels, eval, server, fleet, load)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,7 +19,7 @@ BUILD_DIR="${AUTOMC_BENCH_BUILD_DIR:-build}"
 OUT_JSON="BENCH_kernels.json"
 FILTER='BM_MatMul|BM_MatMulRef|BM_GemmConvShape|BM_MatrixMultiply|BM_Conv2dForward|BM_Conv2dForwardRef|BM_Conv2dBackward|BM_Conv2dBackwardRef|BM_ParallelForOverhead|BM_FmoPredict'
 
-SECTIONS="${AUTOMC_BENCH_SECTIONS:-kernels,eval,server,fleet}"
+SECTIONS="${AUTOMC_BENCH_SECTIONS:-kernels,eval,server,fleet,load}"
 want() { [[ ",${SECTIONS}," == *",$1,"* ]]; }
 
 targets=()
@@ -27,6 +27,7 @@ want kernels && targets+=(micro_substrate fig4_search_curves)
 want eval && targets+=(batch_eval)
 want server && targets+=(server_throughput)
 want fleet && targets+=(fleet_throughput automc_serve)
+want load && targets+=(load_replay automc_serve)
 if [[ ${#targets[@]} -eq 0 ]]; then
   echo "AUTOMC_BENCH_SECTIONS=${SECTIONS} selects no section" >&2
   exit 1
@@ -324,3 +325,89 @@ print("updated BENCH_server.json (fleet section)")
 PY
 
 fi  # fleet
+
+if want load; then
+
+# Open-loop load replay: a seeded Poisson schedule of submit/status/list/
+# cancel/fetch traffic fired at the daemon from many non-blocking
+# connections, with latency charged from the *scheduled* send time -- no
+# coordinated omission, a stalled server racks up timeouts instead of
+# thinning the sample stream. Runs once against a single self-hosted
+# server and once against a 2-worker fleet over TCP. The SLO gate (per-op
+# p99 budget + max error/timeout rate, overridable via
+# AUTOMC_LOAD_SLO_P99_MS / AUTOMC_LOAD_SLO_MAX_ERROR_RATE) fails the
+# section and keeps the previous BENCH_load.json baseline on violation.
+SLO_P99="${AUTOMC_LOAD_SLO_P99_MS:-100}"
+SLO_ERR="${AUTOMC_LOAD_SLO_MAX_ERROR_RATE:-0.02}"
+load_rc=0
+echo "== load_replay, single server =="
+"${BUILD_DIR}/bench/load_replay" \
+    --label single --qps 150 --conns 8 --seconds 4 --seed 7 \
+    --slo-p99-ms "${SLO_P99}" --slo-max-error-rate "${SLO_ERR}" \
+    | tee "${tmpdir}/load_single.json" || load_rc=$?
+echo "== load_replay, 2-worker fleet over TCP =="
+AUTOMC_SERVE_BIN="${BUILD_DIR}/examples/automc_serve" \
+  "${BUILD_DIR}/bench/load_replay" \
+    --label fleet2 --fleet 2 --tcp --qps 100 --conns 8 --seconds 4 --seed 7 \
+    --slo-p99-ms "${SLO_P99}" --slo-max-error-rate "${SLO_ERR}" \
+    | tee "${tmpdir}/load_fleet2.json" || load_rc=$?
+
+python3 - "${tmpdir}/load_single.json" "${tmpdir}/load_fleet2.json" \
+    "${load_rc}" BENCH_load.json <<'PY'
+import json, os, sys
+
+single_path, fleet_path, rc, out_path = sys.argv[1:5]
+rc = int(rc)
+
+def load(path, label):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        print(f"REGRESSION: {label} run produced no parseable report",
+              file=sys.stderr)
+        return None
+
+single = load(single_path, "single")
+fleet2 = load(fleet_path, "fleet2")
+
+# SLO regression gate: load_replay exits 3 when a budget is violated. On
+# failure the old BENCH_load.json is kept (failing numbers are printed,
+# not written) so reruns keep gating against the last good recording.
+failed = rc != 0 or single is None or fleet2 is None
+for doc in (single, fleet2):
+    if doc is None:
+        continue
+    for v in doc.get("slo", {}).get("violations", []):
+        print(f"REGRESSION: {doc.get('label', '?')}: {v}", file=sys.stderr)
+if failed:
+    print(f"{out_path} left at the previous baseline", file=sys.stderr)
+    sys.exit(1)
+
+report = {
+    "machine": {"nproc": os.cpu_count()},
+    "note": (
+        "Open-loop AMCS load replay against automc_serve: a seeded "
+        "Poisson schedule of submit/status/list/cancel/fetch traffic "
+        "over many non-blocking connections, latency charged from the "
+        "scheduled send time (timeouts are recorded, late replies are "
+        "discarded -- no coordinated omission). 'single' is one "
+        "self-hosted server over a unix socket; 'fleet2' is a 2-worker "
+        "coordinator over TCP. On a single-core machine the fleet run "
+        "shows dispatch overhead, not speedup. Percentiles are "
+        "bucket-interpolated from the log-spaced latency histogram."
+    ),
+    "slo_budget": {
+        "p99_ms": single.get("slo", {}).get("p99_ms_budget"),
+        "max_error_rate": single.get("slo", {}).get("max_error_rate"),
+    },
+    "single": single,
+    "fleet2": fleet2,
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_load.json")
+PY
+
+fi  # load

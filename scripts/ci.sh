@@ -166,6 +166,38 @@ kill -TERM "${fsrv}"
 wait "${fsrv}"
 echo "fleet smoke: coordinator drained cleanly"
 
+echo "== load smoke =="
+# Short open-loop replay against a self-hosted 2-worker fleet over TCP:
+# the SLO gate (generous budget) must pass and the report must be
+# well-formed JSON. Then the same replay with AUTOMC_SERVER_FAULT_DELAY_MS
+# stalling every dispatch must trip the gate — load_replay signals an SLO
+# violation with exit code 3, so the gate is proven able to fail.
+load_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}" "${serve_dir}" "${fleet_dir}" "${load_dir}"' EXIT
+load_replay=build/bench/load_replay
+AUTOMC_SERVE_BIN=build/examples/automc_serve "${load_replay}" \
+  --fleet 2 --tcp --qps 80 --conns 4 --seconds 2 --seed 5 \
+  --slo-p99-ms 500 --slo-max-error-rate 0.05 >"${load_dir}/load.json"
+python3 - "${load_dir}/load.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["slo"]["pass"] is True, doc["slo"]
+assert doc["report"]["totals"]["sent"] > 0, doc["report"]["totals"]
+for op, row in doc["report"]["ops"].items():
+    assert row["sent"] >= 0 and row["p99_ms"] >= 0, (op, row)
+print("load smoke: SLO gate passed, report well-formed "
+      f"({doc['report']['totals']['sent']} ops)")
+PY
+
+rc=0
+AUTOMC_SERVE_BIN=build/examples/automc_serve \
+  AUTOMC_SERVER_FAULT_DELAY_MS=50 "${load_replay}" \
+  --fleet 2 --tcp --qps 40 --conns 4 --seconds 2 --seed 5 \
+  --slo-p99-ms 10 >"${load_dir}/load_fault.json" || rc=$?
+[[ "${rc}" -eq 3 ]]
+echo "load smoke: fault-injected run tripped the SLO gate (exit ${rc})"
+
 echo "== COW sanitizer stage =="
 # The copy-on-write tensor contract is concurrency-sensitive: distinct
 # aliases of one buffer are read while another alias materializes. Prove

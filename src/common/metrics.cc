@@ -87,6 +87,42 @@ std::vector<double> Histogram::DefaultBounds() {
   return bounds;  // 1e-3 ... 5e4
 }
 
+std::vector<double> Histogram::LatencyBounds() {
+  static const double kLadder[] = {1.0, 1.25, 1.6, 2.0, 2.5,
+                                   3.2, 4.0,  5.0, 6.3, 8.0};
+  std::vector<double> bounds;
+  for (double decade = 1e-2; decade < 1e5; decade *= 10.0) {
+    for (double step : kLadder) bounds.push_back(step * decade);
+  }
+  return bounds;  // 1e-2 ... 8e4
+}
+
+double Histogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count_);
+  int64_t below = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (rank <= static_cast<double>(below + counts_[i]) ||
+        below + counts_[i] == count_) {
+      // The open-ended edge buckets have no finite bound on one side; the
+      // observed extremes are the tightest statement available there.
+      double lo = i > 0 ? bounds_[i - 1] : min_;
+      double hi = i < bounds_.size() ? bounds_[i] : max_;
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (lo > hi) return hi;
+      const double frac =
+          (rank - static_cast<double>(below)) / static_cast<double>(counts_[i]);
+      return lo + std::min(std::max(frac, 0.0), 1.0) * (hi - lo);
+    }
+    below += counts_[i];
+  }
+  return max_;
+}
+
 void Histogram::Observe(double v) {
   std::lock_guard<std::mutex> lock(mu_);
   size_t b = static_cast<size_t>(

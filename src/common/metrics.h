@@ -66,12 +66,23 @@ class Histogram {
   double min() const;  // 0 when empty
   double max() const;  // 0 when empty
   double mean() const;
+  // Bucket-interpolated quantile estimate for q in [0, 1]: locates the
+  // bucket holding the q-th ranked observation and interpolates linearly
+  // inside it (the edge buckets use the observed min/max instead of the
+  // open bounds). Always within [min(), max()]; 0 when empty. Resolution
+  // is the bucket width, so pick bounds to match the quantity measured —
+  // the load-replay harness uses LatencyBounds().
+  double Percentile(double q) const;
   const std::vector<double>& bounds() const { return bounds_; }
   std::vector<int64_t> bucket_counts() const;  // bounds().size() + 1 entries
 
   // Decade ladder (1 / 2.5 / 5) from 1e-3 to 6e4 — covers both millisecond
   // timings and loss-scale observations.
   static std::vector<double> DefaultBounds();
+  // Finer ladder (10 edges per decade, 1e-2 to 1e5) for percentile-gated
+  // latency histograms, where DefaultBounds' 3-per-decade resolution would
+  // smear a p99 across half a decade.
+  static std::vector<double> LatencyBounds();
 
  private:
   mutable std::mutex mu_;

@@ -119,6 +119,7 @@ void EventLoop::AcceptAll(int listen_fd) {
     AUTOMC_METRIC_COUNT("server.connections");
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
+    conn->serial = next_conn_serial_++;
     conn->last_active = std::chrono::steady_clock::now();
     if (!epoll_.Add(fd, EPOLLIN, static_cast<uint64_t>(fd)).ok()) {
       ::close(fd);
@@ -137,7 +138,7 @@ void EventLoop::HandleConn(Conn* conn, uint32_t events) {
   if ((events & EPOLLOUT) != 0) {
     if (!Flush(conn)) return;
   }
-  if ((events & EPOLLIN) == 0) return;
+  if ((events & EPOLLIN) == 0 || conn->paused) return;
 
   bool eof = false;
   char chunk[64 << 10];
@@ -156,29 +157,7 @@ void EventLoop::HandleConn(Conn* conn, uint32_t events) {
     eof = true;
   }
 
-  // Serve every complete frame that arrived — a peer may send its request
-  // and half-close before reading the reply; the buffered frame must
-  // still be answered.
-  if (!conn->closing) {
-    Frame frame;
-    Status error;
-    for (;;) {
-      server::FrameDecoder::Event ev = conn->decoder.Next(&frame, &error);
-      if (ev == server::FrameDecoder::Event::kNeedMore) break;
-      if (ev == server::FrameDecoder::Event::kError) {
-        // Typed error frame instead of a silent drop, then close once it
-        // flushes. Framing is lost, so stop reading immediately.
-        AUTOMC_METRIC_COUNT("server.bad_frames");
-        QueueReply(conn, MsgType::kError, server::EncodeError(error));
-        conn->closing = true;
-        ::shutdown(conn->fd, SHUT_RD);
-        break;
-      }
-      AUTOMC_METRIC_COUNT("server.requests");
-      Frame reply = options_.handler->Handle(frame);
-      QueueReply(conn, static_cast<MsgType>(reply.type), reply.payload);
-    }
-  }
+  if (!ServeDecoded(conn)) return;
 
   if (eof && !conn->closing) {
     // EOF inside a frame is a torn request, not a clean close. Either way
@@ -189,50 +168,121 @@ void EventLoop::HandleConn(Conn* conn, uint32_t events) {
   Flush(conn);
 }
 
+bool EventLoop::ServeDecoded(Conn* conn) {
+  // Serve every complete frame that arrived — a peer may send its request
+  // and half-close before reading the reply; the buffered frame must
+  // still be answered.
+  if (conn->closing) return true;
+  Frame frame;
+  Status error;
+  for (;;) {
+    if (Backlog(*conn) > kOutbufHighWatermark) {
+      // The peer is pipelining requests faster than it reads replies.
+      // Stop reading (and serving frames already decoded) until Flush
+      // drains the backlog under the low watermark; the kernel's receive
+      // window then pushes the stall back to the sender.
+      if (!conn->paused) {
+        conn->paused = true;
+        AUTOMC_METRIC_COUNT("server.backpressure_stalls");
+      }
+      break;
+    }
+    server::FrameDecoder::Event ev = conn->decoder.Next(&frame, &error);
+    if (ev == server::FrameDecoder::Event::kNeedMore) break;
+    if (ev == server::FrameDecoder::Event::kError) {
+      // Typed error frame instead of a silent drop, then close once it
+      // flushes. Framing is lost, so stop reading immediately.
+      AUTOMC_METRIC_COUNT("server.bad_frames");
+      QueueReply(conn, MsgType::kError, server::EncodeError(error));
+      conn->closing = true;
+      ::shutdown(conn->fd, SHUT_RD);
+      break;
+    }
+    AUTOMC_METRIC_COUNT("server.requests");
+    Frame reply = options_.handler->Handle(conn->serial, frame);
+    QueueReply(conn, static_cast<MsgType>(reply.type), reply.payload);
+  }
+  return true;
+}
+
 void EventLoop::QueueReply(Conn* conn, MsgType type, std::string_view payload) {
-  conn->outbuf.append(server::EncodeFrame(type, payload));
+  const std::string encoded = server::EncodeFrame(type, payload);
+  AccountBuffered(static_cast<ssize_t>(encoded.size()));
+  conn->outbuf.append(encoded);
+}
+
+void EventLoop::AccountBuffered(ssize_t delta) {
+  total_buffered_ =
+      static_cast<size_t>(static_cast<ssize_t>(total_buffered_) + delta);
+  if (total_buffered_ > peak_buffered_) {
+    peak_buffered_ = total_buffered_;
+    AUTOMC_METRIC_GAUGE("server.backpressure_peak_bytes",
+                        static_cast<double>(peak_buffered_));
+  }
+  AUTOMC_METRIC_GAUGE("server.backpressure_bytes",
+                      static_cast<double>(total_buffered_));
 }
 
 bool EventLoop::Flush(Conn* conn) {
-  while (conn->outpos < conn->outbuf.size()) {
-    ssize_t w = ::send(conn->fd, conn->outbuf.data() + conn->outpos,
-                       conn->outbuf.size() - conn->outpos, MSG_NOSIGNAL);
-    if (w > 0) {
-      conn->outpos += static_cast<size_t>(w);
-      continue;
-    }
-    if (w < 0 && errno == EINTR) continue;
-    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Slow writer: compact the sent prefix, buffer the rest, wait for
-      // EPOLLOUT. A peer that never reads hits the cap and is dropped.
-      conn->outbuf.erase(0, conn->outpos);
-      conn->outpos = 0;
-      if (conn->outbuf.size() > kMaxOutputBuffer) {
-        CloseConn(conn->fd);
-        return false;
+  for (;;) {
+    while (conn->outpos < conn->outbuf.size()) {
+      ssize_t w = ::send(conn->fd, conn->outbuf.data() + conn->outpos,
+                         conn->outbuf.size() - conn->outpos, MSG_NOSIGNAL);
+      if (w > 0) {
+        conn->outpos += static_cast<size_t>(w);
+        AccountBuffered(-w);
+        continue;
       }
-      // A closing connection only waits for the drain — re-arming EPOLLIN
-      // would busy-wake on the peer's EOF until the buffer empties.
-      epoll_.Mod(conn->fd, (conn->closing ? 0u : EPOLLIN) | EPOLLOUT,
-                 static_cast<uint64_t>(conn->fd));
-      return true;
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Slow writer: compact the sent prefix, buffer the rest, wait for
+        // EPOLLOUT. A peer that never reads while paused still grows via
+        // frames decoded before the stall; past the hard cap it is dropped.
+        conn->outbuf.erase(0, conn->outpos);
+        conn->outpos = 0;
+        if (conn->outbuf.size() > kMaxOutputBuffer) {
+          AUTOMC_METRIC_COUNT("server.backpressure_drops");
+          CloseConn(conn->fd);
+          return false;
+        }
+        if (conn->paused && conn->outbuf.size() <= kOutbufLowWatermark) {
+          conn->paused = false;
+          AUTOMC_METRIC_COUNT("server.backpressure_resumes");
+          if (!ServeDecoded(conn)) return false;  // may re-pause
+        }
+        // A closing (or paused) connection only waits for the drain —
+        // re-arming EPOLLIN would busy-wake until the buffer empties.
+        epoll_.Mod(conn->fd,
+                   ((conn->closing || conn->paused) ? 0u : EPOLLIN) | EPOLLOUT,
+                   static_cast<uint64_t>(conn->fd));
+        return true;
+      }
+      CloseConn(conn->fd);
+      return false;
     }
-    CloseConn(conn->fd);
-    return false;
+    conn->outbuf.clear();
+    conn->outpos = 0;
+    if (conn->closing) {
+      CloseConn(conn->fd);
+      return false;
+    }
+    if (conn->paused) {
+      conn->paused = false;
+      AUTOMC_METRIC_COUNT("server.backpressure_resumes");
+      if (!ServeDecoded(conn)) return false;
+      // Frames parked during the stall just produced new replies; send
+      // them now rather than waiting for the next epoll wakeup.
+      if (conn->outpos < conn->outbuf.size() || conn->closing) continue;
+    }
+    epoll_.Mod(conn->fd, EPOLLIN, static_cast<uint64_t>(conn->fd));
+    return true;
   }
-  conn->outbuf.clear();
-  conn->outpos = 0;
-  if (conn->closing) {
-    CloseConn(conn->fd);
-    return false;
-  }
-  epoll_.Mod(conn->fd, EPOLLIN, static_cast<uint64_t>(conn->fd));
-  return true;
 }
 
 void EventLoop::CloseConn(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  AccountBuffered(-static_cast<ssize_t>(Backlog(*it->second)));
   epoll_.Del(fd);
   ::close(fd);
   conns_.erase(it);

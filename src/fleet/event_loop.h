@@ -27,6 +27,14 @@ class RequestHandler {
  public:
   virtual ~RequestHandler() = default;
   virtual server::Frame Handle(const server::Frame& request) = 0;
+  // Transport-aware overload: `client` identifies the submitting connection
+  // (a monotonic serial, never a recycled fd). The event loop calls this
+  // form so handlers can keep per-client state — the JobManager uses it as
+  // the fairness key for round-robin job scheduling. Default: client-blind.
+  virtual server::Frame Handle(uint64_t client, const server::Frame& request) {
+    (void)client;
+    return Handle(request);
+  }
 };
 
 // Single-threaded epoll reactor speaking AMCS framing over any mix of
@@ -76,14 +84,25 @@ class EventLoop {
   // A reply backlog larger than this means the peer stopped reading;
   // drop the connection instead of buffering without bound.
   static constexpr size_t kMaxOutputBuffer = 256u << 20;
+  // Write backpressure: a connection whose reply backlog crosses the high
+  // watermark stops being *read* (EPOLLIN disarmed, frames already decoded
+  // stay parked) until the backlog drains under the low watermark — so a
+  // peer that pipelines requests without reading replies caps its own
+  // memory at ~4 MiB instead of marching toward the 256 MiB drop limit.
+  // server.backpressure_* metrics count stalls/resumes/drops and track the
+  // buffered-byte total and peak.
+  static constexpr size_t kOutbufHighWatermark = 4u << 20;
+  static constexpr size_t kOutbufLowWatermark = 1u << 20;
 
   struct Conn {
     int fd = -1;
+    uint64_t serial = 0;  // stable client id (fds get recycled)
     server::FrameDecoder decoder;
     std::string outbuf;
     size_t outpos = 0;
     std::chrono::steady_clock::time_point last_active;
     bool closing = false;  // close as soon as outbuf drains
+    bool paused = false;   // reading stopped until the backlog drains
   };
 
   EventLoop() = default;
@@ -91,12 +110,20 @@ class EventLoop {
   void Run();
   void AcceptAll(int listen_fd);
   void HandleConn(Conn* conn, uint32_t events);
+  // Serves every frame the decoder has buffered, pausing at the output
+  // high watermark. Returns false if the connection was closed.
+  bool ServeDecoded(Conn* conn);
   void QueueReply(Conn* conn, server::MsgType type, std::string_view payload);
   // Writes as much of outbuf as the socket accepts; re-arms EPOLLOUT when
-  // bytes remain. Returns false if the connection was closed.
+  // bytes remain and resumes a paused connection once the backlog drains
+  // under the low watermark. Returns false if the connection was closed.
   bool Flush(Conn* conn);
   void CloseConn(int fd);
   void SweepIdle();
+  size_t Backlog(const Conn& conn) const {
+    return conn.outbuf.size() - conn.outpos;
+  }
+  void AccountBuffered(ssize_t delta);
 
   Options options_;
   net::Epoll epoll_;
@@ -104,6 +131,9 @@ class EventLoop {
   std::atomic<bool> stop_requested_{false};
   std::thread loop_thread_;
   std::map<int, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_serial_ = 1;
+  size_t total_buffered_ = 0;  // reply bytes queued across all connections
+  size_t peak_buffered_ = 0;
 };
 
 }  // namespace fleet

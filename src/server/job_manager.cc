@@ -147,6 +147,7 @@ JobInfo JobManager::InfoOf(const Job& job) const {
 }
 
 Status JobManager::Recover() {
+  std::vector<uint64_t> recovered;
   std::error_code ec;
   for (const auto& entry :
        fs::directory_iterator(options_.workdir + "/jobs", ec)) {
@@ -201,30 +202,37 @@ Status JobManager::Recover() {
       // from its checkpoint inside RunJob.
       job->state = JobState::kQueued;
       AUTOMC_RETURN_IF_ERROR(PersistState(*job));
-      queue_.push_back(id);
+      recovered.push_back(id);
       AUTOMC_METRIC_COUNT("server.jobs_recovered");
     }
     if (id >= next_id_) next_id_ = id + 1;
     jobs_[id] = std::move(job);
   }
   // directory_iterator ids come back in filesystem order; recovery must
-  // preserve submission order.
-  std::sort(queue_.begin(), queue_.end());
+  // preserve submission order. All recovered jobs share tenant 0 — their
+  // submitters are gone — so the fair queue degenerates to the id-sorted
+  // FIFO restarts have always replayed.
+  std::sort(recovered.begin(), recovered.end());
+  for (uint64_t id : recovered) queue_.Push(0, id);
   return Status::OK();
 }
 
-Result<uint64_t> JobManager::Submit(const core::RunSpec& spec) {
-  return SubmitInternal(0, spec);
+Result<uint64_t> JobManager::Submit(const core::RunSpec& spec,
+                                    uint64_t tenant) {
+  return SubmitInternal(0, spec, tenant);
 }
 
 Result<uint64_t> JobManager::SubmitWithId(uint64_t id,
                                           const core::RunSpec& spec) {
   if (id == 0) return Status::InvalidArgument("job id must be nonzero");
-  return SubmitInternal(id, spec);
+  // Fleet control channel: the coordinator already interleaves fairly, and
+  // the submitting client's identity does not survive the hop — tenant 0.
+  return SubmitInternal(id, spec, 0);
 }
 
 Result<uint64_t> JobManager::SubmitInternal(uint64_t want_id,
-                                            const core::RunSpec& spec) {
+                                            const core::RunSpec& spec,
+                                            uint64_t tenant) {
   AUTOMC_RETURN_IF_ERROR(core::ValidateRunSpec(spec));
   std::unique_lock<std::mutex> lock(mu_);
   if (stopping_) return Status::FailedPrecondition("server shutting down");
@@ -263,7 +271,9 @@ Result<uint64_t> JobManager::SubmitInternal(uint64_t want_id,
   AUTOMC_RETURN_IF_ERROR(PersistState(*job));
 
   jobs_[id] = std::move(job);
-  queue_.push_back(id);
+  queue_.Push(tenant, id);
+  AUTOMC_METRIC_GAUGE("server.queue_tenants",
+                      static_cast<double>(queue_.tenants()));
   AUTOMC_METRIC_COUNT("server.jobs_submitted");
   cv_.notify_one();
   return id;
@@ -298,12 +308,7 @@ Status JobManager::Cancel(uint64_t id) {
                                       " already " + JobStateName(job->state));
   }
   if (job->state == JobState::kQueued) {
-    for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
-      if (*qit == id) {
-        queue_.erase(qit);
-        break;
-      }
-    }
+    queue_.Remove(id);
     job->state = JobState::kCancelled;
     AUTOMC_METRIC_COUNT("server.jobs_cancelled");
     idle_cv_.notify_all();
@@ -347,8 +352,8 @@ void JobManager::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (stopping_) return;
-      const uint64_t id = queue_.front();
-      queue_.pop_front();
+      uint64_t id = 0;
+      if (!queue_.PopNext(&id)) continue;
       job = jobs_[id].get();
       job->state = JobState::kRunning;
       ++active_;

@@ -18,6 +18,59 @@
 namespace automc {
 namespace server {
 
+// Round-robin-fair job queue. Jobs are keyed by the tenant that submitted
+// them (the event loop passes each connection's serial); PopNext cycles
+// tenants so one connection pipelining a deep batch cannot starve a
+// single job submitted by another — with N tenants queued, each gets
+// every N-th job slot, while a single tenant degenerates to the plain
+// FIFO the queue replaced (recovery re-queues everything under tenant 0,
+// preserving the sorted-id restart order).
+class FairQueue {
+ public:
+  void Push(uint64_t tenant, uint64_t id) {
+    queues_[tenant].push_back(id);
+    ++size_;
+  }
+
+  // Pops the oldest job of the next tenant after the last-served one
+  // (wrapping); false when empty.
+  bool PopNext(uint64_t* id) {
+    if (size_ == 0) return false;
+    auto it = queues_.upper_bound(cursor_);
+    if (it == queues_.end()) it = queues_.begin();
+    cursor_ = it->first;
+    *id = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) queues_.erase(it);
+    --size_;
+    return true;
+  }
+
+  // Removes a queued job by id (cancellation); false if not queued.
+  bool Remove(uint64_t id) {
+    for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+      for (auto jit = it->second.begin(); jit != it->second.end(); ++jit) {
+        if (*jit != id) continue;
+        it->second.erase(jit);
+        if (it->second.empty()) queues_.erase(it);
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  // Tenants with at least one queued job (metrics/tests).
+  size_t tenants() const { return queues_.size(); }
+
+ private:
+  std::map<uint64_t, std::deque<uint64_t>> queues_;
+  uint64_t cursor_ = 0;
+  size_t size_ = 0;
+};
+
 // Concurrent search-job executor with a durable lifecycle.
 //
 // Every job owns a directory <workdir>/jobs/<id>/ holding
@@ -77,9 +130,11 @@ class JobManager {
   JobManager(const JobManager&) = delete;
   JobManager& operator=(const JobManager&) = delete;
 
-  // Durably persists the job, then queues it. Fails when the FIFO is full
-  // or the manager is shutting down.
-  Result<uint64_t> Submit(const core::RunSpec& spec);
+  // Durably persists the job, then queues it. Fails when the queue is full
+  // or the manager is shutting down. `tenant` is the fairness key (the
+  // submitting connection's serial; 0 = anonymous): queued jobs are
+  // dispatched round-robin across tenants, not globally FIFO.
+  Result<uint64_t> Submit(const core::RunSpec& spec, uint64_t tenant = 0);
 
   // Fleet control-channel path: submits under a coordinator-assigned id.
   // Idempotent — if the id already exists with the same spec bytes it is
@@ -127,7 +182,8 @@ class JobManager {
 
   explicit JobManager(Options options);
 
-  Result<uint64_t> SubmitInternal(uint64_t want_id, const core::RunSpec& spec);
+  Result<uint64_t> SubmitInternal(uint64_t want_id, const core::RunSpec& spec,
+                                  uint64_t tenant);
   Status Recover();
   void WorkerLoop();
   // Runs one job end to end; returns the final state transition.
@@ -143,7 +199,7 @@ class JobManager {
   mutable std::condition_variable cv_;       // queue + shutdown wakeups
   mutable std::condition_variable idle_cv_;  // WaitIdle wakeups
   std::map<uint64_t, std::unique_ptr<Job>> jobs_;
-  std::deque<uint64_t> queue_;
+  FairQueue queue_;
   uint64_t next_id_ = 1;
   int active_ = 0;  // jobs currently RUNNING
   bool stopping_ = false;

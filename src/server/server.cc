@@ -41,7 +41,27 @@ Frame ReplyFrame(MsgType type, std::string payload) {
 
 }  // namespace
 
-Frame JobRequestHandler::Handle(const Frame& request) {
+namespace {
+
+// Test-only fault injection for the ci.sh SLO gate: stall the dispatch
+// thread this many milliseconds per request, inflating every op's tail
+// latency the way an overloaded (or wedged) event loop would. Read once.
+int FaultDelayMs() {
+  static const int delay = [] {
+    const char* env = std::getenv("AUTOMC_SERVER_FAULT_DELAY_MS");
+    if (env == nullptr || *env == '\0') return 0;
+    const int v = std::atoi(env);
+    return v > 0 ? v : 0;
+  }();
+  return delay;
+}
+
+}  // namespace
+
+Frame JobRequestHandler::Handle(uint64_t client, const Frame& request) {
+  if (const int delay = FaultDelayMs(); delay > 0) {
+    ::usleep(static_cast<useconds_t>(delay) * 1000);
+  }
   switch (static_cast<MsgType>(request.type)) {
     case MsgType::kSubmitJob: {
       core::RunSpec spec;
@@ -49,7 +69,7 @@ Frame JobRequestHandler::Handle(const Frame& request) {
       if (!core::DecodeRunSpec(&r, &spec) || !r.Done()) {
         return ErrorFrame(Status::InvalidArgument("malformed RunSpec payload"));
       }
-      Result<uint64_t> id = jobs_->Submit(spec);
+      Result<uint64_t> id = jobs_->Submit(spec, client);
       if (!id.ok()) return ErrorFrame(id.status());
       ByteWriter w;
       w.U64(*id);

@@ -20,7 +20,12 @@ namespace server {
 class JobRequestHandler : public fleet::RequestHandler {
  public:
   explicit JobRequestHandler(JobManager* jobs) : jobs_(jobs) {}
-  Frame Handle(const Frame& request) override;
+  // client-blind entry (fleet worker control channel): tenant 0.
+  Frame Handle(const Frame& request) override { return Handle(0, request); }
+  // Event-loop entry: `client` (the connection serial) becomes the
+  // JobManager fairness tenant for kSubmitJob, so concurrent submitters
+  // share job slots round-robin instead of strictly FIFO.
+  Frame Handle(uint64_t client, const Frame& request) override;
 
  private:
   JobManager* jobs_;
