@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "artifact/manifest.h"
 #include "fleet/coordinator.h"
 #include "server/loadgen.h"
 #include "server/server.h"
@@ -72,6 +73,23 @@ automc::core::RunSpec SubmitSpec() {
   return spec;
 }
 
+// The artifact kFetchModel ops stream in self-host mode: a deterministic
+// pseudo-random 1 MiB blob — several chunk frames at the default 256 KiB
+// chunk size, an order of magnitude above the real published models
+// (~60-100 KB), while one verified fetch stays well under the 100 ms SLO
+// budget on a single-core box (per-chunk CRC + SHA-256 on every read puts
+// verified streaming around 30 MB/s per core; watermark-crossing streams
+// are pinned separately in tests/artifact_stream_test.cc).
+std::string SeedArtifactBlob() {
+  std::string blob(1u << 20, '\0');
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (char& c : blob) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    c = static_cast<char>(x >> 56);
+  }
+  return blob;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
@@ -86,7 +104,12 @@ void Usage() {
       "  --conns C            client connections      [$AUTOMC_LOAD_CONNS]\n"
       "  --seconds S          schedule horizon        [$AUTOMC_LOAD_SECONDS]\n"
       "  --mix M              op mix, e.g. status=70,list=10,submit=5,\n"
-      "                       cancel=5,fetch=10       [$AUTOMC_LOAD_MIX]\n"
+      "                       cancel=5,fetch=10,fetch_model=2\n"
+      "                                               [$AUTOMC_LOAD_MIX]\n"
+      "  --fetch-artifact N   artifact name for fetch_model ops\n"
+      "                       [$AUTOMC_LOAD_ARTIFACT]; self-host mode\n"
+      "                       pre-publishes a 1 MiB \"loadgen-seed\" blob\n"
+      "                       whenever fetch_model has weight\n"
       "  --seed N             schedule seed (default 1)\n"
       "  --timeout-ms T       per-request timeout (default 1000)\n"
       "  --churn-every K      reconnect a conn after K answered ops\n"
@@ -121,6 +144,10 @@ int main(int argc, char** argv) {
     if (!mix.ok()) Die("$AUTOMC_LOAD_MIX", mix.status());
     options.schedule.mix = *mix;
   }
+  if (const char* art_env = std::getenv("AUTOMC_LOAD_ARTIFACT");
+      art_env != nullptr && *art_env != '\0') {
+    options.artifact_name = art_env;
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -145,6 +172,8 @@ int main(int argc, char** argv) {
       auto mix = loadgen::Mix::Parse(next());
       if (!mix.ok()) Die("--mix", mix.status());
       options.schedule.mix = *mix;
+    } else if (flag == "--fetch-artifact") {
+      options.artifact_name = next();
     } else if (flag == "--seed") {
       options.schedule.seed =
           static_cast<uint64_t>(FlagDouble("--seed", next()));
@@ -178,9 +207,28 @@ int main(int argc, char** argv) {
       return 1;
     }
     workdir = tmpl;
+    // Pre-publish the artifact fetch_model ops will stream, BEFORE the
+    // server opens the registry — the blob is deterministic, so every run
+    // replays byte-identical streaming traffic.
+    const std::string artifact_dir = workdir + "/artifacts";
+    if (options.schedule.mix
+            .weight[static_cast<int>(loadgen::Op::kFetchModel)] > 0.0) {
+      automc::artifact::Registry::Options ropts;
+      ropts.dir = artifact_dir;
+      auto registry = automc::artifact::Registry::Open(ropts);
+      if (!registry.ok()) Die("artifact registry", registry.status());
+      automc::artifact::Provenance prov;
+      prov.summary = "loadgen synthetic artifact";
+      const std::string name =
+          options.artifact_name.empty() ? "loadgen-seed"
+                                        : options.artifact_name;
+      auto published = (*registry)->Publish(name, SeedArtifactBlob(), prov);
+      if (!published.ok()) Die("artifact publish", published.status());
+    }
     automc::server::Server::Options sopts;
     sopts.socket_path = workdir + "/serve.sock";
     sopts.idle_timeout_s = 0;
+    sopts.jobs.artifact_dir = artifact_dir;
     if (self_tcp) sopts.tcp_address = "tcp:127.0.0.1:0";
     if (fleet_workers > 0) {
       const char* serve_bin = std::getenv("AUTOMC_SERVE_BIN");
@@ -193,6 +241,7 @@ int main(int argc, char** argv) {
       automc::fleet::Coordinator::Options copts;
       copts.num_workers = fleet_workers;
       copts.workdir = workdir + "/fleet";
+      copts.artifact_dir = artifact_dir;
       copts.worker_exe = serve_bin;
       auto coord = automc::fleet::Coordinator::Start(copts);
       if (!coord.ok()) Die("fleet start", coord.status());

@@ -21,8 +21,15 @@
 //   automc_cli --serve-submit <search flags>     queue a search job
 //   automc_cli --serve-status ID | --serve-list  poll job state
 //   automc_cli --serve-result ID [--serve-wait]  fetch a finished outcome
+//                 [--out FILE]                   ...streamed straight to FILE
 //   automc_cli --serve-cancel ID                 cooperative cancel
 //   automc_cli --serve-metrics                   server metrics JSON
+//   automc_cli --serve-list-artifacts            published models + provenance
+//   automc_cli --serve-fetch-model NAME --out F  stream + verify a model
+//
+// --export-model FILE materializes the winning scheme of a local search as
+// a serialized model, byte-identical to the artifact a server publishes for
+// the same spec (the registry's determinism contract; docs/artifacts.md).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +40,7 @@
 #include <thread>
 
 #include "common/metrics.h"
+#include "common/sha256.h"
 #include "compress/scheme_parser.h"
 #include "core/automc.h"
 #include "core/run_spec.h"
@@ -67,6 +75,7 @@ struct CliOptions {
   std::string checkpoint_dir;   // write periodic search checkpoints here
   std::string resume_dir;       // continue a killed search from here
   std::string outcome_path;     // save the SearchOutcome (text) here
+  std::string export_model_path;  // serialize the winning scheme's model
 
   // Client mode against a running automc_serve daemon.
   std::string socket_path;      // default $AUTOMC_SOCKET
@@ -74,12 +83,16 @@ struct CliOptions {
   bool serve_list = false;
   bool serve_metrics = false;
   bool serve_wait = false;      // with --serve-result: poll until terminal
+  bool serve_list_artifacts = false;
   long long serve_status_id = -1;
   long long serve_result_id = -1;
   long long serve_cancel_id = -1;
+  std::string serve_fetch_model;  // artifact name to stream from the server
+  std::string out_path;           // file sink for the streaming fetches
 
   bool serve_mode() const {
     return serve_submit || serve_list || serve_metrics ||
+           serve_list_artifacts || !serve_fetch_model.empty() ||
            serve_status_id >= 0 || serve_result_id >= 0 ||
            serve_cancel_id >= 0;
   }
@@ -128,6 +141,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->resume_dir = v;
     } else if (arg == "--outcome" && (v = next())) {
       opts->outcome_path = v;
+    } else if (arg == "--export-model" && (v = next())) {
+      opts->export_model_path = v;
+    } else if (arg == "--out" && (v = next())) {
+      opts->out_path = v;
     } else if (arg == "--socket" && (v = next())) {
       opts->socket_path = v;
     } else if (arg == "--serve-submit") {
@@ -144,6 +161,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->serve_result_id = std::atoll(v);
     } else if (arg == "--serve-cancel" && (v = next())) {
       opts->serve_cancel_id = std::atoll(v);
+    } else if (arg == "--serve-fetch-model" && (v = next())) {
+      opts->serve_fetch_model = v;
+    } else if (arg == "--serve-list-artifacts") {
+      opts->serve_list_artifacts = true;
     } else if (arg == "--help") {
       return false;
     } else {
@@ -171,13 +192,22 @@ void Usage() {
       "  --outcome PATH    save the final SearchOutcome as text\n"
       "  --eval-batch N    candidate schemes per parallel evaluation round\n"
       "                    (default: $AUTOMC_EVAL_BATCH, else 4)\n"
+      "  --export-model F  serialize the winning scheme's model to F,\n"
+      "                    byte-identical to the server's published artifact\n"
       "client mode (against automc_serve; --socket PATH or $AUTOMC_SOCKET;\n"
       "             PATH is a unix socket path or tcp:HOST:PORT):\n"
       "  --serve-submit    queue this search on the server, print the job id\n"
       "  --serve-status ID / --serve-list   poll job state(s)\n"
       "  --serve-result ID [--serve-wait]   fetch a finished outcome\n"
+      "                    [--out FILE]     ...streamed straight to FILE\n"
+      "                                     (binary SaveOutcomeBytes form)\n"
       "  --serve-cancel ID                  cooperative cancel\n"
-      "  --serve-metrics                    print the server metrics JSON\n");
+      "  --serve-metrics                    print the server metrics JSON\n"
+      "  --serve-list-artifacts             published models + provenance\n"
+      "  --serve-fetch-model NAME --out FILE\n"
+      "                    stream artifact NAME to FILE (atomic tmp+rename;\n"
+      "                    SHA-256-verified, then reloaded via nn/serialize\n"
+      "                    as a final integrity check)\n");
 }
 
 // Cooperative-shutdown hook: SIGINT/SIGTERM ask the running search to stop
@@ -273,6 +303,55 @@ int RunServeClient(const CliOptions& cli) {
     std::printf("%s\n", json->c_str());
     return 0;
   }
+  if (cli.serve_list_artifacts) {
+    auto infos = client->ListArtifacts();
+    if (!infos.ok()) {
+      std::fprintf(stderr, "%s\n", infos.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& info : *infos) {
+      std::printf("%s: %llu bytes, %u chunks, sha256 %.16s..., job %llu, "
+                  "scheme [%s], acc %.1f%%, %lld params\n",
+                  info.name.c_str(),
+                  static_cast<unsigned long long>(info.total_size),
+                  info.chunk_count,
+                  automc::HexDigest(info.blob_digest).c_str(),
+                  static_cast<unsigned long long>(info.job_id),
+                  info.scheme.c_str(), 100.0 * info.acc,
+                  static_cast<long long>(info.params));
+    }
+    if (infos->empty()) std::printf("no artifacts published\n");
+    return 0;
+  }
+  if (!cli.serve_fetch_model.empty()) {
+    if (cli.out_path.empty()) {
+      std::fprintf(stderr, "--serve-fetch-model needs --out FILE\n");
+      return 2;
+    }
+    auto info = client->FetchModelToFile(cli.serve_fetch_model, cli.out_path);
+    if (!info.ok()) {
+      std::fprintf(stderr, "fetch failed: %s\n",
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    // The stream already passed SHA-256 verification; prove the bytes are a
+    // loadable model too, so a corrupt artifact never masquerades as one.
+    auto model = automc::nn::LoadModel(cli.out_path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "fetched model does not deserialize: %s\n",
+                   model.status().ToString().c_str());
+      std::remove(cli.out_path.c_str());
+      return 1;
+    }
+    std::printf("fetched %s (%llu bytes, job %llu, scheme [%s], acc %.1f%%) "
+                "to %s\n",
+                info->name.c_str(),
+                static_cast<unsigned long long>(info->total_size),
+                static_cast<unsigned long long>(info->job_id),
+                info->scheme.c_str(), 100.0 * info->acc,
+                cli.out_path.c_str());
+    return 0;
+  }
 
   // --serve-result [--serve-wait]
   const uint64_t id = static_cast<uint64_t>(cli.serve_result_id);
@@ -294,6 +373,19 @@ int RunServeClient(const CliOptions& cli) {
       return 0;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (!cli.out_path.empty()) {
+    // Stream the raw outcome payload to the file as it arrives — the same
+    // atomic tmp+rename sink --serve-fetch-model uses — instead of holding
+    // an in-memory copy hostage to the write.
+    if (automc::Status st = client->FetchOutcomeToFile(id, cli.out_path);
+        !st.ok()) {
+      std::fprintf(stderr, "fetch failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("job %llu outcome streamed to %s\n",
+                static_cast<unsigned long long>(id), cli.out_path.c_str());
+    return 0;
   }
   auto bytes = client->FetchOutcomeBytes(id);
   if (!bytes.ok()) {
@@ -557,6 +649,34 @@ int main(int argc, char** argv) {
   if (best < 0) {
     std::printf("no schemes found\n");
     return 0;
+  }
+
+  if (!cli.export_model_path.empty()) {
+    // The registry's determinism contract: rebuild the winning scheme's
+    // model exactly as a server job would (PickWinningScheme +
+    // MaterializeScheme on the spec), so these bytes equal the published
+    // "job-<id>" artifact for the same spec.
+    auto win = core::PickWinningScheme(outcome);
+    if (!win.ok()) {
+      std::fprintf(stderr, "export failed: %s\n",
+                   win.status().ToString().c_str());
+      return 1;
+    }
+    const std::vector<int>& scheme = outcome.pareto_schemes[*win];
+    auto model = core::MaterializeScheme(spec, scheme);
+    if (!model.ok()) {
+      std::fprintf(stderr, "export failed: %s\n",
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    if (Status st = nn::SaveModel(model->get(), cli.export_model_path);
+        !st.ok()) {
+      std::fprintf(stderr, "export save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("exported winning model (scheme [%s]) to %s\n",
+                core::SchemeIndicesToString(scheme).c_str(),
+                cli.export_model_path.c_str());
   }
 
   if (!cli.save_path.empty()) {

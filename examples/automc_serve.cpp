@@ -5,7 +5,7 @@
 //
 //   automc_serve --socket PATH --workdir DIR [--jobs N] [--tcp ADDR]
 //                [--idle-timeout S] [--experience DIR [--segment NAME]]
-//                [--fleet N]
+//                [--artifacts DIR] [--fleet N]
 //
 // --socket        the listening unix socket (default: $AUTOMC_SOCKET)
 // --tcp ADDR      additional TCP listener, "tcp:HOST:PORT" (port 0 =
@@ -72,6 +72,8 @@ void Usage() {
       "$AUTOMC_EXPERIENCE_INDEX)\n"
       "  --segment NAME    segment this process appends to (default "
       "seg-0.bin)\n"
+      "  --artifacts DIR   model artifact registry (default: "
+      "$AUTOMC_ARTIFACT_DIR, else <workdir>/artifacts)\n"
       "  --fleet N         shard jobs across N forked workers (0 = "
       "$AUTOMC_FLEET_WORKERS, else 2)\n");
 }
@@ -116,6 +118,8 @@ ServeArgs ParseArgs(int argc, char** argv) {
       args.server.jobs.shared_dir = v;
     } else if (arg == "--segment" && (v = next())) {
       args.server.jobs.shared_segment = v;
+    } else if (arg == "--artifacts" && (v = next())) {
+      args.server.jobs.artifact_dir = v;
     } else if (arg == "--fleet" && (v = next())) {
       args.fleet = true;
       args.fleet_workers = std::atoi(v);
@@ -161,6 +165,7 @@ int main(int argc, char** argv) {
     copts.num_workers = args.fleet_workers;
     copts.workdir = args.server.jobs.workdir;
     copts.shared_dir = args.server.jobs.shared_dir;
+    copts.artifact_dir = args.server.jobs.artifact_dir;
     auto started = fleet::Coordinator::Start(std::move(copts));
     if (!started.ok()) {
       std::fprintf(stderr, "automc_serve: fleet start failed: %s\n",

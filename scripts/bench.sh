@@ -329,7 +329,9 @@ fi  # fleet
 if want load; then
 
 # Open-loop load replay: a seeded Poisson schedule of submit/status/list/
-# cancel/fetch traffic fired at the daemon from many non-blocking
+# cancel/fetch traffic -- plus chunked fetch_model streams of the
+# harness's pre-published 1 MiB multi-chunk artifact, charged at full
+# delivery -- fired at the daemon from many non-blocking
 # connections, with latency charged from the *scheduled* send time -- no
 # coordinated omission, a stalled server racks up timeouts instead of
 # thinning the sample stream. Runs once against a single self-hosted
@@ -339,16 +341,24 @@ if want load; then
 # section and keeps the previous BENCH_load.json baseline on violation.
 SLO_P99="${AUTOMC_LOAD_SLO_P99_MS:-100}"
 SLO_ERR="${AUTOMC_LOAD_SLO_MAX_ERROR_RATE:-0.02}"
+# fetch_model weight 3: each fetch streams the pre-published 1 MiB
+# artifact with per-chunk CRC+SHA-256 verification (~35 ms of CPU per
+# stream on a 1-core box), so overlapping streams dominate every op's
+# tail; 3% keeps the gate stable with headroom while still exercising
+# the chunked-reply path under load.
+LOAD_MIX="status=65,list=10,submit=5,cancel=5,fetch=10,fetch_model=3"
 load_rc=0
 echo "== load_replay, single server =="
 "${BUILD_DIR}/bench/load_replay" \
     --label single --qps 150 --conns 8 --seconds 4 --seed 7 \
+    --mix "${LOAD_MIX}" \
     --slo-p99-ms "${SLO_P99}" --slo-max-error-rate "${SLO_ERR}" \
     | tee "${tmpdir}/load_single.json" || load_rc=$?
 echo "== load_replay, 2-worker fleet over TCP =="
 AUTOMC_SERVE_BIN="${BUILD_DIR}/examples/automc_serve" \
   "${BUILD_DIR}/bench/load_replay" \
     --label fleet2 --fleet 2 --tcp --qps 100 --conns 8 --seconds 4 --seed 7 \
+    --mix "${LOAD_MIX}" \
     --slo-p99-ms "${SLO_P99}" --slo-max-error-rate "${SLO_ERR}" \
     | tee "${tmpdir}/load_fleet2.json" || load_rc=$?
 
@@ -389,6 +399,8 @@ report = {
     "note": (
         "Open-loop AMCS load replay against automc_serve: a seeded "
         "Poisson schedule of submit/status/list/cancel/fetch traffic "
+        "plus fetch_model chunked streams of a pre-published 1 MiB "
+        "artifact (charged at kModelEnd, i.e. full delivery), "
         "over many non-blocking connections, latency charged from the "
         "scheduled send time (timeouts are recorded, late replies are "
         "discarded -- no coordinated omission). 'single' is one "

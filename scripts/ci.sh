@@ -166,6 +166,69 @@ kill -TERM "${fsrv}"
 wait "${fsrv}"
 echo "fleet smoke: coordinator drained cleanly"
 
+echo "== artifact smoke =="
+# The determinism contract extended to model bytes, across process and
+# shard boundaries: submit a job to a 2-worker TCP fleet, fetch its
+# published model through the coordinator front door, and require the
+# bytes to equal a direct `--export-model` of the same spec. Then flip a
+# single byte inside the pack file on disk and require the next fetch to
+# fail with a typed DataLoss — a corrupt chunk is quarantined, never
+# silently served (docs/artifacts.md "Corruption handling").
+art_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}" "${serve_dir}" "${fleet_dir}" "${art_dir}"' EXIT
+build/examples/automc_serve --socket "${art_dir}/fleet.sock" \
+  --tcp tcp:127.0.0.1:0 --fleet 2 --workdir "${art_dir}/jobs" \
+  >"${art_dir}/serve.log" 2>&1 &
+asrv=$!
+for _ in $(seq 1 200); do
+  grep -qo 'tcp:127\.0\.0\.1:[0-9]*' "${art_dir}/serve.log" && break
+  sleep 0.05
+done
+art_addr="$(grep -o 'tcp:127\.0\.0\.1:[0-9]*' "${art_dir}/serve.log" | head -1)"
+[[ -n "${art_addr}" ]]
+
+art_args=(--searcher random --budget 4 --pretrain 1 --family vgg
+          --depth 13 --dataset tiny --seed 29)
+"${cli}" "${art_args[@]}" --export-model "${art_dir}/direct.model" >/dev/null
+
+art_job="$("${cli}" --socket "${art_addr}" "${art_args[@]}" --serve-submit)"
+art_job="${art_job##* }"
+for _ in $(seq 1 600); do
+  "${cli}" --socket "${art_addr}" --serve-status "${art_job}" \
+    | grep -q DONE && break
+  sleep 0.05
+done
+
+"${cli}" --socket "${art_addr}" --serve-fetch-model "job-${art_job}" \
+  --out "${art_dir}/fetched.model"
+cmp "${art_dir}/direct.model" "${art_dir}/fetched.model"
+"${cli}" --socket "${art_addr}" --serve-list-artifacts \
+  | grep -q "job-${art_job}"
+echo "artifact smoke: fleet-fetched model byte-identical to --export-model"
+
+python3 - "${art_dir}/jobs/artifacts" <<'PY'
+import glob, sys
+packs = sorted(glob.glob(sys.argv[1] + "/packs/pack-*.bin"))
+assert packs, "no pack files under " + sys.argv[1]
+with open(packs[0], "r+b") as f:
+    f.seek(100)  # inside the first chunk's payload
+    b = f.read(1)
+    f.seek(100)
+    f.write(bytes([b[0] ^ 0xFF]))
+print("artifact smoke: flipped one byte in", packs[0])
+PY
+rc=0
+"${cli}" --socket "${art_addr}" --serve-fetch-model "job-${art_job}" \
+  --out "${art_dir}/corrupt.model" 2>"${art_dir}/fetch_err.log" || rc=$?
+[[ "${rc}" -ne 0 ]]
+grep -q DataLoss "${art_dir}/fetch_err.log"
+[[ ! -f "${art_dir}/corrupt.model" ]]
+echo "artifact smoke: corrupted chunk refused with DataLoss (exit ${rc})"
+
+kill -TERM "${asrv}"
+wait "${asrv}"
+echo "artifact smoke: coordinator drained cleanly"
+
 echo "== load smoke =="
 # Short open-loop replay against a self-hosted 2-worker fleet over TCP:
 # the SLO gate (generous budget) must pass and the report must be
@@ -173,7 +236,8 @@ echo "== load smoke =="
 # stalling every dispatch must trip the gate — load_replay signals an SLO
 # violation with exit code 3, so the gate is proven able to fail.
 load_dir="$(mktemp -d)"
-trap 'rm -rf "${smoke_dir}" "${serve_dir}" "${fleet_dir}" "${load_dir}"' EXIT
+trap 'rm -rf "${smoke_dir}" "${serve_dir}" "${fleet_dir}" "${art_dir}" \
+  "${load_dir}"' EXIT
 load_replay=build/bench/load_replay
 AUTOMC_SERVE_BIN=build/examples/automc_serve "${load_replay}" \
   --fleet 2 --tcp --qps 80 --conns 4 --seconds 2 --seed 5 \
@@ -204,18 +268,19 @@ echo "== COW sanitizer stage =="
 # the absence of data races with a ThreadSanitizer build of the COW
 # invariant suite plus the batched evaluator (whose speculation phase
 # shares model snapshots across the pool) and the shared experience tier
-# (readers mmap while a publisher appends + renames), then shake out
-# addressability
+# (readers mmap while a publisher appends + renames), and the artifact
+# registry (concurrent publishers fill packs under flock while lock-free
+# readers fetch through the mmap'd index), then shake out addressability
 # bugs in the buffer-sharing paths with an ASan+UBSan pass. Both run at
 # AUTOMC_THREADS=1 and 4 like the main suite.
 cmake -B build-tsan -S . -DAUTOMC_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j --target cow_tensor_test batch_eval_test \
-  experience_index_test
+  experience_index_test artifact_test
 for threads in 1 4; do
   echo "-- tsan ctest, AUTOMC_THREADS=${threads} --"
   AUTOMC_THREADS="${threads}" ctest --test-dir build-tsan \
-    -R 'cow_tensor_test|batch_eval_test|experience_index_test' \
+    -R 'cow_tensor_test|batch_eval_test|experience_index_test|artifact_test' \
     --output-on-failure
 done
 

@@ -1,0 +1,48 @@
+#ifndef AUTOMC_COMMON_SHA256_H_
+#define AUTOMC_COMMON_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace automc {
+
+// FIPS 180-4 SHA-256, self-contained (no external crypto dependency). The
+// artifact registry keys content-addressed chunks by this digest: a 256-bit
+// strong hash makes accidental collisions between distinct chunks a
+// non-concern at any realistic store size, unlike the CRC32 used for
+// torn-write framing (which stays — the two catch different failures:
+// CRC frames catch torn appends cheaply, the digest authenticates content).
+using Sha256Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t n);
+  // Finalizes and returns the digest. The hasher must be Reset() before
+  // further use.
+  Sha256Digest Finish();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(std::string_view data);
+
+ private:
+  void Compress(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_ = 0;  // bytes hashed so far
+  uint8_t buf_[64];
+  size_t buflen_ = 0;
+};
+
+// Lowercase hex rendering ("e3b0c442..."), used for logging and the wire
+// artifact listing.
+std::string HexDigest(const Sha256Digest& digest);
+
+}  // namespace automc
+
+#endif  // AUTOMC_COMMON_SHA256_H_

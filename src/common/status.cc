@@ -22,6 +22,8 @@ const char* CodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -17,6 +17,11 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kCancelled,
+  // Stored bytes failed an integrity check (CRC frame, content digest):
+  // the data exists but cannot be trusted. Distinct from kNotFound so
+  // clients can tell "never stored" from "stored but corrupted" — the
+  // artifact registry must never serve a corrupt chunk silently.
+  kDataLoss,
 };
 
 // A lightweight success-or-error value. Cheap to copy in the OK case.
@@ -47,6 +52,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

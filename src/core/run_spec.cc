@@ -1,10 +1,12 @@
 #include "core/run_spec.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "data/dataset.h"
 #include "nn/trainer.h"
 #include "search/evolutionary.h"
@@ -187,6 +189,113 @@ Result<AutoMCResult> RunSearch(const RunSpec& spec,
 
 Result<AutoMCResult> RunSearch(const RunSpec& spec, const RunHooks& hooks) {
   return RunSearch(spec, MakeTask(spec), hooks);
+}
+
+std::string SchemeIndicesToString(const std::vector<int>& scheme) {
+  std::string out;
+  for (size_t i = 0; i < scheme.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(scheme[i]);
+  }
+  return out;
+}
+
+Result<std::vector<int>> ParseSchemeIndices(const std::string& text) {
+  std::vector<int> out;
+  if (text.empty()) return out;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma == pos) {
+      return Status::InvalidArgument("empty scheme element in '" + text + "'");
+    }
+    int value = 0;
+    for (size_t i = pos; i < comma; ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9' || value > 100000) {
+        return Status::InvalidArgument("bad scheme index in '" + text + "'");
+      }
+      value = value * 10 + (c - '0');
+    }
+    out.push_back(value);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Result<size_t> PickWinningScheme(const search::SearchOutcome& outcome) {
+  if (outcome.pareto_points.empty() ||
+      outcome.pareto_points.size() != outcome.pareto_schemes.size()) {
+    return Status::NotFound("search produced no pareto points");
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < outcome.pareto_points.size(); ++i) {
+    const search::EvalPoint& p = outcome.pareto_points[i];
+    const search::EvalPoint& b = outcome.pareto_points[best];
+    if (p.acc > b.acc || (p.acc == b.acc && p.params < b.params)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+Result<std::unique_ptr<nn::Model>> MaterializeScheme(
+    const RunSpec& spec, const std::vector<int>& scheme) {
+  AUTOMC_RETURN_IF_ERROR(ValidateRunSpec(spec));
+  CompressionTask task = MakeTask(spec);
+  AUTOMC_ASSIGN_OR_RETURN(std::unique_ptr<nn::Model> model,
+                          PretrainModel(task));
+  search::SearchSpace space = search::SearchSpace::FullTable1();
+  for (int s : scheme) {
+    if (s < 0 || static_cast<size_t>(s) >= space.size()) {
+      return Status::InvalidArgument("scheme index " + std::to_string(s) +
+                                     " outside the strategy table");
+    }
+  }
+
+  // Rebuild the exact CompressionContext the search used — the automc and
+  // baseline paths differ (RunSearch above vs AutoMC::Run), and matching it
+  // is what makes the materialized bytes equal the measured model.
+  Rng sub_rng(spec.seed + 4);
+  data::Dataset search_train =
+      (spec.searcher == "automc" && task.search_data_fraction >= 1.0)
+          ? task.data.train
+          : task.data.train.Subsample(task.search_data_fraction, &sub_rng);
+  compress::CompressionContext base_ctx;
+  base_ctx.train = &search_train;
+  base_ctx.test = &task.data.test;
+  base_ctx.batch_size = task.batch_size;
+  base_ctx.seed = spec.seed + 5;
+  if (spec.searcher == "automc") {
+    base_ctx.pretrain_epochs = static_cast<int>(std::max(
+        1.0, 0.5 * task.pretrain_epochs /
+                 std::max(0.1, task.search_data_fraction)));
+    base_ctx.lr = task.FinetuneLr();
+  } else {
+    base_ctx.pretrain_epochs = task.pretrain_epochs;
+    base_ctx.lr = task.lr;
+  }
+
+  for (size_t i = 0; i < scheme.size(); ++i) {
+    const compress::StrategySpec& sspec =
+        space.strategy(static_cast<size_t>(scheme[i]));
+    AUTOMC_ASSIGN_OR_RETURN(std::unique_ptr<compress::Compressor> compressor,
+                            compress::CreateCompressor(sspec));
+    compress::CompressionContext ctx = base_ctx;
+    // The evaluator's per-node seed: a pure function of the scheme prefix.
+    ctx.seed = base_ctx.seed * 1315423911u +
+               static_cast<uint64_t>(scheme[i]) * 2654435761u +
+               static_cast<uint64_t>(i);
+    Status st = compressor->Compress(model.get(), ctx, nullptr);
+    if (st.code() == StatusCode::kFailedPrecondition) {
+      AUTOMC_LOG(Debug) << "strategy " << sspec.ToString()
+                        << " inapplicable during materialization (no-op)";
+    } else if (!st.ok()) {
+      return st;
+    }
+  }
+  return model;
 }
 
 }  // namespace core

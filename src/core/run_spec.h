@@ -2,7 +2,9 @@
 #define AUTOMC_CORE_RUN_SPEC_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -74,6 +76,27 @@ Result<AutoMCResult> RunSearch(const RunSpec& spec,
 // Convenience overload: RunSearch(spec, MakeTask(spec), hooks).
 Result<AutoMCResult> RunSearch(const RunSpec& spec,
                                const RunHooks& hooks = {});
+
+// Comma-joined strategy indices ("2,7,1" — indices into
+// SearchSpace::FullTable1), the scheme encoding stored in artifact
+// provenance. ParseSchemeIndices rejects anything but digits and commas.
+std::string SchemeIndicesToString(const std::vector<int>& scheme);
+Result<std::vector<int>> ParseSchemeIndices(const std::string& text);
+
+// The artifact the registry publishes for a finished job: the pareto point
+// a user would deploy. Highest accuracy; ties broken by fewer parameters,
+// then by lowest index (all deterministic). kNotFound on an empty front.
+Result<size_t> PickWinningScheme(const search::SearchOutcome& outcome);
+
+// Rebuilds the compressed model a finished search described, bit-identically
+// to the model the evaluator measured for that scheme: same pretrain, same
+// search subsample, same CompressionContext the RunSearch paths build, and
+// the evaluator's per-node seed derivation. An inapplicable strategy
+// (kFailedPrecondition) is the same no-op it was during search. This is the
+// determinism contract extended to bytes: serialize(MaterializeScheme(...))
+// equals the bytes the server publishes for that job.
+Result<std::unique_ptr<nn::Model>> MaterializeScheme(
+    const RunSpec& spec, const std::vector<int>& scheme);
 
 }  // namespace core
 }  // namespace automc

@@ -17,6 +17,7 @@
 #include "common/bytes.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "server/artifact_stream.h"
 
 namespace automc {
 namespace fleet {
@@ -74,6 +75,15 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Start(Options options) {
   coord->shared_dir_ = options.shared_dir.empty()
                            ? options.workdir + "/experience"
                            : options.shared_dir;
+  coord->artifact_dir_ = options.artifact_dir;
+  if (coord->artifact_dir_.empty()) {
+    if (const char* env = std::getenv("AUTOMC_ARTIFACT_DIR");
+        env != nullptr && *env != '\0') {
+      coord->artifact_dir_ = env;
+    } else {
+      coord->artifact_dir_ = options.workdir + "/artifacts";
+    }
+  }
   coord->worker_exe_ =
       options.worker_exe.empty() ? "/proc/self/exe" : options.worker_exe;
 
@@ -82,6 +92,19 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Start(Options options) {
   if (ec) {
     return Status::Internal("cannot create " + coord->shared_dir_ + ": " +
                             ec.message());
+  }
+  // The coordinator serves fetches from the shared registry itself —
+  // worker publishes land here durably, so FetchModel works even while
+  // the publishing worker is down (or was SIGKILLed and is respawning).
+  artifact::Registry::Options reg_opts;
+  reg_opts.dir = coord->artifact_dir_;
+  if (Result<std::unique_ptr<artifact::Registry>> reg =
+          artifact::Registry::Open(reg_opts);
+      reg.ok()) {
+    coord->registry_ = std::move(*reg);
+  } else {
+    AUTOMC_LOG(Warning) << "fleet artifact registry unavailable: "
+                        << reg.status().ToString();
   }
 
   for (int i = 0; i < n; ++i) {
@@ -143,9 +166,10 @@ Status Coordinator::Spawn(size_t slot) {
   const std::string exp_arg = "--experience=" + shared_dir_;
   const std::string seg_arg =
       "--segment=seg-" + std::to_string(slot + 1) + ".bin";
+  const std::string art_arg = "--artifacts=" + artifact_dir_;
   const char* argv[] = {worker_exe_.c_str(), "--worker", control_arg.c_str(),
                         workdir_arg.c_str(), exp_arg.c_str(), seg_arg.c_str(),
-                        nullptr};
+                        art_arg.c_str(), nullptr};
 
   pid_t pid = ::fork();
   if (pid == 0) {
@@ -310,6 +334,11 @@ Frame Coordinator::Handle(const Frame& request) {
       if (!reply.ok()) return ErrorFrame(reply.status());
       return *std::move(reply);
     }
+    case MsgType::kFetchModel:
+      // Blocking-path fallback; the event loop intercepts via HandleStream.
+      return server::FetchModelBlockingReply(registry_.get(), request);
+    case MsgType::kListArtifacts:
+      return server::ArtifactListReply(registry_.get());
     case MsgType::kSubmitWithId:
       return ErrorFrame(Status::InvalidArgument(
           "kSubmitWithId is internal: the coordinator assigns job ids"));
@@ -317,6 +346,18 @@ Frame Coordinator::Handle(const Frame& request) {
       return ErrorFrame(Status::InvalidArgument(
           "unknown request type " + std::to_string(request.type)));
   }
+}
+
+std::unique_ptr<ReplyStream> Coordinator::HandleStream(
+    uint64_t client, const Frame& request) {
+  (void)client;
+  if (static_cast<MsgType>(request.type) != MsgType::kFetchModel) {
+    return nullptr;
+  }
+  ByteReader r(request.payload);
+  std::string name;
+  if (!r.Str(&name) || !r.Done()) return nullptr;  // Handle() answers kError
+  return server::MakeModelStream(registry_.get(), std::move(name));
 }
 
 pid_t Coordinator::worker_pid(int worker_id) const {

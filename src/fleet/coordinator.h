@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "artifact/manifest.h"
 #include "common/result.h"
 #include "fleet/event_loop.h"
 #include "server/protocol.h"
@@ -50,6 +51,12 @@ class Coordinator : public RequestHandler {
     std::string workdir;
     // Shared experience tier directory; empty = <workdir>/experience.
     std::string shared_dir;
+    // Shared model artifact registry; empty reads $AUTOMC_ARTIFACT_DIR,
+    // else <workdir>/artifacts. Every worker's JobManager publishes into
+    // it (flock-serialized), and the coordinator serves FetchModel /
+    // ListArtifacts from it directly — no worker round-trip, so a
+    // published model stays fetchable even while its worker is down.
+    std::string artifact_dir;
     // Worker binary to exec; empty = /proc/self/exe (the running
     // automc_serve). Tests point this at the built binary.
     std::string worker_exe;
@@ -65,6 +72,10 @@ class Coordinator : public RequestHandler {
   // assign an id and do one bounded round-trip to the owning worker;
   // ListJobs fans out and merges.
   server::Frame Handle(const server::Frame& request) override;
+  // kFetchModel streams straight from the shared registry (chunk reads
+  // are lock-free mmap probes; no worker involved).
+  std::unique_ptr<ReplyStream> HandleStream(
+      uint64_t client, const server::Frame& request) override;
 
   // Closes every control channel (workers drain: running jobs checkpoint
   // and re-queue durably) and waits for them to exit; stragglers are
@@ -73,6 +84,8 @@ class Coordinator : public RequestHandler {
 
   int num_workers() const { return static_cast<int>(slots_.size()); }
   const std::string& shared_dir() const { return shared_dir_; }
+  const std::string& artifact_dir() const { return artifact_dir_; }
+  artifact::Registry* registry() { return registry_.get(); }
   // The live pid of a worker slot (1-based id), -1 if currently down.
   // Tests use this to SIGKILL a worker mid-job.
   pid_t worker_pid(int worker_id) const;
@@ -101,6 +114,8 @@ class Coordinator : public RequestHandler {
 
   Options options_;
   std::string shared_dir_;
+  std::string artifact_dir_;
+  std::unique_ptr<artifact::Registry> registry_;
   std::string worker_exe_;
   std::vector<std::unique_ptr<Slot>> slots_;
 

@@ -176,11 +176,15 @@ bool EventLoop::ServeDecoded(Conn* conn) {
   Frame frame;
   Status error;
   for (;;) {
-    if (Backlog(*conn) > kOutbufHighWatermark) {
-      // The peer is pipelining requests faster than it reads replies.
-      // Stop reading (and serving frames already decoded) until Flush
-      // drains the backlog under the low watermark; the kernel's receive
-      // window then pushes the stall back to the sender.
+    // An in-flight model stream goes first: later requests stay parked in
+    // the decoder until it completes, which keeps replies in request order.
+    PumpStream(conn);
+    if (Backlog(*conn) > kOutbufHighWatermark || conn->stream != nullptr) {
+      // The peer is pipelining requests faster than it reads replies (or a
+      // stream filled the write budget). Stop reading — and serving frames
+      // already decoded — until Flush drains the backlog under the low
+      // watermark; the kernel's receive window then pushes the stall back
+      // to the sender.
       if (!conn->paused) {
         conn->paused = true;
         AUTOMC_METRIC_COUNT("server.backpressure_stalls");
@@ -199,10 +203,24 @@ bool EventLoop::ServeDecoded(Conn* conn) {
       break;
     }
     AUTOMC_METRIC_COUNT("server.requests");
+    conn->stream = options_.handler->HandleStream(conn->serial, frame);
+    if (conn->stream != nullptr) continue;  // pumped at the top of the loop
     Frame reply = options_.handler->Handle(conn->serial, frame);
     QueueReply(conn, static_cast<MsgType>(reply.type), reply.payload);
   }
   return true;
+}
+
+void EventLoop::PumpStream(Conn* conn) {
+  Frame frame;
+  while (conn->stream != nullptr &&
+         Backlog(*conn) <= kOutbufHighWatermark) {
+    if (!conn->stream->Next(&frame)) {
+      conn->stream.reset();
+      return;
+    }
+    QueueReply(conn, static_cast<MsgType>(frame.type), frame.payload);
+  }
 }
 
 void EventLoop::QueueReply(Conn* conn, MsgType type, std::string_view payload) {

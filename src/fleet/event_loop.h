@@ -18,6 +18,19 @@
 namespace automc {
 namespace fleet {
 
+// A pull-model multi-frame reply (FetchModel's chunked model stream). The
+// transport calls Next() for one frame at a time, only while the
+// connection's write backlog is under the high watermark — so a stream of
+// any total size costs at most ~watermark + one frame of buffered memory,
+// and a slow reader throttles the producer instead of ballooning the
+// output buffer toward the drop limit. Returning false ends the stream;
+// to fail mid-stream, emit one kError frame and then return false.
+class ReplyStream {
+ public:
+  virtual ~ReplyStream() = default;
+  virtual bool Next(server::Frame* out) = 0;
+};
+
 // A decoded request frame in, a reply frame out. Handle() runs on the
 // event-loop thread, so implementations must not block on long work —
 // the JobManager-backed handler only enqueues/inspects (job execution has
@@ -34,6 +47,18 @@ class RequestHandler {
   virtual server::Frame Handle(uint64_t client, const server::Frame& request) {
     (void)client;
     return Handle(request);
+  }
+  // Streaming requests: return a ReplyStream whose Next() yields every
+  // reply frame (head included), or nullptr — the default — to mean "not a
+  // streaming request; call Handle() instead". While a stream is active the
+  // connection serves it to completion before decoding further requests,
+  // so replies stay in request order even when a fetch is pipelined
+  // between control calls.
+  virtual std::unique_ptr<ReplyStream> HandleStream(
+      uint64_t client, const server::Frame& request) {
+    (void)client;
+    (void)request;
+    return nullptr;
   }
 };
 
@@ -80,19 +105,22 @@ class EventLoop {
   // RequestStop() + Wait().
   void Stop();
 
- private:
-  // A reply backlog larger than this means the peer stopped reading;
-  // drop the connection instead of buffering without bound.
+  // Flow-control contract, public so tests and capacity docs can pin it.
+  // A reply backlog larger than kMaxOutputBuffer means the peer stopped
+  // reading; drop the connection instead of buffering without bound.
   static constexpr size_t kMaxOutputBuffer = 256u << 20;
   // Write backpressure: a connection whose reply backlog crosses the high
   // watermark stops being *read* (EPOLLIN disarmed, frames already decoded
-  // stay parked) until the backlog drains under the low watermark — so a
-  // peer that pipelines requests without reading replies caps its own
-  // memory at ~4 MiB instead of marching toward the 256 MiB drop limit.
-  // server.backpressure_* metrics count stalls/resumes/drops and track the
-  // buffered-byte total and peak.
+  // stay parked) and any active chunked stream stops being pumped, until
+  // the backlog drains under the low watermark — so a peer that pipelines
+  // requests without reading replies (or reads a model stream slowly) caps
+  // its own memory at ~4 MiB instead of marching toward the 256 MiB drop
+  // limit. server.backpressure_* metrics count stalls/resumes/drops and
+  // track the buffered-byte total and peak.
   static constexpr size_t kOutbufHighWatermark = 4u << 20;
   static constexpr size_t kOutbufLowWatermark = 1u << 20;
+
+ private:
 
   struct Conn {
     int fd = -1;
@@ -103,6 +131,8 @@ class EventLoop {
     std::chrono::steady_clock::time_point last_active;
     bool closing = false;  // close as soon as outbuf drains
     bool paused = false;   // reading stopped until the backlog drains
+    // Active multi-frame reply; while set, decoded requests stay parked.
+    std::unique_ptr<ReplyStream> stream;
   };
 
   EventLoop() = default;
@@ -113,6 +143,9 @@ class EventLoop {
   // Serves every frame the decoder has buffered, pausing at the output
   // high watermark. Returns false if the connection was closed.
   bool ServeDecoded(Conn* conn);
+  // Pulls frames off the connection's active ReplyStream until it ends or
+  // the backlog crosses the high watermark (stream kept for later).
+  void PumpStream(Conn* conn);
   void QueueReply(Conn* conn, server::MsgType type, std::string_view payload);
   // Writes as much of outbuf as the socket accepts; re-arms EPOLLOUT when
   // bytes remain and resumes a paused connection once the backlog drains

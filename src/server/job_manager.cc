@@ -7,11 +7,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/bytes.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "nn/serialize.h"
 #include "search/report.h"
 #include "store/experience_index.h"
 #include "store/experience_store.h"
@@ -108,12 +110,31 @@ Result<std::unique_ptr<JobManager>> JobManager::Open(Options options) {
       options.shared_dir = env;
     }
   }
+  if (options.artifact_dir.empty()) {
+    if (const char* env = std::getenv("AUTOMC_ARTIFACT_DIR");
+        env != nullptr && *env != '\0') {
+      options.artifact_dir = env;
+    } else {
+      options.artifact_dir = options.workdir + "/artifacts";
+    }
+  }
   std::unique_ptr<JobManager> mgr(new JobManager(std::move(options)));
   std::error_code ec;
   fs::create_directories(mgr->options_.workdir + "/jobs", ec);
   if (ec) {
     return Status::Internal("cannot create " + mgr->options_.workdir +
                             "/jobs: " + ec.message());
+  }
+  artifact::Registry::Options reg_opts;
+  reg_opts.dir = mgr->options_.artifact_dir;
+  if (Result<std::unique_ptr<artifact::Registry>> reg =
+          artifact::Registry::Open(reg_opts);
+      reg.ok()) {
+    mgr->registry_ = std::move(*reg);
+  } else {
+    // Jobs still run and finish; only model fetches degrade to NotFound.
+    AUTOMC_LOG(Warning) << "artifact registry unavailable: "
+                        << reg.status().ToString();
   }
   AUTOMC_RETURN_IF_ERROR(mgr->Recover());
   if (!mgr->options_.start_paused) mgr->StartWorkers();
@@ -433,6 +454,55 @@ void JobManager::RunJob(Job* job) {
         !st.ok()) {
       AUTOMC_LOG(Warning) << "experience publish failed: " << st.ToString();
     }
+  }
+
+  // Publish the winning pareto model into the artifact registry before the
+  // DONE transition — a client that observes DONE may immediately fetch
+  // "job-<id>". Best effort like the experience publish: a failure costs
+  // the artifact, never the job. The bytes come from MaterializeScheme, so
+  // they are bit-identical to the model the evaluator measured (and to a
+  // direct `automc_cli --export-model` of the same spec + scheme).
+  if (result.ok() && registry_ != nullptr) {
+    do {
+      Result<size_t> win = core::PickWinningScheme(result->outcome);
+      if (!win.ok()) break;  // empty front: nothing to deploy
+      const std::vector<int>& scheme = result->outcome.pareto_schemes[*win];
+      Result<std::unique_ptr<nn::Model>> model =
+          core::MaterializeScheme(job->spec, scheme);
+      if (!model.ok()) {
+        AUTOMC_LOG(Warning) << "job " << job->id << ": cannot materialize "
+                            << "winning scheme: "
+                            << model.status().ToString();
+        break;
+      }
+      std::ostringstream blob;
+      if (automc::Status st = nn::SerializeModel(model->get(), &blob);
+          !st.ok()) {
+        AUTOMC_LOG(Warning) << "job " << job->id << ": cannot serialize "
+                            << "winning model: " << st.ToString();
+        break;
+      }
+      artifact::Provenance prov;
+      prov.job_id = job->id;
+      prov.scheme = core::SchemeIndicesToString(scheme);
+      prov.summary = core::RunSpecSummary(job->spec);
+      const search::EvalPoint& point = result->outcome.pareto_points[*win];
+      prov.acc = point.acc;
+      prov.params = point.params;
+      prov.flops = point.flops;
+      const std::string name = "job-" + std::to_string(job->id);
+      Result<artifact::Manifest> pub =
+          registry_->Publish(name, blob.str(), prov);
+      if (!pub.ok()) {
+        AUTOMC_LOG(Warning) << "job " << job->id << ": artifact publish "
+                            << "failed: " << pub.status().ToString();
+      } else {
+        AUTOMC_METRIC_COUNT("server.models_published");
+        AUTOMC_LOG(Info) << "job " << job->id << ": published artifact '"
+                         << name << "' (" << pub->total_size << " bytes, "
+                         << pub->chunks.size() << " chunks)";
+      }
+    } while (false);
   }
 
   std::unique_lock<std::mutex> lock(mu_);

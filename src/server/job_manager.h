@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "artifact/manifest.h"
 #include "common/result.h"
 #include "core/run_spec.h"
 #include "server/protocol.h"
@@ -113,6 +114,14 @@ class JobManager {
     std::string shared_dir;
     // Segment file this process appends to (one appender per segment).
     std::string shared_segment = "seg-0.bin";
+    // Model artifact registry root (docs/artifacts.md). Every finished
+    // job's winning pareto model is materialized, serialized, and
+    // published here as "job-<id>" (best effort — a publish failure never
+    // fails the job). Empty reads $AUTOMC_ARTIFACT_DIR, else defaults to
+    // <workdir>/artifacts. Fleet workers all point at the coordinator's
+    // shared directory: publishes are flock-serialized, fetches are
+    // lock-free mmap reads, so any worker's model is fetchable anywhere.
+    std::string artifact_dir;
     // Test-only fault injection: each job's checkpointer aborts after this
     // many checkpoint writes and the job thread abandons the job without
     // touching its durable state — exactly what SIGKILL mid-search leaves
@@ -167,6 +176,10 @@ class JobManager {
 
   int max_concurrent() const { return max_concurrent_; }
 
+  // The model artifact registry (nullptr only if its directory could not
+  // be created — fetches then see "no artifact", jobs still run).
+  artifact::Registry* registry() { return registry_.get(); }
+
  private:
   struct Job {
     uint64_t id = 0;
@@ -194,6 +207,7 @@ class JobManager {
 
   Options options_;
   int max_concurrent_ = 1;
+  std::unique_ptr<artifact::Registry> registry_;
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;       // queue + shutdown wakeups

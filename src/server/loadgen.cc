@@ -28,8 +28,8 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-constexpr const char* kOpNames[kNumOps] = {"status", "list", "submit",
-                                           "cancel", "fetch"};
+constexpr const char* kOpNames[kNumOps] = {"status", "list",  "submit",
+                                           "cancel", "fetch", "fetch_model"};
 
 MsgType RequestType(Op op) {
   switch (op) {
@@ -38,10 +38,13 @@ MsgType RequestType(Op op) {
     case Op::kSubmit: return MsgType::kSubmitJob;
     case Op::kCancel: return MsgType::kCancelJob;
     case Op::kFetch: return MsgType::kFetchOutcome;
+    case Op::kFetchModel: return MsgType::kFetchModel;
   }
   return MsgType::kJobStatus;
 }
 
+// The frame that *completes* the reply; kFetchModel's kModelStart/kModelChunk
+// interior frames are absorbed without popping the pending FIFO.
 MsgType ExpectedReply(Op op) {
   switch (op) {
     case Op::kStatus: return MsgType::kStatus;
@@ -49,6 +52,7 @@ MsgType ExpectedReply(Op op) {
     case Op::kSubmit: return MsgType::kSubmitted;
     case Op::kCancel: return MsgType::kOk;
     case Op::kFetch: return MsgType::kOutcome;
+    case Op::kFetchModel: return MsgType::kModelEnd;
   }
   return MsgType::kStatus;
 }
@@ -341,6 +345,10 @@ std::string Replayer::EncodeRequest(Op op) {
       core::EncodeRunSpec(spec, &w);
       break;
     }
+    case Op::kFetchModel:
+      w.Str(options_.artifact_name.empty() ? "loadgen-seed"
+                                           : options_.artifact_name);
+      break;
   }
   return EncodeFrame(RequestType(op), w.str());
 }
@@ -434,6 +442,16 @@ void Replayer::MaybeChurn(Conn* conn) {
 }
 
 void Replayer::OnReply(Conn* conn, const Frame& frame, int64_t now_ns) {
+  const MsgType type = static_cast<MsgType>(frame.type);
+  if (type == MsgType::kModelStart || type == MsgType::kModelChunk) {
+    // Interior frames of a streaming kFetchModel reply: the request stays
+    // pending (and keeps its scheduled-send charge) until kModelEnd.
+    if (conn->pending.empty() ||
+        conn->pending.front().op != Op::kFetchModel) {
+      ++report_.per_op[static_cast<int>(Op::kStatus)].errors;
+    }
+    return;
+  }
   if (conn->pending.empty()) {
     // A reply with no matching request: protocol confusion.
     ++report_.per_op[static_cast<int>(Op::kStatus)].errors;

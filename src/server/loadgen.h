@@ -34,17 +34,24 @@ enum class Op : uint32_t {
   kSubmit = 2,  // kSubmitJob of ReplayOptions::submit_spec
   kCancel = 3,  // kCancelJob of a known job id
   kFetch = 4,   // kFetchOutcome of a known job id
+  // kFetchModel of ReplayOptions::artifact_name: the one *streaming* reply
+  // in the protocol (kModelStart + chunks + kModelEnd). Latency is charged
+  // at kModelEnd — the whole multi-MiB artifact must land, flowing through
+  // the server's write watermarks, before the op counts as answered.
+  kFetchModel = 5,
 };
-inline constexpr int kNumOps = 5;
+inline constexpr int kNumOps = 6;
 const char* OpName(Op op);
 
 struct Mix {
   // Indexed by static_cast<int>(Op). Defaults to the serving-tier shape:
-  // poll-dominated with a trickle of submits and outcome fetches.
-  double weight[kNumOps] = {70, 10, 5, 5, 10};
+  // poll-dominated with a trickle of submits and outcome fetches
+  // (fetch_model off by default: it needs a published artifact to target).
+  double weight[kNumOps] = {70, 10, 5, 5, 10, 0};
 
-  // "status=70,list=10,submit=5,cancel=5,fetch=10" — any subset of names,
-  // unlisted ops get weight 0; at least one weight must be positive.
+  // "status=70,list=10,submit=5,cancel=5,fetch=10,fetch_model=2" — any
+  // subset of names, unlisted ops get weight 0; at least one weight must
+  // be positive.
   static Result<Mix> Parse(std::string_view text);
   std::string ToString() const;
 };
@@ -125,6 +132,10 @@ struct ReplayOptions {
   // Base spec for kSubmit ops; the seed is advanced per submit so jobs
   // are distinct. Keep it tiny — submitted jobs really run.
   core::RunSpec submit_spec;
+  // Artifact name kFetchModel ops request. Empty targets "loadgen-seed"
+  // (bench/load_replay pre-publishes it in self-host mode); a fetch of a
+  // name the server doesn't have is an expected NotFound rejection.
+  std::string artifact_name;
 };
 
 // Runs the schedule against a live endpoint. Latency samples land in the

@@ -6,10 +6,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "common/bytes.h"
 #include "common/net.h"
+#include "common/sha256.h"
 
 namespace automc {
 namespace server {
@@ -254,10 +256,31 @@ Status DecodeError(std::string_view payload) {
   uint32_t code = 0;
   std::string message;
   if (!r.U32(&code) || !r.Str(&message) ||
-      code > static_cast<uint32_t>(StatusCode::kCancelled) || code == 0) {
+      code > static_cast<uint32_t>(StatusCode::kDataLoss) || code == 0) {
     return Status::Internal("malformed error frame from server");
   }
   return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+void EncodeArtifactInfo(const ArtifactInfo& info, ByteWriter* w) {
+  w->Str(info.name);
+  w->U64(info.total_size);
+  w->Raw(info.blob_digest.data(), info.blob_digest.size());
+  w->U32(info.chunk_count);
+  w->U64(info.job_id);
+  w->Str(info.scheme);
+  w->Str(info.summary);
+  w->F64(info.acc);
+  w->I64(info.params);
+  w->I64(info.flops);
+}
+
+bool DecodeArtifactInfo(ByteReader* r, ArtifactInfo* info) {
+  return r->Str(&info->name) && r->U64(&info->total_size) &&
+         r->Raw(info->blob_digest.data(), info->blob_digest.size()) &&
+         r->U32(&info->chunk_count) && r->U64(&info->job_id) &&
+         r->Str(&info->scheme) && r->Str(&info->summary) &&
+         r->F64(&info->acc) && r->I64(&info->params) && r->I64(&info->flops);
 }
 
 Result<Client> Client::Connect(const std::string& address) {
@@ -372,6 +395,139 @@ Result<std::string> Client::Metrics() {
       Frame reply,
       ExpectType(Call(MsgType::kGetMetrics, {}), MsgType::kMetrics));
   return std::move(reply.payload);
+}
+
+Result<ArtifactInfo> Client::FetchModel(const std::string& name,
+                                        const ChunkSink& sink) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  ByteWriter req;
+  req.Str(name);
+  AUTOMC_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kFetchModel, req.str()));
+
+  AUTOMC_ASSIGN_OR_RETURN(Frame head, ReadFrame(fd_));
+  if (head.type == static_cast<uint32_t>(MsgType::kError)) {
+    return DecodeError(head.payload);
+  }
+  if (head.type != static_cast<uint32_t>(MsgType::kModelStart)) {
+    return Status::Internal("expected ModelStart, got frame type " +
+                            std::to_string(head.type));
+  }
+  ByteReader hr(head.payload);
+  ArtifactInfo info;
+  if (!DecodeArtifactInfo(&hr, &info) || !hr.Done()) {
+    return Status::Internal("malformed ModelStart payload");
+  }
+
+  Sha256 hasher;
+  uint64_t received = 0;
+  uint32_t chunks = 0;
+  for (;;) {
+    AUTOMC_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    if (frame.type == static_cast<uint32_t>(MsgType::kModelChunk)) {
+      ++chunks;
+      received += frame.payload.size();
+      if (received > info.total_size || chunks > info.chunk_count) {
+        return Status::DataLoss("server streamed more model bytes than "
+                                "announced for '" + name + "'");
+      }
+      hasher.Update(frame.payload.data(), frame.payload.size());
+      AUTOMC_RETURN_IF_ERROR(sink(frame.payload));
+      continue;
+    }
+    if (frame.type == static_cast<uint32_t>(MsgType::kError)) {
+      // Mid-stream failure (e.g. a chunk failed verification server-side):
+      // the stream is over and whatever the sink wrote must be discarded.
+      return DecodeError(frame.payload);
+    }
+    if (frame.type != static_cast<uint32_t>(MsgType::kModelEnd)) {
+      return Status::Internal("unexpected frame type " +
+                              std::to_string(frame.type) +
+                              " inside a model stream");
+    }
+    ByteReader er(frame.payload);
+    uint64_t total = 0;
+    Sha256Digest end_digest{};
+    if (!er.U64(&total) || !er.Raw(end_digest.data(), end_digest.size()) ||
+        !er.Done()) {
+      return Status::Internal("malformed ModelEnd payload");
+    }
+    const Sha256Digest got = hasher.Finish();
+    if (total != info.total_size || received != total ||
+        chunks != info.chunk_count ||
+        std::memcmp(end_digest.data(), info.blob_digest.data(), 32) != 0 ||
+        got != end_digest) {
+      return Status::DataLoss("fetched model '" + name +
+                              "' failed end-to-end verification");
+    }
+    return info;
+  }
+}
+
+Status WriteStreamToFile(
+    const std::string& path,
+    const std::function<Status(const Client::ChunkSink&)>& produce) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot write " + tmp);
+  Status st = produce([f, &tmp](std::string_view chunk) -> Status {
+    if (std::fwrite(chunk.data(), 1, chunk.size(), f) != chunk.size()) {
+      return Status::Internal("short write on " + tmp);
+    }
+    return Status::OK();
+  });
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!st.ok() || !flushed) {
+    std::remove(tmp.c_str());
+    if (!st.ok()) return st;
+    return Status::Internal("short write on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " into place");
+  }
+  return Status::OK();
+}
+
+Result<ArtifactInfo> Client::FetchModelToFile(const std::string& name,
+                                              const std::string& path) {
+  ArtifactInfo info;
+  AUTOMC_RETURN_IF_ERROR(
+      WriteStreamToFile(path, [&](const ChunkSink& sink) -> Status {
+        AUTOMC_ASSIGN_OR_RETURN(info, FetchModel(name, sink));
+        return Status::OK();
+      }));
+  return info;
+}
+
+Status Client::FetchOutcomeToSink(uint64_t id, const ChunkSink& sink) {
+  AUTOMC_ASSIGN_OR_RETURN(
+      Frame reply, ExpectType(Call(MsgType::kFetchOutcome, IdPayload(id)),
+                              MsgType::kOutcome));
+  return sink(reply.payload);
+}
+
+Status Client::FetchOutcomeToFile(uint64_t id, const std::string& path) {
+  return WriteStreamToFile(path, [&](const ChunkSink& sink) {
+    return FetchOutcomeToSink(id, sink);
+  });
+}
+
+Result<std::vector<ArtifactInfo>> Client::ListArtifacts() {
+  AUTOMC_ASSIGN_OR_RETURN(
+      Frame reply, ExpectType(Call(MsgType::kListArtifacts, {}),
+                              MsgType::kArtifactList));
+  ByteReader r(reply.payload);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return Status::Internal("malformed artifact list");
+  std::vector<ArtifactInfo> out(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!DecodeArtifactInfo(&r, &out[i])) {
+      return Status::Internal("malformed artifact list entry");
+    }
+  }
+  if (!r.Done()) return Status::Internal("trailing bytes in artifact list");
+  return out;
 }
 
 }  // namespace server

@@ -1,7 +1,9 @@
 #ifndef AUTOMC_SERVER_PROTOCOL_H_
 #define AUTOMC_SERVER_PROTOCOL_H_
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,6 +43,13 @@ enum class MsgType : uint32_t {
   // Idempotent — resending after a worker respawn re-acknowledges the same
   // id as long as the spec bytes match.
   kSubmitWithId = 7,
+  // Artifact registry (docs/artifacts.md). FetchModel is the one
+  // multi-frame reply in the protocol: kModelStart, then one kModelChunk
+  // per stored chunk, then kModelEnd — so a model of any size streams
+  // through the transport's write watermarks instead of materializing as
+  // one giant frame.
+  kFetchModel = 8,     // payload: str artifact name
+  kListArtifacts = 9,  // payload: empty
   // Responses.
   kOk = 100,        // payload: empty (CancelJob ack)
   kSubmitted = 101, // payload: u64 job id
@@ -48,6 +57,10 @@ enum class MsgType : uint32_t {
   kJobList = 103,   // payload: u32 count, count * EncodeJobInfo
   kOutcome = 104,   // payload: search::SaveOutcomeBytes
   kMetrics = 105,   // payload: metrics JSON (UTF-8 text)
+  kModelStart = 106,   // payload: EncodeArtifactInfo
+  kModelChunk = 107,   // payload: raw chunk bytes
+  kModelEnd = 108,     // payload: u64 total size, 32-byte SHA-256 of blob
+  kArtifactList = 109, // payload: u32 count, count * EncodeArtifactInfo
   kError = 200,     // payload: u32 StatusCode, str message
 };
 
@@ -130,6 +143,24 @@ bool DecodeJobInfo(ByteReader* r, JobInfo* info);
 std::string EncodeError(const Status& status);
 Status DecodeError(std::string_view payload);
 
+// One published model artifact as seen on the wire (a Manifest minus the
+// chunk digests, which are a storage detail the client never needs).
+struct ArtifactInfo {
+  std::string name;
+  uint64_t total_size = 0;
+  std::array<uint8_t, 32> blob_digest{};
+  uint32_t chunk_count = 0;
+  uint64_t job_id = 0;
+  std::string scheme;   // core::ParseSchemeIndices format
+  std::string summary;
+  double acc = 0.0;
+  int64_t params = 0;
+  int64_t flops = 0;
+};
+
+void EncodeArtifactInfo(const ArtifactInfo& info, ByteWriter* w);
+bool DecodeArtifactInfo(ByteReader* r, ArtifactInfo* info);
+
 // Blocking client for the automc_serve socket, used by the automc_cli
 // --serve-* subcommands, the tests, and the throughput bench. One request
 // in flight at a time per client; not thread-safe.
@@ -153,6 +184,27 @@ class Client {
   Result<std::string> FetchOutcomeBytes(uint64_t id);
   Result<std::string> Metrics();
 
+  // Streams a published model: `sink` is called once per chunk, in order.
+  // The assembled bytes are verified against the announced size and SHA-256
+  // before success is returned; any mismatch (or a server-side kError mid
+  // stream) surfaces as a typed error and the sink's output must be
+  // discarded. Returns the artifact's wire metadata.
+  using ChunkSink = std::function<Status(std::string_view chunk)>;
+  Result<ArtifactInfo> FetchModel(const std::string& name,
+                                  const ChunkSink& sink);
+  // FetchModel into a file (written atomically: tmp + rename on success).
+  Result<ArtifactInfo> FetchModelToFile(const std::string& name,
+                                        const std::string& path);
+  Result<std::vector<ArtifactInfo>> ListArtifacts();
+
+  // Streams a job's raw outcome payload (SaveOutcomeBytes format) through
+  // `sink` instead of materializing an extra copy; same sink contract as
+  // FetchModel, so --serve-result and --serve-fetch-model share one
+  // write-to-file path.
+  Status FetchOutcomeToSink(uint64_t id, const ChunkSink& sink);
+  // FetchOutcomeToSink into a file (atomically: tmp + rename on success).
+  Status FetchOutcomeToFile(uint64_t id, const std::string& path);
+
   // One raw round-trip (tests use this to probe protocol edges).
   Result<Frame> Call(MsgType type, std::string_view payload);
 
@@ -160,6 +212,16 @@ class Client {
   explicit Client(int fd) : fd_(fd) {}
   int fd_ = -1;
 };
+
+// The atomic file sink behind every streaming *ToFile fetch: opens
+// `path`.tmp, hands `produce` a ChunkSink appending to it, and renames into
+// place only on a fully verified stream + clean flush; any failure removes
+// the temp file so a torn download never looks like a model. Exposed so
+// callers composing their own fetches (tests, tools) reuse the exact
+// tmp+rename discipline.
+Status WriteStreamToFile(
+    const std::string& path,
+    const std::function<Status(const Client::ChunkSink&)>& produce);
 
 }  // namespace server
 }  // namespace automc

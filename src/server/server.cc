@@ -10,6 +10,7 @@
 #include "common/bytes.h"
 #include "common/metrics.h"
 #include "common/net.h"
+#include "server/artifact_stream.h"
 
 namespace automc {
 namespace server {
@@ -127,10 +128,28 @@ Frame JobRequestHandler::Handle(uint64_t client, const Frame& request) {
       return ReplyFrame(MsgType::kMetrics,
                         metrics::MetricsRegistry::Global().ToJson());
     }
+    case MsgType::kFetchModel:
+      // Only reachable on a blocking transport (the fleet worker control
+      // channel); the event loop intercepts this type via HandleStream.
+      return FetchModelBlockingReply(jobs_->registry(), request);
+    case MsgType::kListArtifacts:
+      return ArtifactListReply(jobs_->registry());
     default:
       return ErrorFrame(Status::InvalidArgument(
           "unknown request type " + std::to_string(request.type)));
   }
+}
+
+std::unique_ptr<fleet::ReplyStream> JobRequestHandler::HandleStream(
+    uint64_t client, const Frame& request) {
+  (void)client;
+  if (static_cast<MsgType>(request.type) != MsgType::kFetchModel) {
+    return nullptr;
+  }
+  ByteReader r(request.payload);
+  std::string name;
+  if (!r.Str(&name) || !r.Done()) return nullptr;  // Handle() answers kError
+  return MakeModelStream(jobs_->registry(), std::move(name));
 }
 
 Result<std::unique_ptr<Server>> Server::Start(Options options) {

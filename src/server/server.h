@@ -26,6 +26,10 @@ class JobRequestHandler : public fleet::RequestHandler {
   // JobManager fairness tenant for kSubmitJob, so concurrent submitters
   // share job slots round-robin instead of strictly FIFO.
   Frame Handle(uint64_t client, const Frame& request) override;
+  // kFetchModel gets a chunked multi-frame reply (see
+  // server/artifact_stream.h); everything else falls through to Handle.
+  std::unique_ptr<fleet::ReplyStream> HandleStream(
+      uint64_t client, const Frame& request) override;
 
  private:
   JobManager* jobs_;

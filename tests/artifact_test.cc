@@ -1,0 +1,427 @@
+// The content-addressed artifact registry: SHA-256 correctness, chunk
+// round-trips, real (metric-pinned) dedup across fine-tuned variants,
+// manifest-driven GC that only reclaims unreferenced chunks, corruption
+// detection (a flipped byte is a typed kDataLoss, never silently served),
+// index-loss degradation, cross-instance visibility, and publisher/reader
+// concurrency (the TSan target).
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "artifact/chunk_store.h"
+#include "artifact/manifest.h"
+#include "common/metrics.h"
+#include "common/sha256.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace automc {
+namespace {
+
+using artifact::ChunkStore;
+using artifact::Manifest;
+using artifact::Provenance;
+using artifact::Registry;
+using testing::ScopedTempDir;
+
+int64_t MetricValue(const std::string& name) {
+  return metrics::MetricsRegistry::Global().GetCounter(name).value();
+}
+
+// Deterministic pseudo-random bytes — incompressible, so distinct seeds
+// share no chunks by accident.
+std::string RandomBlob(size_t n, uint64_t seed) {
+  std::string blob(n, '\0');
+  uint64_t x = seed * 0x9e3779b97f4a7c15ull + 1;
+  for (char& c : blob) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    c = static_cast<char>(x >> 56);
+  }
+  return blob;
+}
+
+Registry::Options SmallChunks(const std::string& dir) {
+  Registry::Options opts;
+  opts.dir = dir;
+  opts.chunk_size = 4096;  // the clamp floor: many chunks per test blob
+  return opts;
+}
+
+TEST(Sha256Test, NistVectors) {
+  EXPECT_EQ(
+      HexDigest(Sha256::Hash("")),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      HexDigest(Sha256::Hash("abc")),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      HexDigest(Sha256::Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // Incremental updates across block boundaries equal the one-shot hash.
+  const std::string big = RandomBlob(200000, 7);
+  Sha256 hasher;
+  for (size_t i = 0; i < big.size(); i += 777) {
+    hasher.Update(big.data() + i, std::min<size_t>(777, big.size() - i));
+  }
+  EXPECT_EQ(hasher.Finish(), Sha256::Hash(big));
+}
+
+TEST(ArtifactNameTest, ValidatesPathSafety) {
+  EXPECT_TRUE(artifact::ValidArtifactName("job-17"));
+  EXPECT_TRUE(artifact::ValidArtifactName("resnet20_c10.v2"));
+  EXPECT_FALSE(artifact::ValidArtifactName(""));
+  EXPECT_FALSE(artifact::ValidArtifactName(".hidden"));
+  EXPECT_FALSE(artifact::ValidArtifactName("../escape"));
+  EXPECT_FALSE(artifact::ValidArtifactName("a/b"));
+  EXPECT_FALSE(artifact::ValidArtifactName("sp ace"));
+  EXPECT_FALSE(artifact::ValidArtifactName(std::string(129, 'a')));
+}
+
+TEST(ManifestTest, CodecRoundTripsAndRejectsTruncation) {
+  Manifest m;
+  m.name = "job-3";
+  m.total_size = 123456;
+  m.blob_digest = Sha256::Hash("whole blob");
+  m.chunks = {Sha256::Hash("c0"), Sha256::Hash("c1")};
+  m.prov.job_id = 3;
+  m.prov.scheme = "2,7,1";
+  m.prov.summary = "vgg-13 tiny";
+  m.prov.acc = 0.75;
+  m.prov.params = 99;
+  m.prov.flops = 1234;
+
+  const std::string bytes = artifact::EncodeManifest(m);
+  auto back = artifact::DecodeManifest(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->name, m.name);
+  EXPECT_EQ(back->total_size, m.total_size);
+  EXPECT_EQ(back->blob_digest, m.blob_digest);
+  EXPECT_EQ(back->chunks, m.chunks);
+  EXPECT_EQ(back->prov.scheme, m.prov.scheme);
+  EXPECT_EQ(back->prov.acc, m.prov.acc);
+
+  for (size_t cut : {size_t{1}, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_FALSE(artifact::DecodeManifest(bytes.substr(0, cut)).ok())
+        << "truncation at " << cut << " decoded";
+  }
+}
+
+TEST(ChunkStoreTest, PutGetRoundTripAcrossChunksAndPacks) {
+  ScopedTempDir dir("chunkstore_rt");
+  ChunkStore::Options opts;
+  opts.dir = dir.File("store");
+  opts.chunk_size = 4096;
+  opts.pack_rollover = 1u << 20;  // force several packs for a big blob
+  auto store = ChunkStore::Open(opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const std::string blob = RandomBlob((3u << 20) + 1234, 42);  // ~3 MiB
+  auto put = (*store)->PutBlob(blob);
+  ASSERT_TRUE(put.ok()) << put.status().ToString();
+  ASSERT_EQ(put->digests.size(), (blob.size() + 4095) / 4096);
+  EXPECT_EQ(put->new_bytes, blob.size());
+  EXPECT_EQ(put->dup_chunks, 0u);
+
+  std::string reassembled;
+  for (const Sha256Digest& digest : put->digests) {
+    auto chunk = (*store)->GetChunk(digest);
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    EXPECT_EQ(Sha256::Hash(*chunk), digest);
+    reassembled += *chunk;
+  }
+  EXPECT_EQ(reassembled, blob);
+  EXPECT_EQ((*store)->KnownChunks(), put->digests.size());
+
+  // Unknown digests are NotFound, not DataLoss.
+  EXPECT_EQ((*store)->GetChunk(Sha256::Hash("nope")).status().code(),
+            StatusCode::kNotFound);
+
+  // A second identical put stores nothing new.
+  auto again = (*store)->PutBlob(blob);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->new_chunks, 0u);
+  EXPECT_EQ(again->dup_bytes, blob.size());
+}
+
+TEST(ChunkStoreTest, ReopenedStoreServesExistingChunks) {
+  ScopedTempDir dir("chunkstore_reopen");
+  ChunkStore::Options opts;
+  opts.dir = dir.File("store");
+  opts.chunk_size = 4096;
+  const std::string blob = RandomBlob(100000, 5);
+  std::vector<Sha256Digest> digests;
+  {
+    auto store = ChunkStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    auto put = (*store)->PutBlob(blob);
+    ASSERT_TRUE(put.ok());
+    digests = put->digests;
+  }
+  auto store = ChunkStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  for (const Sha256Digest& digest : digests) {
+    auto chunk = (*store)->GetChunk(digest);
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+  }
+}
+
+TEST(RegistryTest, PublishFetchRoundTripWithProvenance) {
+  ScopedTempDir dir("registry_rt");
+  auto registry = Registry::Open(SmallChunks(dir.File("reg")));
+  ASSERT_TRUE(registry.ok()) << registry.status().ToString();
+
+  const std::string blob = RandomBlob(300000, 9);
+  Provenance prov;
+  prov.job_id = 12;
+  prov.scheme = "1,4";
+  prov.summary = "test model";
+  prov.acc = 0.5;
+  auto published = (*registry)->Publish("job-12", blob, prov);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_EQ(published->total_size, blob.size());
+  EXPECT_EQ(published->blob_digest, Sha256::Hash(blob));
+
+  auto fetched = (*registry)->FetchBlob("job-12");
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_EQ(*fetched, blob);
+
+  auto manifest = (*registry)->GetManifest("job-12");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->prov.job_id, 12u);
+  EXPECT_EQ(manifest->prov.scheme, "1,4");
+
+  EXPECT_EQ((*registry)->FetchBlob("absent").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE((*registry)->Publish("../escape", blob, prov).ok());
+
+  auto listed = (*registry)->List();
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].name, "job-12");
+}
+
+TEST(RegistryTest, FineTunedVariantsDedupAgainstTheBase) {
+  metrics::MetricsRegistry::Global().Reset();
+  ScopedTempDir dir("registry_dedup");
+  auto registry = Registry::Open(SmallChunks(dir.File("reg")));
+  ASSERT_TRUE(registry.ok());
+
+  // A base model and two "fine-tuned" variants: same bytes except the last
+  // chunk-and-a-half. Chunking is offset-aligned, so all full shared-prefix
+  // chunks dedup.
+  const std::string base = RandomBlob(64 * 4096, 11);
+  std::string variant1 = base, variant2 = base;
+  for (size_t i = base.size() - 6000; i < base.size(); ++i) {
+    variant1[i] = static_cast<char>(variant1[i] ^ 0x5a);
+    variant2[i] = static_cast<char>(variant2[i] ^ 0xa5);
+  }
+
+  ASSERT_TRUE((*registry)->Publish("base", base, {}).ok());
+  const int64_t dedup_before = MetricValue("artifact.dedup_bytes");
+  auto put1 = (*registry)->Publish("variant1", variant1, {});
+  ASSERT_TRUE(put1.ok());
+  auto put2 = (*registry)->Publish("variant2", variant2, {});
+  ASSERT_TRUE(put2.ok());
+
+  // 64 chunks each, the last 2 touched: >= 62 chunks' worth of dedup per
+  // variant, pinned through the metric the operations runbook watches.
+  const int64_t dedup_after = MetricValue("artifact.dedup_bytes");
+  EXPECT_GE(dedup_after - dedup_before, 2 * 62 * 4096)
+      << "variants re-stored chunks the base already holds";
+
+  // Dedup must not blur content: all three fetch back byte-exact.
+  EXPECT_EQ(*(*registry)->FetchBlob("base"), base);
+  EXPECT_EQ(*(*registry)->FetchBlob("variant1"), variant1);
+  EXPECT_EQ(*(*registry)->FetchBlob("variant2"), variant2);
+}
+
+TEST(RegistryTest, GcReclaimsOnlyUnreferencedChunks) {
+  ScopedTempDir dir("registry_gc");
+  auto registry = Registry::Open(SmallChunks(dir.File("reg")));
+  ASSERT_TRUE(registry.ok());
+
+  // K variants sharing one 32-chunk base; each adds a unique 8-chunk tail.
+  const std::string base = RandomBlob(32 * 4096, 21);
+  constexpr int kVariants = 4;
+  std::vector<std::string> blobs;
+  for (int i = 0; i < kVariants; ++i) {
+    blobs.push_back(base + RandomBlob(8 * 4096, 100 + i));
+    ASSERT_TRUE(
+        (*registry)->Publish("v" + std::to_string(i), blobs.back(), {}).ok());
+  }
+
+  // Nothing is garbage while every manifest lives.
+  auto none = (*registry)->CollectGarbage();
+  ASSERT_TRUE(none.ok()) << none.status().ToString();
+  EXPECT_EQ(*none, 0u);
+
+  // Delete K-1 manifests: exactly their unique tails become garbage.
+  for (int i = 0; i < kVariants - 1; ++i) {
+    ASSERT_TRUE((*registry)->Remove("v" + std::to_string(i)).ok());
+  }
+  auto reclaimed = (*registry)->CollectGarbage();
+  ASSERT_TRUE(reclaimed.ok()) << reclaimed.status().ToString();
+  EXPECT_EQ(*reclaimed, (kVariants - 1) * 8u * 4096u)
+      << "GC must reclaim the dead tails and nothing else";
+
+  // The survivor (base chunks included) is untouched.
+  auto survivor = (*registry)->FetchBlob("v" + std::to_string(kVariants - 1));
+  ASSERT_TRUE(survivor.ok()) << survivor.status().ToString();
+  EXPECT_EQ(*survivor, blobs.back());
+  EXPECT_EQ((*registry)->chunks()->KnownChunks(), 32u + 8u);
+}
+
+// Flip one byte inside a stored pack frame: the fetch must fail with a
+// typed kDataLoss (and quarantine the chunk), never return altered bytes.
+TEST(RegistryTest, FlippedByteIsDataLossNeverServed) {
+  metrics::MetricsRegistry::Global().Reset();
+  ScopedTempDir dir("registry_flip");
+  const std::string reg_dir = dir.File("reg");
+  auto registry = Registry::Open(SmallChunks(reg_dir));
+  ASSERT_TRUE(registry.ok());
+  const std::string blob = RandomBlob(20 * 4096, 33);
+  ASSERT_TRUE((*registry)->Publish("victim", blob, {}).ok());
+
+  // Corrupt a payload byte in the middle of the single pack file.
+  const std::string pack = reg_dir + "/packs/pack-000001.bin";
+  std::fstream f(pack, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(5 * 4096 + 200, std::ios::beg);
+  char byte = 0;
+  f.seekg(5 * 4096 + 200, std::ios::beg);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0xff);
+  f.seekp(5 * 4096 + 200, std::ios::beg);
+  f.write(&byte, 1);
+  f.close();
+
+  auto fetched = (*registry)->FetchBlob("victim");
+  ASSERT_FALSE(fetched.ok()) << "corrupt blob was served";
+  EXPECT_EQ(fetched.status().code(), StatusCode::kDataLoss);
+  EXPECT_GE(MetricValue("artifact.quarantined"), 1);
+  // The quarantine log names the bad chunk for the operator.
+  struct stat st{};
+  EXPECT_EQ(::stat((reg_dir + "/quarantine.log").c_str(), &st), 0);
+  EXPECT_GT(st.st_size, 0);
+
+  // Repeated fetches stay failed (no flapping), still typed.
+  EXPECT_EQ((*registry)->FetchBlob("victim").status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(RegistryTest, CorruptLiveChunkAbortsGcUntouched) {
+  ScopedTempDir dir("registry_gc_abort");
+  const std::string reg_dir = dir.File("reg");
+  auto registry = Registry::Open(SmallChunks(reg_dir));
+  ASSERT_TRUE(registry.ok());
+  const std::string blob = RandomBlob(10 * 4096, 44);
+  ASSERT_TRUE((*registry)->Publish("live", blob, {}).ok());
+
+  std::fstream f(reg_dir + "/packs/pack-000001.bin",
+                 std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(100, std::ios::beg);
+  f.write("\xde", 1);
+  f.close();
+
+  // GC re-verifies live chunks on the way through; a corrupt one must
+  // abort rather than propagate garbage into a fresh pack.
+  auto gc = (*registry)->CollectGarbage();
+  ASSERT_FALSE(gc.ok());
+  EXPECT_EQ(gc.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(RegistryTest, LostIndexDegradesToPackReplay) {
+  metrics::MetricsRegistry::Global().Reset();
+  ScopedTempDir dir("registry_idx");
+  const std::string reg_dir = dir.File("reg");
+  const std::string blob = RandomBlob(30 * 4096, 55);
+  {
+    auto registry = Registry::Open(SmallChunks(reg_dir));
+    ASSERT_TRUE(registry.ok());
+    ASSERT_TRUE((*registry)->Publish("model", blob, {}).ok());
+  }
+  // Truncate the published index to garbage; packs are the ground truth.
+  std::ofstream(reg_dir + "/chunks.idx", std::ios::binary | std::ios::trunc)
+      << "not an index";
+  auto registry = Registry::Open(SmallChunks(reg_dir));
+  ASSERT_TRUE(registry.ok()) << registry.status().ToString();
+  EXPECT_GE(MetricValue("artifact.index_rebuilds"), 1);
+  auto fetched = (*registry)->FetchBlob("model");
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_EQ(*fetched, blob);
+  // The next publish re-publishes a healthy index.
+  ASSERT_TRUE((*registry)->Publish("model2", RandomBlob(4096, 56), {}).ok());
+  auto reopened = Registry::Open(SmallChunks(reg_dir));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*(*reopened)->FetchBlob("model"), blob);
+}
+
+TEST(RegistryTest, SecondInstanceSeesCrossProcessPublishes) {
+  ScopedTempDir dir("registry_shared");
+  auto writer = Registry::Open(SmallChunks(dir.File("reg")));
+  ASSERT_TRUE(writer.ok());
+  auto reader = Registry::Open(SmallChunks(dir.File("reg")));
+  ASSERT_TRUE(reader.ok());
+
+  // Publish through one instance after the other already opened: the reader
+  // must pick up the new index via its miss-refresh path, the same contract
+  // fleet workers and the coordinator rely on for the shared dir.
+  const std::string blob = RandomBlob(50000, 66);
+  ASSERT_TRUE((*writer)->Publish("late", blob, {}).ok());
+  auto fetched = (*reader)->FetchBlob("late");
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_EQ(*fetched, blob);
+}
+
+// The TSan target: concurrent publishers (distinct and overlapping blobs)
+// and readers through one shared Registry — the exact sharing shape of a
+// JobManager publishing from job threads while the event loop streams.
+TEST(RegistryTest, ConcurrentPublishersAndReaders) {
+  ScopedTempDir dir("registry_mt");
+  auto registry = Registry::Open(SmallChunks(dir.File("reg")));
+  ASSERT_TRUE(registry.ok());
+  Registry* reg = registry->get();
+
+  const std::string shared_base = RandomBlob(16 * 4096, 77);
+  ASSERT_TRUE(reg->Publish("base", shared_base, {}).ok());
+
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([reg, &shared_base, &failed, w] {
+      for (int i = 0; i < 6; ++i) {
+        const std::string name =
+            "w" + std::to_string(w) + "-" + std::to_string(i);
+        const std::string blob =
+            shared_base + RandomBlob(4 * 4096, 1000 + w * 100 + i);
+        if (!reg->Publish(name, blob, {}).ok()) failed = true;
+        auto back = reg->FetchBlob(name);
+        if (!back.ok() || *back != blob) failed = true;
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([reg, &shared_base, &failed] {
+      for (int i = 0; i < 20; ++i) {
+        auto back = reg->FetchBlob("base");
+        if (!back.ok() || *back != shared_base) failed = true;
+        reg->List();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(reg->List().size(), 1u + kWriters * 6u);
+}
+
+}  // namespace
+}  // namespace automc

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -18,6 +19,7 @@
 #include "core/run_spec.h"
 #include "fleet/coordinator.h"
 #include "gtest/gtest.h"
+#include "nn/serialize.h"
 #include "search/report.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -195,6 +197,73 @@ TEST(FleetTest, SigkilledWorkerRespawnsAndJobFinishesBitIdentical) {
   ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
   EXPECT_EQ(*bytes, DirectOutcomeBytes(spec))
       << "outcome after a SIGKILL'd worker differs from an uninterrupted run";
+}
+
+// Artifacts flow through the fleet: a job runs on one worker's shard, but
+// its published model is fetchable through the coordinator front door —
+// byte-identical to a direct materialization, and still there after the
+// publishing worker is SIGKILL'd and respawned (the registry is durable
+// shared state, not worker memory).
+TEST(FleetTest, PublishedModelSurvivesThePublishingWorker) {
+  if (ServeBin() == nullptr) GTEST_SKIP() << "AUTOMC_SERVE_BIN not set";
+  ScopedTempDir dir("fleet_artifact");
+  Fleet fleet = StartFleet(dir, /*workers=*/2);
+  ASSERT_NE(fleet.server, nullptr);
+
+  auto client = Client::Connect(dir.File("fleet.sock"));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const core::RunSpec spec = TinySpec(/*seed=*/61, /*budget=*/4);
+  auto id = client->Submit(spec);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_EQ(*id, 1u);  // job 1 runs on worker 1's shard
+  auto done = PollUntil(&*client, *id, server::JobStateIsTerminal);
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  ASSERT_EQ(done->state, JobState::kDone) << done->error;
+
+  // Reference bytes: the server-side publish recipe run directly.
+  auto direct = core::RunSearch(spec);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  auto winner = core::PickWinningScheme(direct->outcome);
+  ASSERT_TRUE(winner.ok()) << winner.status().ToString();
+  auto model = core::MaterializeScheme(
+      spec, direct->outcome.pareto_schemes[*winner]);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  std::ostringstream want;
+  ASSERT_TRUE(nn::SerializeModel(model->get(), &want).ok());
+
+  const auto fetch = [&](const char* when) {
+    std::string got;
+    auto info = client->FetchModel("job-1", [&](std::string_view chunk) {
+      got.append(chunk);
+      return Status::OK();
+    });
+    ASSERT_TRUE(info.ok()) << when << ": " << info.status().ToString();
+    EXPECT_EQ(got, want.str()) << "fleet-fetched model differs from a "
+                               << "direct materialization " << when;
+    EXPECT_EQ(info->job_id, 1u);
+  };
+  fetch("before the kill");
+
+  auto artifacts = client->ListArtifacts();
+  ASSERT_TRUE(artifacts.ok()) << artifacts.status().ToString();
+  ASSERT_EQ(artifacts->size(), 1u);
+  EXPECT_EQ((*artifacts)[0].name, "job-1");
+
+  // Kill the worker that published the artifact; the model must not die
+  // with it. Wait for the monitor to respawn the shard so the fleet is
+  // healthy again, then fetch the same bytes.
+  const pid_t victim = fleet.coordinator->worker_pid(1);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (fleet.coordinator->worker_pid(1) == victim ||
+         fleet.coordinator->worker_pid(1) <= 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "worker 1 never respawned";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  fetch("after SIGKILL + respawn of the publishing worker");
 }
 
 }  // namespace

@@ -10,14 +10,17 @@
 #include <chrono>
 #include <cstring>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/metrics.h"
 #include "common/net.h"
 #include "core/run_spec.h"
 #include "gtest/gtest.h"
+#include "nn/serialize.h"
 #include "search/report.h"
 #include "server/job_manager.h"
 #include "server/protocol.h"
@@ -347,6 +350,71 @@ TEST(ServerTest, SubmitPollFetchMatchesDirectRun) {
   auto metrics = client->Metrics();
   ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
   EXPECT_NE(metrics->find("server.requests"), std::string::npos);
+  (*srv)->Stop();
+}
+
+// The determinism contract extended to model bytes: the "job-<id>" artifact
+// a finished job publishes is bit-identical to MaterializeScheme of the
+// winning pareto scheme, over both transports, and loads back through
+// nn/serialize.
+TEST(ServerTest, FetchedModelMatchesDirectMaterialization) {
+  ScopedTempDir dir("server_model");
+  server::Server::Options opts;
+  opts.socket_path = dir.File("s.sock");
+  opts.tcp_address = "tcp:127.0.0.1:0";
+  opts.jobs.workdir = dir.File("wd");
+  opts.jobs.artifact_dir = dir.File("artifacts");
+  auto srv = server::Server::Start(opts);
+  ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+
+  auto client = Client::Connect(opts.socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const core::RunSpec spec = TinySpec(/*seed=*/31, /*budget=*/4);
+  auto id = client->Submit(spec);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto done = PollUntil(&*client, *id, server::JobStateIsTerminal);
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  ASSERT_EQ(done->state, JobState::kDone) << done->error;
+
+  // Reference: a direct in-process run of the same spec, winner picked and
+  // materialized by the exact recipe the server uses.
+  auto direct = core::RunSearch(spec);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  auto winner = core::PickWinningScheme(direct->outcome);
+  ASSERT_TRUE(winner.ok()) << winner.status().ToString();
+  const std::vector<int>& scheme = direct->outcome.pareto_schemes[*winner];
+  auto model = core::MaterializeScheme(spec, scheme);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  std::ostringstream want;
+  ASSERT_TRUE(nn::SerializeModel(model->get(), &want).ok());
+
+  const std::string name = "job-" + std::to_string(*id);
+  for (const std::string& address :
+       {opts.socket_path, (*srv)->tcp_address()}) {
+    auto conn = Client::Connect(address);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    std::string got;
+    auto info = conn->FetchModel(name, [&](std::string_view chunk) {
+      got.append(chunk);
+      return Status::OK();
+    });
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(got, want.str())
+        << "fetched model differs from direct materialization over "
+        << address;
+    EXPECT_EQ(info->job_id, *id);
+    EXPECT_EQ(info->scheme, core::SchemeIndicesToString(scheme));
+    EXPECT_EQ(info->acc, direct->outcome.pareto_points[*winner].acc);
+  }
+
+  // The streamed file round-trips through nn/serialize.
+  const std::string path = dir.File("fetched.model");
+  ASSERT_TRUE(client->FetchModelToFile(name, path).ok());
+  auto reloaded = nn::LoadModel(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  std::ostringstream again;
+  ASSERT_TRUE(nn::SerializeModel(reloaded->get(), &again).ok());
+  EXPECT_EQ(again.str(), want.str());
   (*srv)->Stop();
 }
 
